@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Ablation — BMC unrolling bound and conflict budget (§3.3.3 / the FF
+ * outcome of Table 4).
+ *
+ * Sweeps the bound: too-shallow unrollings cannot reach the cover (the
+ * FPU pipeline needs 3 frames for a fault to become output-visible),
+ * while deeper ones only cost solver time. Also sweeps the conflict
+ * budget to show how "FF" (formal timeout) emerges when the budget is
+ * starved.
+ */
+#include <cstdio>
+
+#include "bench/common.h"
+
+int
+main()
+{
+    using namespace vega;
+    bench::banner("Ablation: BMC bound / conflict budget on the FPU "
+                  "working set");
+
+    bench::AnalyzedModule fpu = bench::analyze(ModuleKind::Fpu32);
+    auto pairs = bench::working_pairs(fpu);
+    if (pairs.size() > 12)
+        pairs.resize(12); // keep the sweep snappy
+
+    std::printf("max_frames sweep (conflict budget 400k):\n");
+    std::printf("%10s | %3s | %3s | %3s | %3s | avg conflicts\n",
+                "max_frames", "S", "UR", "FF", "FC");
+    for (int frames : {1, 2, 3, 4, 6}) {
+        lift::LiftConfig cfg;
+        cfg.bmc.max_frames = frames;
+        cfg.bmc.conflict_budget = 400000;
+        lift::LiftResult r =
+            lift::run_error_lifting(fpu.module, pairs, cfg);
+        uint64_t conflicts = 0;
+        size_t configs = 0;
+        for (const auto &pr : r.pairs)
+            for (const auto &co : pr.configs) {
+                conflicts += co.conflicts;
+                ++configs;
+            }
+        std::printf("%10d | %3zu | %3zu | %3zu | %3zu | %lu\n", frames,
+                    r.n_success, r.n_unreachable, r.n_timeout,
+                    r.n_conversion_failed,
+                    (unsigned long)(conflicts / std::max<size_t>(configs, 1)));
+    }
+
+    std::printf("\nconflict budget sweep (max_frames 4):\n");
+    std::printf("%10s | %3s | %3s | %3s | %3s |\n", "budget", "S", "UR",
+                "FF", "FC");
+    for (int64_t budget : {int64_t(10), int64_t(100), int64_t(1000),
+                           int64_t(400000)}) {
+        lift::LiftConfig cfg;
+        cfg.bmc.max_frames = 4;
+        cfg.bmc.conflict_budget = budget;
+        lift::LiftResult r =
+            lift::run_error_lifting(fpu.module, pairs, cfg);
+        std::printf("%10lld | %3zu | %3zu | %3zu | %3zu |\n",
+                    (long long)budget, r.n_success, r.n_unreachable,
+                    r.n_timeout, r.n_conversion_failed);
+    }
+
+    std::printf("\nTakeaway: the bound must exceed the pipeline depth "
+                "(latency 2 + flag commit);\nstarving the solver turns "
+                "liftable pairs into the paper's FF category.\n");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Ablation — the clock-network aging analysis (§3.2.2's "Vega also
+ * analyzes the effect of aging on the clock distribution network").
+ *
+ * Reruns the FPU's hold analysis with the clock tree's aging disabled
+ * (every buffer treated as free-running) to show the hold violations
+ * come specifically from asymmetric clock-gating stress: without the
+ * analysis, the aged design looks hold-clean and the three real
+ * violations would be missed.
+ */
+#include <cstdio>
+
+#include "bench/common.h"
+#include "sta/clock_analysis.h"
+
+int
+main()
+{
+    using namespace vega;
+    bench::banner("Ablation: clock-tree aging analysis on/off (FPU hold "
+                  "checks, 10 years)");
+
+    bench::AnalyzedModule fpu = bench::analyze(ModuleKind::Fpu32);
+
+    // With the analysis (the default path).
+    const sta::StaResult &with = fpu.aging.sta;
+
+    // Without: force every clock buffer to the free-running SP before
+    // re-deriving clock arrivals.
+    HwModule neutral_clock = rtl::make_fpu32();
+    neutral_clock.netlist.set_timing_scale(
+        fpu.module.netlist.timing_scale());
+    for (uint32_t b = 0; b < neutral_clock.clock.size(); ++b)
+        neutral_clock.clock.buffer_mut(b).sp = 0.5;
+    sta::AgedTiming timing = sta::compute_aged_timing(
+        neutral_clock, fpu.aging.profile, bench::timing_library(), 10.0);
+    sta::StaResult without = sta::run_sta(neutral_clock, timing);
+
+    std::printf("%-34s | %10s | %10s |\n", "", "hold WNS", "#hold viol");
+    std::printf("%-34s | %8.2fps | %10zu |\n",
+                "with clock-tree aging analysis",
+                with.wns_hold < 0 ? with.wns_hold : with.wns_hold,
+                with.num_hold_violations);
+    std::printf("%-34s | %8.2fps | %10zu |\n",
+                "without (buffers assumed SP=0.5)", without.wns_hold,
+                without.num_hold_violations);
+
+    double skew_with = sta::worst_skew(sta::analyze_clock_tree(
+        fpu.module.clock, bench::timing_library(), 10.0));
+    double skew_without = sta::worst_skew(sta::analyze_clock_tree(
+        neutral_clock.clock, bench::timing_library(), 10.0));
+    std::printf("\nworst aged clock spread: %.2fps (gated) vs %.2fps "
+                "(assumed free-running)\n",
+                skew_with, skew_without);
+    std::printf("\nTakeaway: hold violations exist only because rarely-"
+                "enabled clock-gated regions\nage faster than the "
+                "always-on domain — dropping the clock analysis hides "
+                "them.\n");
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Ablation — fuzzing-based vs formal trace generation (§6.3).
+ *
+ * Runs both engines over the ALU's violating pairs and a slice of the
+ * FPU's, comparing success rate and effort. Fuzzing finds activating
+ * traces for most observable faults quickly, but (a) cannot prove the
+ * unreachable ones unreachable and (b) needs luck on faults with narrow
+ * activation windows — the systematic-exploration argument of §3.3.
+ */
+#include <chrono>
+#include <cstdio>
+
+#include "bench/common.h"
+#include "lift/fuzz_lifting.h"
+
+namespace {
+
+using namespace vega;
+using Clock = std::chrono::steady_clock;
+
+void
+compare(const char *unit, const bench::AnalyzedModule &m, size_t max_pairs)
+{
+    auto pairs = bench::working_pairs(m);
+    if (pairs.size() > max_pairs)
+        pairs.resize(max_pairs);
+
+    size_t formal_hits = 0, fuzz_hits = 0;
+    uint64_t fuzz_cycles = 0, formal_conflicts = 0;
+    double formal_secs = 0, fuzz_secs = 0;
+
+    for (size_t pi = 0; pi < pairs.size(); ++pi) {
+        lift::FailureModelSpec spec;
+        spec.launch = pairs[pi].launch;
+        spec.capture = pairs[pi].capture;
+        spec.is_setup = pairs[pi].is_setup;
+        spec.constant = lift::FaultConstant::One;
+        auto shadow =
+            lift::build_shadow_instrumentation(m.module.netlist, spec);
+
+        auto t0 = Clock::now();
+        formal::BmcOptions opts;
+        opts.max_frames = 4;
+        opts.conflict_budget = 400000;
+        opts.assumes =
+            lift::build_assumes(shadow.netlist, m.module.kind);
+        opts.state_equalities = shadow.state_pairs;
+        formal::BmcResult bmc =
+            formal::check_cover(shadow.netlist, shadow.mismatch, opts);
+        auto t1 = Clock::now();
+        formal_secs += std::chrono::duration<double>(t1 - t0).count();
+        formal_conflicts += bmc.conflicts;
+        if (bmc.status == formal::BmcStatus::Covered)
+            ++formal_hits;
+
+        auto t2 = Clock::now();
+        lift::FuzzConfig fcfg;
+        fcfg.max_episodes = 1500;
+        fcfg.seed = 99 + pi;
+        lift::FuzzResult fz =
+            lift::fuzz_cover(shadow, m.module.kind, fcfg);
+        auto t3 = Clock::now();
+        fuzz_secs += std::chrono::duration<double>(t3 - t2).count();
+        fuzz_cycles += fz.cycles;
+        if (fz.found)
+            ++fuzz_hits;
+    }
+
+    std::printf("%-4s | %7zu | %12zu | %11.2fs | %9zu | %9.2fs | "
+                "%lu cycles fuzzed\n",
+                unit, pairs.size(), formal_hits, formal_secs, fuzz_hits,
+                fuzz_secs, (unsigned long)fuzz_cycles);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace vega;
+    bench::banner("Ablation: formal vs fuzzing trace generation (C=1 "
+                  "failure models)");
+    std::printf("%-4s | #pairs | formal hits |  formal time | fuzz "
+                "hits | fuzz time |\n",
+                "Unit");
+
+    bench::AnalyzedModule alu = bench::analyze(ModuleKind::Alu32);
+    compare("ALU", alu, 8);
+    bench::AnalyzedModule fpu = bench::analyze(ModuleKind::Fpu32);
+    compare("FPU", fpu, 10);
+
+    std::printf("\nTakeaway: fuzzing covers many observable faults "
+                "cheaply (the §6.3 hybrid is\nviable), but only the "
+                "formal engine distinguishes 'not found' from 'cannot "
+                "happen'\nand stays reliable on narrow activation "
+                "windows.\n");
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 4 — switching-delay degradation of a 28 nm XOR cell under
+ * different signal probabilities over a 10-year period.
+ *
+ * Reproduces the aging-aware timing library entry the paper plots:
+ * degradation grows ~t^(1/6) and stratifies by SP (lower SP = more NBTI
+ * stress = faster aging).
+ */
+#include <cstdio>
+
+#include "bench/common.h"
+
+int
+main()
+{
+    using namespace vega;
+    const auto &lib = bench::timing_library();
+
+    bench::banner("Figure 4: XOR cell switching-delay degradation vs SP "
+                  "(10-year horizon)");
+    std::printf("%6s |", "years");
+    const double sps[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+    for (double sp : sps)
+        std::printf("  SP=%.2f", sp);
+    std::printf("\n");
+
+    for (double years = 0.0; years <= 10.0; years += 1.0) {
+        std::printf("%6.1f |", years);
+        for (double sp : sps) {
+            double frac =
+                lib.delay_factor_max(CellType::Xor2, sp, years) - 1.0;
+            std::printf("  %6.2f%%", 100.0 * frac);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nPaper shape check: monotone in time, ~70%% of the "
+                "10-year shift within year one,\nand the SP=0 curve the "
+                "worst (parked-at-0 cells age fastest).\n");
+    double y1 = lib.delay_factor_max(CellType::Xor2, 0.0, 1.0) - 1.0;
+    double y10 = lib.delay_factor_max(CellType::Xor2, 0.0, 10.0) - 1.0;
+    std::printf("year1/year10 degradation ratio: %.2f (reaction-diffusion "
+                "predicts ~0.68)\n",
+                y1 / y10);
+    return 0;
+}

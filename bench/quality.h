@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Shared machinery for the test-quality studies (Tables 6 and 7):
+ * running a whole suite through the ISS against a failing gate-level
+ * netlist, exactly as the paper's Verilator evaluation does.
+ */
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+#include "bench/common.h"
+#include "common/rng.h"
+#include "cpu/alu_ops.h"
+#include "cpu/mdu_ops.h"
+#include "cpu/netlist_backend.h"
+#include "cpu/softfp.h"
+
+namespace vega::bench {
+
+/** Failure mode for a failing netlist: the value C (Table 6's "FM"). */
+enum class FailureMode { Zero, One, Random };
+
+inline const char *
+failure_mode_name(FailureMode fm)
+{
+    switch (fm) {
+      case FailureMode::Zero:   return "0";
+      case FailureMode::One:    return "1";
+      case FailureMode::Random: return "R";
+    }
+    return "?";
+}
+
+inline lift::FaultConstant
+to_constant(FailureMode fm)
+{
+    switch (fm) {
+      case FailureMode::Zero: return lift::FaultConstant::Zero;
+      case FailureMode::One: return lift::FaultConstant::One;
+      default: return lift::FaultConstant::RandomInput;
+    }
+}
+
+/** Result of one suite run against one failing netlist. */
+struct SuiteOutcome
+{
+    bool detected = false;
+    size_t position = SIZE_MAX; ///< suite index of the detecting test
+    runtime::Detection kind = runtime::Detection::None;
+};
+
+/**
+ * Execute @p suite in order through the ISS with @p failing as the
+ * module's gate-level implementation. Hardware state persists across
+ * test blocks (the initial-value dynamics of §3.3.4 / Table 6's "L").
+ * Stops at the first detection.
+ */
+inline SuiteOutcome
+run_suite_against(const std::vector<runtime::TestCase> &suite,
+                  ModuleKind kind, const Netlist &failing,
+                  bool has_random_input, uint64_t seed)
+{
+    cpu::NetlistBackend backend(kind, failing, has_random_input, seed);
+    SuiteOutcome out;
+    uint64_t tags_seen = 0;
+    for (size_t i = 0; i < suite.size(); ++i) {
+        cpu::Iss iss(suite[i].program);
+        if (kind == ModuleKind::Alu32)
+            iss.set_alu_backend(&backend);
+        else if (kind == ModuleKind::Mdu32)
+            iss.set_mdu_backend(&backend);
+        else
+            iss.set_fpu_backend(&backend);
+        auto status = iss.run();
+        runtime::Detection det = runtime::Detection::None;
+        if (status == cpu::Iss::Status::Stalled) {
+            det = runtime::Detection::Stall;
+        } else if (iss.reg(31) != 0) {
+            det = runtime::Detection::Mismatch;
+        } else if (backend.tag_mismatches() > tags_seen) {
+            det = runtime::Detection::TagAnomaly;
+        }
+        tags_seen = backend.tag_mismatches();
+        if (det != runtime::Detection::None) {
+            out.detected = true;
+            out.position = i;
+            out.kind = det;
+            return out;
+        }
+    }
+    return out;
+}
+
+/** Build a random baseline test (Table 7's generator). */
+inline runtime::TestCase
+make_random_test(ModuleKind kind, Rng &rng, size_t index)
+{
+    runtime::TestCase tc;
+    tc.module = kind;
+    tc.name = "random" + std::to_string(index);
+    runtime::ModuleStep step;
+    step.a = uint32_t(rng.next());
+    step.b = uint32_t(rng.next());
+    runtime::ResultCheck check;
+    check.step = 0;
+    if (kind == ModuleKind::Alu32) {
+        step.op = uint32_t(rng.below(kNumAluOps));
+        check.expected = alu_compute(AluOp(step.op), step.a, step.b);
+    } else if (kind == ModuleKind::Mdu32) {
+        step.op = uint32_t(rng.below(kNumMduOps));
+        check.expected = mdu_compute(MduOp(step.op), step.a, step.b);
+    } else {
+        step.op = uint32_t(rng.below(8));
+        auto op = fp::FpuOp(step.op);
+        fp::FpResult golden = fp::fpu_compute(op, step.a, step.b);
+        check.expected = golden.bits;
+        check.to_xreg = op == fp::FpuOp::Eq || op == fp::FpuOp::Lt ||
+                        op == fp::FpuOp::Le;
+        tc.check_final_flags = true;
+        tc.expected_flags = golden.flags;
+    }
+    tc.stimulus = {step};
+    tc.checks = {check};
+    runtime::finalize_test_case(tc);
+    return tc;
+}
+
+} // namespace vega::bench

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Table 3 — STA result with aging-aware timing libraries: worst negative
+ * slack and number of violated paths (setup / hold) for the ALU and FPU
+ * after ten years, plus the unique endpoint-pair counts of §5.2.1.
+ */
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace {
+
+void
+row(const vega::bench::AnalyzedModule &m)
+{
+    using namespace vega;
+    const sta::StaResult &r = m.aging.sta;
+    auto fmt = [](double wns, size_t n, char *buf, size_t len) {
+        if (n == 0)
+            snprintf(buf, len, "       - / 0");
+        else
+            snprintf(buf, len, "%7.0fps / %zu", wns, n);
+    };
+    char setup[64], hold[64];
+    fmt(r.wns_setup < 0 ? r.wns_setup : 0.0, r.num_setup_violations,
+        setup, sizeof(setup));
+    fmt(r.wns_hold < 0 ? r.wns_hold : 0.0, r.num_hold_violations, hold,
+        sizeof(hold));
+
+    size_t setup_pairs = 0, hold_pairs = 0;
+    for (const auto &p : r.pairs)
+        (p.is_setup ? setup_pairs : hold_pairs)++;
+
+    std::printf("%-6s | %-22s | %-18s | pairs: %zu setup + %zu hold%s\n",
+                m.module.netlist.name().c_str(), setup, hold, setup_pairs,
+                hold_pairs,
+                r.truncated ? "  [path count capped]" : "");
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace vega;
+    bench::banner("Table 3: STA result with aging-aware timing libraries "
+                  "(10-year lifetime)");
+    std::printf("%-6s | %-22s | %-18s |\n", "Unit", "Setup WNS / #paths",
+                "Hold WNS / #paths");
+
+    bench::AnalyzedModule alu = bench::analyze(ModuleKind::Alu32);
+    bench::AnalyzedModule fpu = bench::analyze(ModuleKind::Fpu32);
+    row(alu);
+    row(fpu);
+
+    std::printf("\nFresh (year-0) sanity: both designs close timing.\n");
+    std::printf("  alu32: setup %.0fps, hold %.2fps\n",
+                alu.aging.fresh_sta.wns_setup,
+                alu.aging.fresh_sta.wns_hold);
+    std::printf("  fpu32: setup %.0fps, hold %.2fps\n",
+                fpu.aging.fresh_sta.wns_setup,
+                fpu.aging.fresh_sta.wns_hold);
+
+    std::printf("\nPaper shape check (their Table 3: ALU -76ps/11 setup, "
+                "0 hold; FPU -157ps/1363 setup,\n-1ps/3 hold): the FPU "
+                "dominates setup violations and owns the only hold\n"
+                "violations, which come from asymmetric clock-gating "
+                "aging.\n");
+    return 0;
+}

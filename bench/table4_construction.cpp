@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Table 4 — result of test case construction: the fraction of unique
+ * endpoint pairs that yield a test case (S), are formally proven unable
+ * to err (UR), time out in the formal tool (FF), or cover but cannot be
+ * converted into an observable software test (FC) — with and without
+ * the §3.3.4 initial-value mitigation.
+ */
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace {
+
+void
+row(const char *unit, const vega::lift::LiftResult &r)
+{
+    double n = double(r.pairs.size());
+    std::printf("%-5s | %5.1f | %5.1f | %5.1f | %5.1f |  (%zu pairs)\n",
+                unit, 100.0 * r.n_success / n, 100.0 * r.n_unreachable / n,
+                100.0 * r.n_timeout / n,
+                100.0 * r.n_conversion_failed / n, r.pairs.size());
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace vega;
+    bench::banner("Table 4: test case construction outcomes (percent of "
+                  "unique endpoint pairs)");
+
+    bench::AnalyzedModule alu = bench::analyze(ModuleKind::Alu32);
+    bench::AnalyzedModule fpu = bench::analyze(ModuleKind::Fpu32);
+
+    std::printf("without mitigation (C in {0,1}):\n");
+    std::printf("%-5s | %5s | %5s | %5s | %5s |\n", "Unit", "S", "UR",
+                "FF", "FC");
+    lift::LiftResult alu_plain = bench::lift_module(alu, false);
+    lift::LiftResult fpu_plain = bench::lift_module(fpu, false);
+    row("ALU", alu_plain);
+    row("FPU", fpu_plain);
+
+    std::printf("\nwith mitigation (C in {0,1} x rising/falling edge):\n");
+    std::printf("%-5s | %5s | %5s | %5s | %5s |\n", "Unit", "S", "UR",
+                "FF", "FC");
+    lift::LiftResult alu_mit = bench::lift_module(alu, true);
+    lift::LiftResult fpu_mit = bench::lift_module(fpu, true);
+    row("ALU", alu_mit);
+    row("FPU", fpu_mit);
+
+    std::printf(
+        "\nPaper shape check (their Table 4: ALU 66.7 S / 33.3 UR; FPU "
+        "51.2 S / 43.9 UR /\n4.9 FF, plus 7.3 FC with mitigation): our "
+        "datapath-dominated modules make nearly\nevery modeled fault "
+        "software-observable, so S dominates and UR/FF are rare —\nsee "
+        "EXPERIMENTS.md for the discussion of this divergence. FC "
+        "appears on the\ntag/handshake hold pairs exactly as the paper "
+        "describes for flag-only outputs.\n");
+    return 0;
+}

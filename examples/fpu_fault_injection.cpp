@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Silent data corruption, end to end: run the minver kernel on a CPU
+ * whose FPU carries an aging fault (a failing netlist from Error
+ * Lifting) and watch the checksum silently corrupt — no trap, no log,
+ * exactly the failure class the paper targets. Then show Vega's aging
+ * library detecting the same fault and raising a catchable exception.
+ */
+#include <cstdio>
+
+#include "cpu/netlist_backend.h"
+#include "rtl/fpu32.h"
+#include "vega/workflow.h"
+#include "workloads/kernels.h"
+
+using namespace vega;
+
+namespace {
+
+/** Engine that executes test blocks on the (failing) gate-level FPU. */
+class FpuNetlistEngine : public runtime::Engine
+{
+  public:
+    explicit FpuNetlistEngine(const Netlist &netlist)
+        : backend_(ModuleKind::Fpu32, netlist)
+    {
+    }
+
+    runtime::Detection
+    run(const runtime::TestCase &tc) override
+    {
+        uint64_t tags = backend_.tag_mismatches();
+        cpu::Iss iss(tc.program);
+        iss.set_fpu_backend(&backend_);
+        auto status = iss.run();
+        if (status == cpu::Iss::Status::Stalled)
+            return runtime::Detection::Stall;
+        if (iss.reg(31) != 0)
+            return runtime::Detection::Mismatch;
+        if (backend_.tag_mismatches() > tags)
+            return runtime::Detection::TagAnomaly;
+        return runtime::Detection::None;
+    }
+
+  private:
+    cpu::NetlistBackend backend_;
+};
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Aging-related SDC demo on fpu32 ===\n\n");
+
+    HwModule fpu = rtl::make_fpu32();
+    auto lib = aging::AgingTimingLibrary::build(aging::RdModelParams{});
+
+    // Vega's analysis finds the aging-prone pairs and builds tests.
+    WorkflowConfig cfg;
+    cfg.aging.max_trace = 4000;
+    cfg.lift.max_pairs = 8;
+    cfg.lift.bmc.max_frames = 4;
+    WorkflowResult wf = run_workflow(fpu, lib, minver_trace(), cfg);
+    std::printf("Vega generated %zu FPU tests from the %zu worst "
+                "aging-prone pairs.\n\n",
+                wf.suite.size(), size_t(8));
+    if (wf.suite.empty())
+        return 0;
+
+    const workloads::Kernel &minver = workloads::embench_suite()[0];
+
+    // Age one of those pairs into a real fault (C = 0 failing netlist),
+    // preferring one whose corruption actually reaches this workload's
+    // data — many do not, which is exactly why SDCs hide.
+    auto make_failing = [&](const sta::EndpointPair &pair,
+                            lift::FaultConstant c) {
+        lift::FailureModelSpec spec;
+        spec.launch = pair.launch;
+        spec.capture = pair.capture;
+        spec.is_setup = pair.is_setup;
+        spec.constant = c;
+        return lift::build_failing_netlist(fpu.netlist, spec);
+    };
+    lift::FailingNetlist failing = make_failing(
+        wf.lift.pairs.front().pair, lift::FaultConstant::Zero);
+    bool corrupts_minver = false;
+    for (const auto &pr : wf.lift.pairs) {
+        for (auto c :
+             {lift::FaultConstant::One, lift::FaultConstant::Zero}) {
+            lift::FailingNetlist candidate = make_failing(pr.pair, c);
+            cpu::NetlistBackend backend(ModuleKind::Fpu32,
+                                        candidate.netlist);
+            cpu::Iss iss(minver.program);
+            iss.set_fpu_backend(&backend);
+            if (iss.run() == cpu::Iss::Status::Halted &&
+                iss.read_u32(workloads::kChecksumAddr) !=
+                    minver.expected_checksum) {
+                failing = std::move(candidate);
+                corrupts_minver = true;
+                break;
+            }
+        }
+        if (corrupts_minver)
+            break;
+    }
+    if (!corrupts_minver)
+        std::printf("(none of the modeled faults perturbs this "
+                    "workload's data — one reason SDCs hide)\n");
+
+    // Healthy run.
+    {
+        cpu::NetlistBackend backend(ModuleKind::Fpu32, fpu.netlist);
+        cpu::Iss iss(minver.program);
+        iss.set_fpu_backend(&backend);
+        iss.run();
+        std::printf("healthy FPU:  minver checksum %08x (expected "
+                    "%08x) -- ok\n",
+                    iss.read_u32(workloads::kChecksumAddr),
+                    minver.expected_checksum);
+    }
+
+    // Aged run: the corruption is silent.
+    {
+        cpu::NetlistBackend backend(ModuleKind::Fpu32, failing.netlist);
+        cpu::Iss iss(minver.program);
+        iss.set_fpu_backend(&backend);
+        auto status = iss.run();
+        uint32_t checksum = iss.read_u32(workloads::kChecksumAddr);
+        std::printf("aged FPU:     minver checksum %08x (expected %08x) "
+                    "-- %s, program %s\n",
+                    checksum, minver.expected_checksum,
+                    checksum == minver.expected_checksum ? "ok"
+                                                         : "CORRUPTED",
+                    status == cpu::Iss::Status::Halted
+                        ? "finished normally (silent!)"
+                        : "stalled");
+    }
+
+    // Vega's library catches it and raises a handleable exception.
+    runtime::AgingLibraryOptions opt;
+    opt.throw_on_detect = true;
+    runtime::AgingLibrary library(wf.suite, opt);
+    FpuNetlistEngine aged_engine(failing.netlist);
+    std::printf("\nrunning the Vega aging library on the aged FPU...\n");
+    try {
+        library.run_all(aged_engine);
+        std::printf("no detection (unexpected for this fault)\n");
+    } catch (const runtime::HardwareFaultError &e) {
+        std::printf("caught HardwareFaultError: %s\n", e.what());
+        std::printf("the application can now fail over before silent "
+                    "corruption spreads.\n");
+    }
+    return 0;
+}

@@ -1,0 +1,70 @@
+#include "aging/rd_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vega::aging {
+
+namespace {
+
+/** Boltzmann constant in eV/K. */
+constexpr double kBoltzmannEv = 8.617333262e-5;
+
+/** Arrhenius acceleration of BTI relative to the calibration temperature. */
+double
+temp_factor(const RdModelParams &p)
+{
+    return std::exp((p.ea_ev / kBoltzmannEv) *
+                    (1.0 / p.ref_temp_k - 1.0 / p.temp_k));
+}
+
+} // namespace
+
+double
+delta_vth(const RdModelParams &p, double prefactor, double duty,
+          double years)
+{
+    duty = std::clamp(duty, 0.0, 1.0);
+    years = std::max(years, 0.0);
+    // Eq. 1: ΔVth ∝ e^(Ea/kT) (t - t0)^(1/6); stress time is the duty-
+    // weighted wall time. Recovery during the un-stressed fraction is
+    // captured by the duty weighting itself (§2.3.3).
+    return prefactor * temp_factor(p) *
+           std::pow(duty * years, p.time_exponent);
+}
+
+namespace {
+
+double
+raw_degradation(const RdModelParams &p, CellType type, double sp,
+                double years)
+{
+    // NBTI stresses the pull-up while the output parks low; PBTI stresses
+    // the pull-down while it parks high. The slower of the two transitions
+    // sets the cell's max propagation delay, so take the worse arc.
+    double dv_p = delta_vth(p, p.a_pmos, 1.0 - sp, years);
+    double dv_n = delta_vth(p, p.a_nmos, sp, years);
+    double dv = std::max(dv_p, dv_n);
+    // Alpha-power law: delay ∝ Vdd/(Vdd − Vth)^α, so to first order
+    // Δd/d = α · ΔVth / (Vdd − Vth0).
+    double frac = p.alpha * dv / (p.vdd - p.vth0);
+    return frac * cell_aging_sensitivity(type);
+}
+
+} // namespace
+
+double
+delay_degradation(const RdModelParams &p, CellType type, double sp,
+                  double years)
+{
+    return raw_degradation(p, type, sp, years);
+}
+
+double
+delay_degradation_min(const RdModelParams &p, CellType type, double sp,
+                      double years)
+{
+    return p.min_arc_derate * raw_degradation(p, type, sp, years);
+}
+
+} // namespace vega::aging

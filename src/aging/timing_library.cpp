@@ -1,0 +1,92 @@
+#include "aging/timing_library.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vega::aging {
+
+namespace {
+constexpr int kNumTypes = static_cast<int>(CellType::Dff) + 1;
+}
+
+size_t
+AgingTimingLibrary::index(int type, int si, int yi) const
+{
+    return (static_cast<size_t>(type) * sp_steps_ + si) * year_steps_ + yi;
+}
+
+AgingTimingLibrary
+AgingTimingLibrary::build(const RdModelParams &params, int sp_steps,
+                          double max_years, int year_steps)
+{
+    VEGA_CHECK(sp_steps >= 2 && year_steps >= 2, "grid too small");
+    AgingTimingLibrary lib;
+    lib.params_ = params;
+    lib.sp_steps_ = sp_steps;
+    lib.year_steps_ = year_steps;
+    lib.max_years_ = max_years;
+    lib.max_table_.resize(size_t(kNumTypes) * sp_steps * year_steps);
+    lib.min_table_.resize(lib.max_table_.size());
+
+    for (int t = 0; t < kNumTypes; ++t) {
+        auto type = static_cast<CellType>(t);
+        for (int si = 0; si < sp_steps; ++si) {
+            double sp = double(si) / (sp_steps - 1);
+            for (int yi = 0; yi < year_steps; ++yi) {
+                double years = max_years * double(yi) / (year_steps - 1);
+                lib.max_table_[lib.index(t, si, yi)] =
+                    delay_degradation(params, type, sp, years);
+                lib.min_table_[lib.index(t, si, yi)] =
+                    delay_degradation_min(params, type, sp, years);
+            }
+        }
+    }
+    return lib;
+}
+
+namespace {
+
+/** Bilinear interpolation over a regular grid. */
+double
+bilinear(const std::vector<double> &tab, size_t base, int sp_steps,
+         int year_steps, double sp, double years, double max_years)
+{
+    sp = std::clamp(sp, 0.0, 1.0);
+    years = std::clamp(years, 0.0, max_years);
+    double sx = sp * (sp_steps - 1);
+    double sy = years / max_years * (year_steps - 1);
+    int si = std::min(int(sx), sp_steps - 2);
+    int yi = std::min(int(sy), year_steps - 2);
+    double fx = sx - si;
+    double fy = sy - yi;
+    auto at = [&](int s, int y) {
+        return tab[base + size_t(s) * year_steps + y];
+    };
+    double v0 = at(si, yi) * (1 - fx) + at(si + 1, yi) * fx;
+    double v1 = at(si, yi + 1) * (1 - fx) + at(si + 1, yi + 1) * fx;
+    return v0 * (1 - fy) + v1 * fy;
+}
+
+} // namespace
+
+double
+AgingTimingLibrary::delay_factor_max(CellType type, double sp,
+                                     double years) const
+{
+    size_t base = size_t(static_cast<int>(type)) * sp_steps_ * year_steps_;
+    return 1.0 + bilinear(max_table_, base, sp_steps_, year_steps_, sp,
+                          years, max_years_);
+}
+
+double
+AgingTimingLibrary::delay_factor_min(CellType type, double sp,
+                                     double years) const
+{
+    size_t base = size_t(static_cast<int>(type)) * sp_steps_ * year_steps_;
+    return 1.0 + bilinear(min_table_, base, sp_steps_, year_steps_, sp,
+                          years, max_years_);
+}
+
+} // namespace vega::aging

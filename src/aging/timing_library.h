@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The precomputed aging-aware timing library (§3.2.2, Figure 4).
+ *
+ * The paper runs SPICE once per standard cell to characterize how signal
+ * probability maps to delay degradation over time, then reuses that table
+ * across designs. This class is that table: a (cell type × SP × years)
+ * grid of delay multipliers, built once from the reaction–diffusion model
+ * and looked up with bilinear interpolation during aging-aware STA.
+ */
+#pragma once
+
+#include <vector>
+
+#include "aging/rd_model.h"
+#include "netlist/cell_library.h"
+
+namespace vega::aging {
+
+class AgingTimingLibrary
+{
+  public:
+    /**
+     * Characterize every cell type over an SP grid of @p sp_steps points
+     * and a year grid up to @p max_years with @p year_steps points.
+     */
+    static AgingTimingLibrary build(const RdModelParams &params,
+                                    int sp_steps = 21, double max_years = 12.0,
+                                    int year_steps = 25);
+
+    /** Multiplier (>= 1) on the max-delay arc for @p type at (@p sp, @p years). */
+    double delay_factor_max(CellType type, double sp, double years) const;
+
+    /** Multiplier on the min-delay arc (derated, pessimistic for hold). */
+    double delay_factor_min(CellType type, double sp, double years) const;
+
+    const RdModelParams &params() const { return params_; }
+
+  private:
+    size_t index(int type, int si, int yi) const;
+
+    RdModelParams params_;
+    int sp_steps_ = 0;
+    int year_steps_ = 0;
+    double max_years_ = 0.0;
+    std::vector<double> max_table_; ///< [type][sp][year] degradation fraction
+    std::vector<double> min_table_;
+};
+
+} // namespace vega::aging

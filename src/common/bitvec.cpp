@@ -1,0 +1,113 @@
+#include "common/bitvec.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace vega {
+
+BitVec::BitVec(size_t width)
+    : width_(width), words_(words_for(width), 0)
+{
+}
+
+BitVec::BitVec(size_t width, uint64_t value)
+    : width_(width), words_(words_for(width), 0)
+{
+    if (!words_.empty())
+        words_[0] = value;
+    mask_top();
+}
+
+BitVec
+BitVec::from_binary(const std::string &text)
+{
+    size_t start = 0;
+    if (text.rfind("0b", 0) == 0)
+        start = 2;
+    size_t n = text.size() - start;
+    BitVec v(n);
+    for (size_t i = 0; i < n; ++i) {
+        char c = text[start + i];
+        if (c != '0' && c != '1')
+            throw std::invalid_argument("BitVec::from_binary: bad digit");
+        // MSB first in text.
+        v.set(n - 1 - i, c == '1');
+    }
+    return v;
+}
+
+bool
+BitVec::get(size_t i) const
+{
+    assert(i < width_);
+    return (words_[i / 64] >> (i % 64)) & 1;
+}
+
+void
+BitVec::set(size_t i, bool v)
+{
+    assert(i < width_);
+    uint64_t mask = uint64_t(1) << (i % 64);
+    if (v)
+        words_[i / 64] |= mask;
+    else
+        words_[i / 64] &= ~mask;
+}
+
+uint64_t
+BitVec::to_u64() const
+{
+    return words_.empty() ? 0 : words_[0];
+}
+
+BitVec
+BitVec::slice(size_t lo, size_t len) const
+{
+    assert(lo + len <= width_);
+    BitVec out(len);
+    for (size_t i = 0; i < len; ++i)
+        out.set(i, get(lo + i));
+    return out;
+}
+
+void
+BitVec::splice(size_t lo, const BitVec &src)
+{
+    assert(lo + src.width() <= width_);
+    for (size_t i = 0; i < src.width(); ++i)
+        set(lo + i, src.get(i));
+}
+
+size_t
+BitVec::popcount() const
+{
+    size_t n = 0;
+    for (uint64_t w : words_)
+        n += __builtin_popcountll(w);
+    return n;
+}
+
+std::string
+BitVec::to_binary() const
+{
+    std::string s;
+    s.reserve(width_);
+    for (size_t i = 0; i < width_; ++i)
+        s.push_back(get(width_ - 1 - i) ? '1' : '0');
+    return s;
+}
+
+bool
+BitVec::operator==(const BitVec &o) const
+{
+    return width_ == o.width_ && words_ == o.words_;
+}
+
+void
+BitVec::mask_top()
+{
+    if (width_ % 64 != 0 && !words_.empty())
+        words_.back() &= (uint64_t(1) << (width_ % 64)) - 1;
+}
+
+} // namespace vega

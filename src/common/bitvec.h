@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Arbitrary-width bit vector used for bus values throughout Vega.
+ *
+ * Netlists operate on single-bit nets, but module-level interfaces (ALU
+ * operands, FPU results, waveform rows) are buses of up to a few hundred
+ * bits. BitVec stores such values compactly and provides the slicing and
+ * integer conversions the simulator, BMC trace extraction, and instruction
+ * construction need.
+ */
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace vega {
+
+/**
+ * A fixed-width vector of bits, little-endian (bit 0 is the LSB).
+ *
+ * Width is set at construction and never changes; out-of-range accesses
+ * are programming errors and assert in debug builds.
+ */
+class BitVec
+{
+  public:
+    /** Construct a zero-filled vector of @p width bits. */
+    explicit BitVec(size_t width = 0);
+
+    /** Construct from the low @p width bits of @p value. */
+    BitVec(size_t width, uint64_t value);
+
+    /** Parse a binary string, e.g. "0b1011" or "1011" (MSB first). */
+    static BitVec from_binary(const std::string &text);
+
+    size_t width() const { return width_; }
+    bool empty() const { return width_ == 0; }
+
+    bool get(size_t i) const;
+    void set(size_t i, bool v);
+
+    /** The low 64 bits as an integer (width may exceed 64; high bits drop). */
+    uint64_t to_u64() const;
+
+    /** Bits [lo, lo+len) as a new vector. */
+    BitVec slice(size_t lo, size_t len) const;
+
+    /** Overwrite bits [lo, lo+src.width()) with @p src. */
+    void splice(size_t lo, const BitVec &src);
+
+    /** Number of set bits. */
+    size_t popcount() const;
+
+    /** MSB-first binary string, e.g. "1011". */
+    std::string to_binary() const;
+
+    bool operator==(const BitVec &o) const;
+    bool operator!=(const BitVec &o) const { return !(*this == o); }
+
+  private:
+    static size_t words_for(size_t width) { return (width + 63) / 64; }
+    void mask_top();
+
+    size_t width_;
+    std::vector<uint64_t> words_;
+};
+
+} // namespace vega

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Minimal logging and error-checking utilities.
+ *
+ * Follows the gem5 fatal/panic distinction: fatal() is a user error (bad
+ * configuration, invalid input) and exits cleanly; panic() is an internal
+ * invariant violation and aborts.
+ */
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace vega {
+
+enum class LogLevel { Debug, Info, Warn, Error };
+
+/** Set the minimum level that log() actually emits (default Info). */
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/** Emit a log line to stderr if @p level passes the filter. */
+void log(LogLevel level, const std::string &msg);
+
+/** User-facing error: print and exit(1). */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Internal invariant violation: print and abort(). */
+[[noreturn]] void panic(const std::string &msg);
+
+namespace detail {
+
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace vega
+
+#define VEGA_CHECK(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::vega::panic(::vega::detail::concat(                           \
+                "check failed: " #cond " at ", __FILE__, ":", __LINE__,     \
+                ": ", ##__VA_ARGS__));                                      \
+    } while (0)
+
+#define VEGA_REQUIRE(cond, ...)                                             \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::vega::fatal(::vega::detail::concat(__VA_ARGS__));             \
+    } while (0)

@@ -1,0 +1,61 @@
+#include "common/rng.h"
+
+namespace vega {
+
+uint64_t
+Rng::splitmix(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed)
+{
+    for (auto &s : s_)
+        s = splitmix(seed);
+}
+
+static inline uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+uint64_t
+Rng::next()
+{
+    uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::below(uint64_t bound)
+{
+    if (bound == 0)
+        return 0;
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = -bound % bound;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Rng::uniform()
+{
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+} // namespace vega

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * ALU opcode encoding and golden model, shared by the ISS and the
+ * gate-level ALU netlist's verification.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace vega {
+
+/** Operation select of the alu32 module (op[3:0] input bus). */
+enum class AluOp : uint8_t {
+    Add = 0,
+    Sub = 1,
+    Sll = 2,
+    Slt = 3,
+    Sltu = 4,
+    Xor = 5,
+    Srl = 6,
+    Sra = 7,
+    Or = 8,
+    And = 9,
+};
+
+constexpr int kNumAluOps = 10;
+
+/**
+ * Golden ALU function. Encodings 10..15 are unused by software and
+ * mirror the netlist's mux-padding behaviour (they alias And).
+ */
+inline uint32_t
+alu_compute(AluOp op, uint32_t a, uint32_t b)
+{
+    uint32_t sh = b & 31;
+    switch (op) {
+      case AluOp::Add:  return a + b;
+      case AluOp::Sub:  return a - b;
+      case AluOp::Sll:  return a << sh;
+      case AluOp::Slt:  return int32_t(a) < int32_t(b) ? 1 : 0;
+      case AluOp::Sltu: return a < b ? 1 : 0;
+      case AluOp::Xor:  return a ^ b;
+      case AluOp::Srl:  return a >> sh;
+      case AluOp::Sra:  return uint32_t(int32_t(a) >> sh);
+      case AluOp::Or:   return a | b;
+      case AluOp::And:  return a & b;
+    }
+    return a & b;
+}
+
+inline const char *
+alu_op_name(AluOp op)
+{
+    switch (op) {
+      case AluOp::Add:  return "add";
+      case AluOp::Sub:  return "sub";
+      case AluOp::Sll:  return "sll";
+      case AluOp::Slt:  return "slt";
+      case AluOp::Sltu: return "sltu";
+      case AluOp::Xor:  return "xor";
+      case AluOp::Srl:  return "srl";
+      case AluOp::Sra:  return "sra";
+      case AluOp::Or:   return "or";
+      case AluOp::And:  return "and";
+    }
+    return "?";
+}
+
+} // namespace vega

@@ -1,0 +1,64 @@
+#include "cpu/assembler.h"
+
+#include "common/logging.h"
+
+namespace vega::cpu {
+
+void
+Asm::label(const std::string &name)
+{
+    VEGA_CHECK(!labels_.count(name), "duplicate label ", name);
+    labels_[name] = static_cast<int32_t>(program_.size());
+}
+
+void
+Asm::li(Reg rd, uint32_t value)
+{
+    int32_t sv = static_cast<int32_t>(value);
+    if (sv >= -2048 && sv < 2048) {
+        addi(rd, 0, sv);
+        return;
+    }
+    // lui loads the upper 20 bits; addi's sign extension needs the
+    // standard +0x800 compensation.
+    uint32_t hi = (value + 0x800) & 0xfffff000;
+    int32_t lo = static_cast<int32_t>(value - hi);
+    lui(rd, hi);
+    if (lo != 0)
+        addi(rd, rd, lo);
+}
+
+void
+Asm::branch_to(Op op, Reg a, Reg b, const std::string &target)
+{
+    fixups_.emplace_back(program_.size(), target);
+    emit({op, 0, a, b, 0});
+}
+
+void Asm::beq(Reg a, Reg b, const std::string &t) { branch_to(Op::Beq, a, b, t); }
+void Asm::bne(Reg a, Reg b, const std::string &t) { branch_to(Op::Bne, a, b, t); }
+void Asm::blt(Reg a, Reg b, const std::string &t) { branch_to(Op::Blt, a, b, t); }
+void Asm::bge(Reg a, Reg b, const std::string &t) { branch_to(Op::Bge, a, b, t); }
+void Asm::bltu(Reg a, Reg b, const std::string &t) { branch_to(Op::Bltu, a, b, t); }
+void Asm::bgeu(Reg a, Reg b, const std::string &t) { branch_to(Op::Bgeu, a, b, t); }
+
+void
+Asm::jal(Reg rd, const std::string &target)
+{
+    fixups_.emplace_back(program_.size(), target);
+    emit({Op::Jal, rd, 0, 0, 0});
+}
+
+std::vector<Instr>
+Asm::finish()
+{
+    for (auto &[index, name] : fixups_) {
+        auto it = labels_.find(name);
+        VEGA_CHECK(it != labels_.end(), "unbound label ", name);
+        program_[index].imm = it->second;
+    }
+    fixups_.clear();
+    return program_;
+}
+
+} // namespace vega::cpu

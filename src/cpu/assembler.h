@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Fluent assembler for building ISS programs (workloads and generated
+ * test blocks) with symbolic labels.
+ */
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cpu/isa.h"
+
+namespace vega::cpu {
+
+class Asm
+{
+  public:
+    /// @name Label management
+    /// @{
+    /** Bind @p name to the next emitted instruction. */
+    void label(const std::string &name);
+    /// @}
+
+    /// @name RV32I
+    /// @{
+    void add(Reg rd, Reg rs1, Reg rs2) { emit({Op::Add, rd, rs1, rs2, 0}); }
+    void sub(Reg rd, Reg rs1, Reg rs2) { emit({Op::Sub, rd, rs1, rs2, 0}); }
+    void sll(Reg rd, Reg rs1, Reg rs2) { emit({Op::Sll, rd, rs1, rs2, 0}); }
+    void slt(Reg rd, Reg rs1, Reg rs2) { emit({Op::Slt, rd, rs1, rs2, 0}); }
+    void sltu(Reg rd, Reg rs1, Reg rs2) { emit({Op::Sltu, rd, rs1, rs2, 0}); }
+    void xor_(Reg rd, Reg rs1, Reg rs2) { emit({Op::Xor, rd, rs1, rs2, 0}); }
+    void srl(Reg rd, Reg rs1, Reg rs2) { emit({Op::Srl, rd, rs1, rs2, 0}); }
+    void sra(Reg rd, Reg rs1, Reg rs2) { emit({Op::Sra, rd, rs1, rs2, 0}); }
+    void or_(Reg rd, Reg rs1, Reg rs2) { emit({Op::Or, rd, rs1, rs2, 0}); }
+    void and_(Reg rd, Reg rs1, Reg rs2) { emit({Op::And, rd, rs1, rs2, 0}); }
+
+    void addi(Reg rd, Reg rs1, int32_t imm) { emit({Op::Addi, rd, rs1, 0, imm}); }
+    void slti(Reg rd, Reg rs1, int32_t imm) { emit({Op::Slti, rd, rs1, 0, imm}); }
+    void sltiu(Reg rd, Reg rs1, int32_t imm) { emit({Op::Sltiu, rd, rs1, 0, imm}); }
+    void xori(Reg rd, Reg rs1, int32_t imm) { emit({Op::Xori, rd, rs1, 0, imm}); }
+    void ori(Reg rd, Reg rs1, int32_t imm) { emit({Op::Ori, rd, rs1, 0, imm}); }
+    void andi(Reg rd, Reg rs1, int32_t imm) { emit({Op::Andi, rd, rs1, 0, imm}); }
+    void slli(Reg rd, Reg rs1, int32_t sh) { emit({Op::Slli, rd, rs1, 0, sh}); }
+    void srli(Reg rd, Reg rs1, int32_t sh) { emit({Op::Srli, rd, rs1, 0, sh}); }
+    void srai(Reg rd, Reg rs1, int32_t sh) { emit({Op::Srai, rd, rs1, 0, sh}); }
+    void lui(Reg rd, uint32_t value) { emit({Op::Lui, rd, 0, 0, int32_t(value)}); }
+
+    /** li pseudo-instruction: lui+addi (or addi alone for small values). */
+    void li(Reg rd, uint32_t value);
+    void nop() { addi(0, 0, 0); }
+    void mv(Reg rd, Reg rs) { addi(rd, rs, 0); }
+    /// @}
+
+    /// @name RV32M
+    /// @{
+    void mul(Reg rd, Reg rs1, Reg rs2) { emit({Op::Mul, rd, rs1, rs2, 0}); }
+    void mulh(Reg rd, Reg rs1, Reg rs2) { emit({Op::Mulh, rd, rs1, rs2, 0}); }
+    void mulhu(Reg rd, Reg rs1, Reg rs2) { emit({Op::Mulhu, rd, rs1, rs2, 0}); }
+    void div(Reg rd, Reg rs1, Reg rs2) { emit({Op::Div, rd, rs1, rs2, 0}); }
+    void divu(Reg rd, Reg rs1, Reg rs2) { emit({Op::Divu, rd, rs1, rs2, 0}); }
+    void rem(Reg rd, Reg rs1, Reg rs2) { emit({Op::Rem, rd, rs1, rs2, 0}); }
+    void remu(Reg rd, Reg rs1, Reg rs2) { emit({Op::Remu, rd, rs1, rs2, 0}); }
+    /// @}
+
+    /// @name Memory
+    /// @{
+    void lw(Reg rd, Reg base, int32_t off) { emit({Op::Lw, rd, base, 0, off}); }
+    void sw(Reg src, Reg base, int32_t off) { emit({Op::Sw, 0, base, src, off}); }
+    void lb(Reg rd, Reg base, int32_t off) { emit({Op::Lb, rd, base, 0, off}); }
+    void lbu(Reg rd, Reg base, int32_t off) { emit({Op::Lbu, rd, base, 0, off}); }
+    void sb(Reg src, Reg base, int32_t off) { emit({Op::Sb, 0, base, src, off}); }
+    /// @}
+
+    /// @name Control flow (targets are label names)
+    /// @{
+    void beq(Reg a, Reg b, const std::string &target);
+    void bne(Reg a, Reg b, const std::string &target);
+    void blt(Reg a, Reg b, const std::string &target);
+    void bge(Reg a, Reg b, const std::string &target);
+    void bltu(Reg a, Reg b, const std::string &target);
+    void bgeu(Reg a, Reg b, const std::string &target);
+    void jal(Reg rd, const std::string &target);
+    void jalr(Reg rd, Reg rs1, int32_t off) { emit({Op::Jalr, rd, rs1, 0, off}); }
+    void j(const std::string &target) { jal(0, target); }
+    /// @}
+
+    /// @name F extension
+    /// @{
+    void fadd_s(FReg rd, FReg rs1, FReg rs2) { emit({Op::FaddS, rd, rs1, rs2, 0}); }
+    void fsub_s(FReg rd, FReg rs1, FReg rs2) { emit({Op::FsubS, rd, rs1, rs2, 0}); }
+    void fmul_s(FReg rd, FReg rs1, FReg rs2) { emit({Op::FmulS, rd, rs1, rs2, 0}); }
+    void feq_s(Reg rd, FReg rs1, FReg rs2) { emit({Op::FeqS, rd, rs1, rs2, 0}); }
+    void flt_s(Reg rd, FReg rs1, FReg rs2) { emit({Op::FltS, rd, rs1, rs2, 0}); }
+    void fle_s(Reg rd, FReg rs1, FReg rs2) { emit({Op::FleS, rd, rs1, rs2, 0}); }
+    void fmin_s(FReg rd, FReg rs1, FReg rs2) { emit({Op::FminS, rd, rs1, rs2, 0}); }
+    void fmax_s(FReg rd, FReg rs1, FReg rs2) { emit({Op::FmaxS, rd, rs1, rs2, 0}); }
+    void fmv_w_x(FReg rd, Reg rs1) { emit({Op::FmvWX, rd, rs1, 0, 0}); }
+    void fmv_x_w(Reg rd, FReg rs1) { emit({Op::FmvXW, rd, rs1, 0, 0}); }
+    void flw(FReg rd, Reg base, int32_t off) { emit({Op::Flw, rd, base, 0, off}); }
+    void fsw(FReg src, Reg base, int32_t off) { emit({Op::Fsw, 0, base, src, off}); }
+    /// @}
+
+    /// @name CSR / environment
+    /// @{
+    void csrr_fflags(Reg rd) { emit({Op::CsrrFflags, rd, 0, 0, 0}); }
+    void csrw_fflags(Reg rs1) { emit({Op::CsrwFflags, 0, rs1, 0, 0}); }
+    void clear_fflags() { csrw_fflags(0); }
+    void halt() { emit({Op::Halt, 0, 0, 0, 0}); }
+    /// @}
+
+    /** Resolve labels and return the program. Panics on unbound labels. */
+    std::vector<Instr> finish();
+
+    size_t size() const { return program_.size(); }
+
+    /** Append an already-resolved instruction (no label fixup). */
+    void emit_raw(const Instr &i) { program_.push_back(i); }
+
+  private:
+    void emit(Instr i) { program_.push_back(i); }
+    void branch_to(Op op, Reg a, Reg b, const std::string &target);
+
+    std::vector<Instr> program_;
+    std::unordered_map<std::string, int32_t> labels_;
+    /** Instruction index -> unresolved target label. */
+    std::vector<std::pair<size_t, std::string>> fixups_;
+};
+
+} // namespace vega::cpu

@@ -1,0 +1,321 @@
+#include "cpu/iss.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "cpu/alu_ops.h"
+#include "cpu/mdu_ops.h"
+#include "cpu/softfp.h"
+
+namespace vega::cpu {
+
+Iss::Iss(std::vector<Instr> program, IssConfig cfg)
+    : program_(std::move(program)), cfg_(cfg), mem_(cfg.memory_bytes, 0),
+      exec_counts_(program_.size(), 0)
+{
+}
+
+void
+Iss::reset()
+{
+    std::memset(x_, 0, sizeof(x_));
+    std::memset(f_, 0, sizeof(f_));
+    fflags_ = 0;
+    pc_ = 0;
+    std::fill(mem_.begin(), mem_.end(), 0);
+    cycles_ = 0;
+    instret_ = 0;
+    halted_ = false;
+    stalled_ = false;
+    fu_trace_.clear();
+    std::fill(exec_counts_.begin(), exec_counts_.end(), 0);
+}
+
+uint32_t
+Iss::read_u32(uint32_t addr) const
+{
+    VEGA_CHECK(addr + 4 <= mem_.size(), "load out of bounds: ", addr);
+    uint32_t v;
+    std::memcpy(&v, &mem_[addr], 4);
+    return v;
+}
+
+void
+Iss::write_u32(uint32_t addr, uint32_t value)
+{
+    VEGA_CHECK(addr + 4 <= mem_.size(), "store out of bounds: ", addr);
+    std::memcpy(&mem_[addr], &value, 4);
+}
+
+uint8_t
+Iss::read_u8(uint32_t addr) const
+{
+    VEGA_CHECK(addr < mem_.size(), "load out of bounds: ", addr);
+    return mem_[addr];
+}
+
+void
+Iss::write_u8(uint32_t addr, uint8_t value)
+{
+    VEGA_CHECK(addr < mem_.size(), "store out of bounds: ", addr);
+    mem_[addr] = value;
+}
+
+Iss::Status
+Iss::run()
+{
+    while (!halted_) {
+        if (stalled_)
+            return Status::Stalled;
+        if (instret_ >= cfg_.max_instructions)
+            return Status::Watchdog;
+        step();
+    }
+    return stalled_ ? Status::Stalled : Status::Halted;
+}
+
+namespace {
+
+AluOp
+alu_op_for(Op op)
+{
+    switch (op) {
+      case Op::Add: case Op::Addi: return AluOp::Add;
+      case Op::Sub: return AluOp::Sub;
+      case Op::Sll: case Op::Slli: return AluOp::Sll;
+      case Op::Slt: case Op::Slti: return AluOp::Slt;
+      case Op::Sltu: case Op::Sltiu: return AluOp::Sltu;
+      case Op::Xor: case Op::Xori: return AluOp::Xor;
+      case Op::Srl: case Op::Srli: return AluOp::Srl;
+      case Op::Sra: case Op::Srai: return AluOp::Sra;
+      case Op::Or: case Op::Ori: return AluOp::Or;
+      case Op::And: case Op::Andi: return AluOp::And;
+      default: panic("not an ALU op");
+    }
+}
+
+fp::FpuOp
+fpu_op_for(Op op)
+{
+    switch (op) {
+      case Op::FaddS: return fp::FpuOp::Add;
+      case Op::FsubS: return fp::FpuOp::Sub;
+      case Op::FmulS: return fp::FpuOp::Mul;
+      case Op::FeqS: return fp::FpuOp::Eq;
+      case Op::FltS: return fp::FpuOp::Lt;
+      case Op::FleS: return fp::FpuOp::Le;
+      case Op::FminS: return fp::FpuOp::Min;
+      case Op::FmaxS: return fp::FpuOp::Max;
+      default: panic("not an FPU op");
+    }
+}
+
+} // namespace
+
+void
+Iss::step()
+{
+    VEGA_CHECK(pc_ < program_.size(), "pc out of program: ", pc_);
+    const Instr &i = program_[pc_];
+    ++exec_counts_[pc_];
+    ++instret_;
+    ++cycles_;
+    uint32_t next_pc = pc_ + 1;
+    bool used_alu = false, used_fpu = false, used_mdu = false;
+
+    auto take_branch = [&](bool taken) {
+        if (taken) {
+            next_pc = uint32_t(i.imm);
+            ++cycles_; // taken-branch bubble
+        }
+    };
+
+    switch (i.op) {
+      // --- ALU-module ops ------------------------------------------------
+      case Op::Add: case Op::Sub: case Op::Sll: case Op::Slt:
+      case Op::Sltu: case Op::Xor: case Op::Srl: case Op::Sra:
+      case Op::Or: case Op::And:
+      case Op::Addi: case Op::Slti: case Op::Sltiu: case Op::Xori:
+      case Op::Ori: case Op::Andi: case Op::Slli: case Op::Srli:
+      case Op::Srai: {
+        AluOp op = alu_op_for(i.op);
+        bool has_imm = i.op >= Op::Addi && i.op <= Op::Srai;
+        uint32_t a = x_[i.rs1];
+        uint32_t b = has_imm ? uint32_t(i.imm) : x_[i.rs2];
+        if (cfg_.record_fu_trace)
+            fu_trace_.push_back({ModuleKind::Alu32, uint8_t(op), a, b});
+        if (alu_backend_) {
+            used_alu = true;
+            FuBackend::FuResult r = alu_backend_->alu(uint8_t(op), a, b);
+            if (r.stalled)
+                stalled_ = true;
+            set_reg(i.rd, r.value);
+        } else {
+            set_reg(i.rd, alu_compute(op, a, b));
+        }
+        break;
+      }
+      case Op::Lui:
+        set_reg(i.rd, uint32_t(i.imm) & 0xfffff000u);
+        break;
+      case Op::Auipc:
+        set_reg(i.rd, (uint32_t(i.imm) & 0xfffff000u) + pc_ * 4);
+        break;
+
+      // --- RV32M multiply (routed through the MDU module) -----------------
+      case Op::Mul: case Op::Mulh: case Op::Mulhu: {
+        MduOp op = i.op == Op::Mul    ? MduOp::Mul
+                   : i.op == Op::Mulh ? MduOp::Mulh
+                                      : MduOp::Mulhu;
+        uint32_t a = x_[i.rs1], b = x_[i.rs2];
+        if (cfg_.record_fu_trace)
+            fu_trace_.push_back({ModuleKind::Mdu32, uint8_t(op), a, b});
+        if (mdu_backend_) {
+            used_mdu = true;
+            FuBackend::FuResult r = mdu_backend_->mdu(uint8_t(op), a, b);
+            if (r.stalled)
+                stalled_ = true;
+            set_reg(i.rd, r.value);
+        } else {
+            set_reg(i.rd, mdu_compute(op, a, b));
+        }
+        break;
+      }
+      case Op::Div: {
+        int32_t a = int32_t(x_[i.rs1]), b = int32_t(x_[i.rs2]);
+        int32_t q = b == 0 ? -1
+                    : (a == INT32_MIN && b == -1) ? a
+                                                  : a / b;
+        set_reg(i.rd, uint32_t(q));
+        break;
+      }
+      case Op::Divu:
+        set_reg(i.rd, x_[i.rs2] == 0 ? 0xffffffffu : x_[i.rs1] / x_[i.rs2]);
+        break;
+      case Op::Rem: {
+        int32_t a = int32_t(x_[i.rs1]), b = int32_t(x_[i.rs2]);
+        int32_t r = b == 0 ? a : (a == INT32_MIN && b == -1) ? 0 : a % b;
+        set_reg(i.rd, uint32_t(r));
+        break;
+      }
+      case Op::Remu:
+        set_reg(i.rd, x_[i.rs2] == 0 ? x_[i.rs1] : x_[i.rs1] % x_[i.rs2]);
+        break;
+
+      // --- Memory ----------------------------------------------------------
+      case Op::Lw:
+        set_reg(i.rd, read_u32(x_[i.rs1] + uint32_t(i.imm)));
+        ++cycles_; // load-use latency
+        break;
+      case Op::Sw:
+        write_u32(x_[i.rs1] + uint32_t(i.imm), x_[i.rs2]);
+        break;
+      case Op::Lb:
+        set_reg(i.rd,
+                uint32_t(int32_t(int8_t(read_u8(x_[i.rs1] + uint32_t(i.imm))))));
+        ++cycles_;
+        break;
+      case Op::Lbu:
+        set_reg(i.rd, read_u8(x_[i.rs1] + uint32_t(i.imm)));
+        ++cycles_;
+        break;
+      case Op::Sb:
+        write_u8(x_[i.rs1] + uint32_t(i.imm), uint8_t(x_[i.rs2]));
+        break;
+
+      // --- Control ---------------------------------------------------------
+      case Op::Beq: take_branch(x_[i.rs1] == x_[i.rs2]); break;
+      case Op::Bne: take_branch(x_[i.rs1] != x_[i.rs2]); break;
+      case Op::Blt:
+        take_branch(int32_t(x_[i.rs1]) < int32_t(x_[i.rs2]));
+        break;
+      case Op::Bge:
+        take_branch(int32_t(x_[i.rs1]) >= int32_t(x_[i.rs2]));
+        break;
+      case Op::Bltu: take_branch(x_[i.rs1] < x_[i.rs2]); break;
+      case Op::Bgeu: take_branch(x_[i.rs1] >= x_[i.rs2]); break;
+      case Op::Jal:
+        set_reg(i.rd, (pc_ + 1) * 4);
+        next_pc = uint32_t(i.imm);
+        ++cycles_;
+        break;
+      case Op::Jalr:
+        set_reg(i.rd, (pc_ + 1) * 4);
+        next_pc = (x_[i.rs1] + uint32_t(i.imm)) / 4;
+        ++cycles_;
+        break;
+
+      // --- FPU-module ops ----------------------------------------------------
+      case Op::FaddS: case Op::FsubS: case Op::FmulS: case Op::FminS:
+      case Op::FmaxS: case Op::FeqS: case Op::FltS: case Op::FleS: {
+        fp::FpuOp op = fpu_op_for(i.op);
+        bool to_xreg = i.op == Op::FeqS || i.op == Op::FltS ||
+                       i.op == Op::FleS;
+        uint32_t a = f_[i.rs1], b = f_[i.rs2];
+        if (cfg_.record_fu_trace)
+            fu_trace_.push_back({ModuleKind::Fpu32, uint8_t(op), a, b});
+        uint32_t bits;
+        if (fpu_backend_) {
+            used_fpu = true;
+            FuBackend::FuResult r = fpu_backend_->fpu(uint8_t(op), a, b);
+            if (r.stalled)
+                stalled_ = true;
+            bits = r.value;
+            // Hardware owns the sticky flags register in this mode.
+        } else {
+            fp::FpResult r = fp::fpu_compute(op, a, b);
+            bits = r.bits;
+            fflags_ |= r.flags;
+        }
+        if (to_xreg)
+            set_reg(i.rd, bits);
+        else
+            f_[i.rd] = bits;
+        break;
+      }
+      case Op::FmvWX:
+        f_[i.rd] = x_[i.rs1];
+        break;
+      case Op::FmvXW:
+        set_reg(i.rd, f_[i.rs1]);
+        break;
+      case Op::Flw:
+        f_[i.rd] = read_u32(x_[i.rs1] + uint32_t(i.imm));
+        ++cycles_;
+        break;
+      case Op::Fsw:
+        write_u32(x_[i.rs1] + uint32_t(i.imm), f_[i.rs2]);
+        break;
+
+      // --- CSR / environment -------------------------------------------------
+      case Op::CsrrFflags:
+        set_reg(i.rd, fpu_backend_ ? fpu_backend_->read_fflags() : fflags_);
+        break;
+      case Op::CsrwFflags:
+        if (fpu_backend_) {
+            VEGA_CHECK(i.rs1 == 0,
+                       "netlist FPU backend only supports clearing fflags");
+            used_fpu = true;
+            fpu_backend_->clear_fflags();
+        } else {
+            fflags_ = uint8_t(x_[i.rs1] & 0x1f);
+        }
+        break;
+      case Op::Halt:
+        halted_ = true;
+        break;
+    }
+
+    // Unused gate-level units tick along with held inputs, matching the
+    // real pipeline where every module sees every clock edge.
+    if (alu_backend_ && !used_alu)
+        alu_backend_->idle();
+    if (fpu_backend_ && !used_fpu)
+        fpu_backend_->idle();
+    if (mdu_backend_ && !used_mdu)
+        mdu_backend_->idle();
+
+    pc_ = next_pc;
+}
+
+} // namespace vega::cpu

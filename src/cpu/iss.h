@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Instruction-set simulator for the evaluation CPU.
+ *
+ * In-order, single-issue, one instruction per cycle (+1 for taken
+ * control flow), standing in for the Verilator-simulated CV32E40P of the
+ * paper's evaluation. Arithmetic uses the golden models (alu_compute,
+ * softfp); the gate-level functional units are exercised by the module
+ * harness (runtime/module_harness.h) which replays generated test blocks
+ * on (possibly failing) netlists.
+ *
+ * The ISS also produces the two artifacts the Vega workflow needs from
+ * software execution:
+ *  - a functional-unit trace (one (op, a, b) tuple per ALU/FPU
+ *    instruction) that drives Signal Probability Simulation (§3.2.1);
+ *  - per-instruction execution counts, from which the profile-guided
+ *    integrator derives basic-block frequencies (§3.4.2).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/isa.h"
+#include "rtl/module.h"
+
+namespace vega::cpu {
+
+/** One functional-unit operation observed during execution. */
+struct FuTraceEntry
+{
+    ModuleKind unit = ModuleKind::Alu32;
+    uint8_t op = 0; ///< AluOp / FpuOp / MduOp encoding
+    uint32_t a = 0;
+    uint32_t b = 0;
+};
+
+struct IssConfig
+{
+    /** Stop with Status::Watchdog after this many instructions. */
+    uint64_t max_instructions = 100000000ull;
+    /** Record the functional-unit trace (costs memory). */
+    bool record_fu_trace = false;
+    /** Memory size in bytes. */
+    size_t memory_bytes = 1 << 20;
+};
+
+/**
+ * Pluggable functional-unit backend: when attached, the ISS routes ALU
+ * and/or FPU operations through it instead of the golden models. The
+ * gate-level backend (cpu/netlist_backend.h) executes ops on a (possibly
+ * failing) netlist, making hardware faults architecturally visible —
+ * including stalls when a handshake signal is corrupted.
+ */
+class FuBackend
+{
+  public:
+    struct FuResult
+    {
+        uint32_t value = 0;
+        uint8_t flags = 0;   ///< flags raised by this op (FPU only)
+        bool stalled = false; ///< handshake never completed
+    };
+
+    virtual ~FuBackend() = default;
+    virtual FuResult alu(uint8_t op, uint32_t a, uint32_t b) = 0;
+    virtual FuResult fpu(uint8_t op, uint32_t a, uint32_t b) = 0;
+    virtual FuResult mdu(uint8_t op, uint32_t a, uint32_t b) = 0;
+    /** Read the hardware fflags register (FPU backends). */
+    virtual uint8_t read_fflags() = 0;
+    /** Pulse the flags-clear input (csrw fflags, x0). */
+    virtual void clear_fflags() = 0;
+    /** One cycle with no operation issued to this unit. */
+    virtual void idle() = 0;
+};
+
+class Iss
+{
+  public:
+    enum class Status { Halted, Watchdog, Stalled };
+
+    explicit Iss(std::vector<Instr> program, IssConfig cfg = {});
+
+    /** Attach a gate-level ALU; nullptr restores the golden model. */
+    void set_alu_backend(FuBackend *backend) { alu_backend_ = backend; }
+    /** Attach a gate-level FPU; flags reads also route to it. */
+    void set_fpu_backend(FuBackend *backend) { fpu_backend_ = backend; }
+    /** Attach a gate-level multiply unit (mul/mulh/mulhu). */
+    void set_mdu_backend(FuBackend *backend) { mdu_backend_ = backend; }
+
+    /** Clear registers, memory, counters; pc back to 0. */
+    void reset();
+
+    /** Run until Halt or the instruction budget expires. */
+    Status run();
+
+    /// @name Architectural state
+    /// @{
+    uint32_t reg(Reg r) const { return x_[r]; }
+    void set_reg(Reg r, uint32_t v)
+    {
+        if (r != 0)
+            x_[r] = v;
+    }
+    uint32_t freg(FReg r) const { return f_[r]; }
+    void set_freg(FReg r, uint32_t v) { f_[r] = v; }
+    uint8_t fflags() const { return fflags_; }
+
+    uint32_t read_u32(uint32_t addr) const;
+    void write_u32(uint32_t addr, uint32_t value);
+    uint8_t read_u8(uint32_t addr) const;
+    void write_u8(uint32_t addr, uint8_t value);
+    /// @}
+
+    /// @name Statistics
+    /// @{
+    uint64_t cycles() const { return cycles_; }
+    uint64_t instret() const { return instret_; }
+    const std::vector<FuTraceEntry> &fu_trace() const { return fu_trace_; }
+    /** Execution count per instruction index. */
+    const std::vector<uint64_t> &exec_counts() const { return exec_counts_; }
+    /// @}
+
+    const std::vector<Instr> &program() const { return program_; }
+
+  private:
+    void step();
+
+    std::vector<Instr> program_;
+    IssConfig cfg_;
+    uint32_t x_[32] = {};
+    uint32_t f_[32] = {};
+    uint8_t fflags_ = 0;
+    uint32_t pc_ = 0;
+    std::vector<uint8_t> mem_;
+    uint64_t cycles_ = 0;
+    uint64_t instret_ = 0;
+    bool halted_ = false;
+    bool stalled_ = false;
+    std::vector<FuTraceEntry> fu_trace_;
+    std::vector<uint64_t> exec_counts_;
+    FuBackend *alu_backend_ = nullptr;
+    FuBackend *fpu_backend_ = nullptr;
+    FuBackend *mdu_backend_ = nullptr;
+};
+
+} // namespace vega::cpu

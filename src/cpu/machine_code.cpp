@@ -1,0 +1,363 @@
+#include "cpu/machine_code.h"
+
+#include "common/logging.h"
+
+namespace vega::cpu {
+
+namespace {
+
+// Base opcodes.
+constexpr uint32_t kOpImm = 0x13, kOp = 0x33, kLui = 0x37, kAuipc = 0x17;
+constexpr uint32_t kLoad = 0x03, kStore = 0x23, kBranch = 0x63;
+constexpr uint32_t kJal = 0x6f, kJalr = 0x67, kSystem = 0x73;
+constexpr uint32_t kOpFp = 0x53, kLoadFp = 0x07, kStoreFp = 0x27;
+constexpr uint32_t kFflagsCsr = 0x001;
+
+uint32_t
+r_type(uint32_t funct7, uint32_t rs2, uint32_t rs1, uint32_t funct3,
+       uint32_t rd, uint32_t opcode)
+{
+    return (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) |
+           (rd << 7) | opcode;
+}
+
+uint32_t
+i_type(int32_t imm, uint32_t rs1, uint32_t funct3, uint32_t rd,
+       uint32_t opcode)
+{
+    VEGA_CHECK(imm >= -2048 && imm < 2048, "I-immediate out of range");
+    return (uint32_t(imm & 0xfff) << 20) | (rs1 << 15) | (funct3 << 12) |
+           (rd << 7) | opcode;
+}
+
+uint32_t
+s_type(int32_t imm, uint32_t rs2, uint32_t rs1, uint32_t funct3,
+       uint32_t opcode)
+{
+    VEGA_CHECK(imm >= -2048 && imm < 2048, "S-immediate out of range");
+    uint32_t u = uint32_t(imm & 0xfff);
+    return ((u >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) |
+           ((u & 0x1f) << 7) | opcode;
+}
+
+uint32_t
+b_type(int32_t offset, uint32_t rs2, uint32_t rs1, uint32_t funct3)
+{
+    VEGA_CHECK(offset >= -4096 && offset < 4096 && (offset & 1) == 0,
+               "B-immediate out of range");
+    uint32_t u = uint32_t(offset);
+    return (((u >> 12) & 1) << 31) | (((u >> 5) & 0x3f) << 25) |
+           (rs2 << 20) | (rs1 << 15) | (funct3 << 12) |
+           (((u >> 1) & 0xf) << 8) | (((u >> 11) & 1) << 7) | kBranch;
+}
+
+uint32_t
+j_type(int32_t offset, uint32_t rd)
+{
+    VEGA_CHECK(offset >= -(1 << 20) && offset < (1 << 20) &&
+                   (offset & 1) == 0,
+               "J-immediate out of range");
+    uint32_t u = uint32_t(offset);
+    return (((u >> 20) & 1) << 31) | (((u >> 1) & 0x3ff) << 21) |
+           (((u >> 11) & 1) << 20) | (((u >> 12) & 0xff) << 12) |
+           (rd << 7) | kJal;
+}
+
+int32_t
+branch_offset(const Instr &i, size_t pc_index)
+{
+    return (i.imm - int32_t(pc_index)) * 4;
+}
+
+} // namespace
+
+uint32_t
+encode(const Instr &i, size_t pc_index)
+{
+    switch (i.op) {
+      case Op::Add:  return r_type(0x00, i.rs2, i.rs1, 0, i.rd, kOp);
+      case Op::Sub:  return r_type(0x20, i.rs2, i.rs1, 0, i.rd, kOp);
+      case Op::Sll:  return r_type(0x00, i.rs2, i.rs1, 1, i.rd, kOp);
+      case Op::Slt:  return r_type(0x00, i.rs2, i.rs1, 2, i.rd, kOp);
+      case Op::Sltu: return r_type(0x00, i.rs2, i.rs1, 3, i.rd, kOp);
+      case Op::Xor:  return r_type(0x00, i.rs2, i.rs1, 4, i.rd, kOp);
+      case Op::Srl:  return r_type(0x00, i.rs2, i.rs1, 5, i.rd, kOp);
+      case Op::Sra:  return r_type(0x20, i.rs2, i.rs1, 5, i.rd, kOp);
+      case Op::Or:   return r_type(0x00, i.rs2, i.rs1, 6, i.rd, kOp);
+      case Op::And:  return r_type(0x00, i.rs2, i.rs1, 7, i.rd, kOp);
+
+      case Op::Addi:  return i_type(i.imm, i.rs1, 0, i.rd, kOpImm);
+      case Op::Slti:  return i_type(i.imm, i.rs1, 2, i.rd, kOpImm);
+      case Op::Sltiu: return i_type(i.imm, i.rs1, 3, i.rd, kOpImm);
+      case Op::Xori:  return i_type(i.imm, i.rs1, 4, i.rd, kOpImm);
+      case Op::Ori:   return i_type(i.imm, i.rs1, 6, i.rd, kOpImm);
+      case Op::Andi:  return i_type(i.imm, i.rs1, 7, i.rd, kOpImm);
+      case Op::Slli:
+        return r_type(0x00, uint32_t(i.imm) & 31, i.rs1, 1, i.rd, kOpImm);
+      case Op::Srli:
+        return r_type(0x00, uint32_t(i.imm) & 31, i.rs1, 5, i.rd, kOpImm);
+      case Op::Srai:
+        return r_type(0x20, uint32_t(i.imm) & 31, i.rs1, 5, i.rd, kOpImm);
+
+      case Op::Lui:
+        return (uint32_t(i.imm) & 0xfffff000u) | (uint32_t(i.rd) << 7) |
+               kLui;
+      case Op::Auipc:
+        return (uint32_t(i.imm) & 0xfffff000u) | (uint32_t(i.rd) << 7) |
+               kAuipc;
+
+      case Op::Mul:   return r_type(0x01, i.rs2, i.rs1, 0, i.rd, kOp);
+      case Op::Mulh:  return r_type(0x01, i.rs2, i.rs1, 1, i.rd, kOp);
+      case Op::Mulhu: return r_type(0x01, i.rs2, i.rs1, 3, i.rd, kOp);
+      case Op::Div:   return r_type(0x01, i.rs2, i.rs1, 4, i.rd, kOp);
+      case Op::Divu:  return r_type(0x01, i.rs2, i.rs1, 5, i.rd, kOp);
+      case Op::Rem:   return r_type(0x01, i.rs2, i.rs1, 6, i.rd, kOp);
+      case Op::Remu:  return r_type(0x01, i.rs2, i.rs1, 7, i.rd, kOp);
+
+      case Op::Lw:  return i_type(i.imm, i.rs1, 2, i.rd, kLoad);
+      case Op::Lb:  return i_type(i.imm, i.rs1, 0, i.rd, kLoad);
+      case Op::Lbu: return i_type(i.imm, i.rs1, 4, i.rd, kLoad);
+      case Op::Sw:  return s_type(i.imm, i.rs2, i.rs1, 2, kStore);
+      case Op::Sb:  return s_type(i.imm, i.rs2, i.rs1, 0, kStore);
+
+      case Op::Beq:
+        return b_type(branch_offset(i, pc_index), i.rs2, i.rs1, 0);
+      case Op::Bne:
+        return b_type(branch_offset(i, pc_index), i.rs2, i.rs1, 1);
+      case Op::Blt:
+        return b_type(branch_offset(i, pc_index), i.rs2, i.rs1, 4);
+      case Op::Bge:
+        return b_type(branch_offset(i, pc_index), i.rs2, i.rs1, 5);
+      case Op::Bltu:
+        return b_type(branch_offset(i, pc_index), i.rs2, i.rs1, 6);
+      case Op::Bgeu:
+        return b_type(branch_offset(i, pc_index), i.rs2, i.rs1, 7);
+      case Op::Jal:
+        return j_type(branch_offset(i, pc_index), i.rd);
+      case Op::Jalr:
+        return i_type(i.imm, i.rs1, 0, i.rd, kJalr);
+
+      case Op::FaddS: return r_type(0x00, i.rs2, i.rs1, 7, i.rd, kOpFp);
+      case Op::FsubS: return r_type(0x04, i.rs2, i.rs1, 7, i.rd, kOpFp);
+      case Op::FmulS: return r_type(0x08, i.rs2, i.rs1, 7, i.rd, kOpFp);
+      case Op::FminS: return r_type(0x14, i.rs2, i.rs1, 0, i.rd, kOpFp);
+      case Op::FmaxS: return r_type(0x14, i.rs2, i.rs1, 1, i.rd, kOpFp);
+      case Op::FeqS:  return r_type(0x50, i.rs2, i.rs1, 2, i.rd, kOpFp);
+      case Op::FltS:  return r_type(0x50, i.rs2, i.rs1, 1, i.rd, kOpFp);
+      case Op::FleS:  return r_type(0x50, i.rs2, i.rs1, 0, i.rd, kOpFp);
+      case Op::FmvWX: return r_type(0x78, 0, i.rs1, 0, i.rd, kOpFp);
+      case Op::FmvXW: return r_type(0x70, 0, i.rs1, 0, i.rd, kOpFp);
+      case Op::Flw:   return i_type(i.imm, i.rs1, 2, i.rd, kLoadFp);
+      case Op::Fsw:   return s_type(i.imm, i.rs2, i.rs1, 2, kStoreFp);
+
+      case Op::CsrrFflags:
+        // csrrs rd, fflags, x0
+        return (kFflagsCsr << 20) | (0u << 15) | (2u << 12) |
+               (uint32_t(i.rd) << 7) | kSystem;
+      case Op::CsrwFflags:
+        // csrrw x0, fflags, rs1
+        return (kFflagsCsr << 20) | (uint32_t(i.rs1) << 15) | (1u << 12) |
+               (0u << 7) | kSystem;
+      case Op::Halt:
+        return 0x00100073; // ebreak
+    }
+    panic("encode: bad opcode");
+}
+
+std::vector<uint32_t>
+encode_program(const std::vector<Instr> &program)
+{
+    std::vector<uint32_t> words;
+    words.reserve(program.size());
+    for (size_t i = 0; i < program.size(); ++i)
+        words.push_back(encode(program[i], i));
+    return words;
+}
+
+namespace {
+
+int32_t
+sext(uint32_t value, int bits)
+{
+    uint32_t mask = 1u << (bits - 1);
+    return int32_t((value ^ mask) - mask);
+}
+
+} // namespace
+
+std::optional<Instr>
+decode(uint32_t w, size_t pc_index)
+{
+    Instr i;
+    uint32_t opcode = w & 0x7f;
+    i.rd = Reg((w >> 7) & 31);
+    uint32_t funct3 = (w >> 12) & 7;
+    i.rs1 = Reg((w >> 15) & 31);
+    i.rs2 = Reg((w >> 20) & 31);
+    uint32_t funct7 = w >> 25;
+    int32_t imm_i = sext(w >> 20, 12);
+
+    switch (opcode) {
+      case kOp: {
+        static const Op kBase[8] = {Op::Add, Op::Sll, Op::Slt, Op::Sltu,
+                                    Op::Xor, Op::Srl, Op::Or, Op::And};
+        static const Op kMulDiv[8] = {Op::Mul, Op::Mulh, Op::Mulh /*su*/,
+                                      Op::Mulhu, Op::Div, Op::Divu,
+                                      Op::Rem, Op::Remu};
+        if (funct7 == 0x00) {
+            i.op = kBase[funct3];
+        } else if (funct7 == 0x20 && funct3 == 0) {
+            i.op = Op::Sub;
+        } else if (funct7 == 0x20 && funct3 == 5) {
+            i.op = Op::Sra;
+        } else if (funct7 == 0x01) {
+            if (funct3 == 2)
+                return std::nullopt; // mulhsu unsupported
+            i.op = kMulDiv[funct3];
+        } else {
+            return std::nullopt;
+        }
+        return i;
+      }
+      case kOpImm: {
+        i.rs2 = 0; // immediate bits, not a register
+        switch (funct3) {
+          case 0: i.op = Op::Addi; i.imm = imm_i; return i;
+          case 2: i.op = Op::Slti; i.imm = imm_i; return i;
+          case 3: i.op = Op::Sltiu; i.imm = imm_i; return i;
+          case 4: i.op = Op::Xori; i.imm = imm_i; return i;
+          case 6: i.op = Op::Ori; i.imm = imm_i; return i;
+          case 7: i.op = Op::Andi; i.imm = imm_i; return i;
+          case 1:
+            i.op = Op::Slli;
+            i.imm = int32_t((w >> 20) & 31);
+            return i;
+          case 5:
+            i.op = funct7 == 0x20 ? Op::Srai : Op::Srli;
+            i.imm = int32_t((w >> 20) & 31);
+            return i;
+        }
+        return std::nullopt;
+      }
+      case kLui:
+        i.op = Op::Lui;
+        i.imm = int32_t(w & 0xfffff000u);
+        i.rs1 = i.rs2 = 0;
+        return i;
+      case kAuipc:
+        i.op = Op::Auipc;
+        i.imm = int32_t(w & 0xfffff000u);
+        i.rs1 = i.rs2 = 0;
+        return i;
+      case kLoad:
+        if (funct3 == 2)
+            i.op = Op::Lw;
+        else if (funct3 == 0)
+            i.op = Op::Lb;
+        else if (funct3 == 4)
+            i.op = Op::Lbu;
+        else
+            return std::nullopt;
+        i.imm = imm_i;
+        i.rs2 = 0;
+        return i;
+      case kStore: {
+        int32_t imm =
+            sext(((w >> 25) << 5) | ((w >> 7) & 0x1f), 12);
+        if (funct3 == 2)
+            i.op = Op::Sw;
+        else if (funct3 == 0)
+            i.op = Op::Sb;
+        else
+            return std::nullopt;
+        i.imm = imm;
+        i.rd = 0;
+        return i;
+      }
+      case kBranch: {
+        uint32_t u = (((w >> 31) & 1) << 12) | (((w >> 7) & 1) << 11) |
+                     (((w >> 25) & 0x3f) << 5) | (((w >> 8) & 0xf) << 1);
+        int32_t offset = sext(u, 13);
+        static const Op kBr[8] = {Op::Beq, Op::Bne, Op::Halt, Op::Halt,
+                                  Op::Blt, Op::Bge, Op::Bltu, Op::Bgeu};
+        if (funct3 == 2 || funct3 == 3)
+            return std::nullopt;
+        i.op = kBr[funct3];
+        i.imm = int32_t(pc_index) + offset / 4;
+        i.rd = 0;
+        return i;
+      }
+      case kJal: {
+        uint32_t u = (((w >> 31) & 1) << 20) | (((w >> 12) & 0xff) << 12) |
+                     (((w >> 20) & 1) << 11) | (((w >> 21) & 0x3ff) << 1);
+        int32_t offset = sext(u, 21);
+        i.op = Op::Jal;
+        i.imm = int32_t(pc_index) + offset / 4;
+        i.rs1 = i.rs2 = 0;
+        return i;
+      }
+      case kJalr:
+        if (funct3 != 0)
+            return std::nullopt;
+        i.op = Op::Jalr;
+        i.imm = imm_i;
+        i.rs2 = 0;
+        return i;
+      case kLoadFp:
+        if (funct3 != 2)
+            return std::nullopt;
+        i.op = Op::Flw;
+        i.imm = imm_i;
+        i.rs2 = 0;
+        return i;
+      case kStoreFp: {
+        if (funct3 != 2)
+            return std::nullopt;
+        i.op = Op::Fsw;
+        i.imm = sext(((w >> 25) << 5) | ((w >> 7) & 0x1f), 12);
+        i.rd = 0;
+        return i;
+      }
+      case kOpFp:
+        switch (funct7) {
+          case 0x00: i.op = Op::FaddS; return i;
+          case 0x04: i.op = Op::FsubS; return i;
+          case 0x08: i.op = Op::FmulS; return i;
+          case 0x14:
+            i.op = funct3 == 0 ? Op::FminS : Op::FmaxS;
+            return i;
+          case 0x50:
+            i.op = funct3 == 2 ? Op::FeqS
+                               : (funct3 == 1 ? Op::FltS : Op::FleS);
+            return i;
+          case 0x78: i.op = Op::FmvWX; i.rs2 = 0; return i;
+          case 0x70: i.op = Op::FmvXW; i.rs2 = 0; return i;
+          default: return std::nullopt;
+        }
+      case kSystem:
+        if (w == 0x00100073) {
+            i.op = Op::Halt;
+            i.rd = 0;
+            i.rs1 = i.rs2 = 0;
+            return i;
+        }
+        if ((w >> 20) == kFflagsCsr && funct3 == 2 &&
+            ((w >> 15) & 31) == 0) {
+            i.op = Op::CsrrFflags;
+            i.rs1 = i.rs2 = 0;
+            return i;
+        }
+        if ((w >> 20) == kFflagsCsr && funct3 == 1 &&
+            ((w >> 7) & 31) == 0) {
+            i.op = Op::CsrwFflags;
+            i.rd = 0;
+            i.rs2 = 0;
+            return i;
+        }
+        return std::nullopt;
+      default:
+        return std::nullopt;
+    }
+}
+
+} // namespace vega::cpu

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * RV32 machine-code encoding and decoding.
+ *
+ * The aging library ships test blocks as inline assembly (§3.4.1); this
+ * layer lowers the structured instructions to the actual RV32IMF+Zicsr
+ * instruction words (and back), so suites can also be emitted as raw
+ * `.word` streams for environments without an assembler, and so the
+ * encoding itself is testable by round trip.
+ *
+ * Branch/jump immediates: the structured form stores instruction-index
+ * targets; encoding converts to byte offsets relative to the
+ * instruction's own index (pc = index * 4).
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cpu/isa.h"
+
+namespace vega::cpu {
+
+/**
+ * Encode one instruction located at instruction index @p pc_index.
+ * Panics on immediates that do not fit their encoding.
+ */
+uint32_t encode(const Instr &instr, size_t pc_index);
+
+/** Encode a whole program (one word per instruction). */
+std::vector<uint32_t> encode_program(const std::vector<Instr> &program);
+
+/**
+ * Decode one instruction word at @p pc_index. Returns nullopt for
+ * encodings outside the supported subset.
+ */
+std::optional<Instr> decode(uint32_t word, size_t pc_index);
+
+} // namespace vega::cpu

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Multiply-unit opcode encoding and golden model.
+ *
+ * The paper demonstrates Vega on the CV32E40P's ALU and FPU and argues
+ * the workflow generalizes to other units (§4, §6.3); the mdu32 module
+ * is that demonstration here: the RV32M multiply instructions as a
+ * third analysis target.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace vega {
+
+/** Operation select of the mdu32 module (op[1:0] input bus). */
+enum class MduOp : uint8_t {
+    Mul = 0,   ///< low 32 bits, signed x signed
+    Mulh = 1,  ///< high 32 bits, signed x signed
+    Mulhu = 2, ///< high 32 bits, unsigned x unsigned
+};
+
+constexpr int kNumMduOps = 3;
+
+/** Golden model; encoding 3 mirrors the netlist mux padding (Mulhu). */
+inline uint32_t
+mdu_compute(MduOp op, uint32_t a, uint32_t b)
+{
+    switch (op) {
+      case MduOp::Mul:
+        return a * b;
+      case MduOp::Mulh:
+        return uint32_t(
+            (int64_t(int32_t(a)) * int64_t(int32_t(b))) >> 32);
+      case MduOp::Mulhu:
+        return uint32_t((uint64_t(a) * uint64_t(b)) >> 32);
+    }
+    return uint32_t((uint64_t(a) * uint64_t(b)) >> 32);
+}
+
+inline const char *
+mdu_op_name(MduOp op)
+{
+    switch (op) {
+      case MduOp::Mul:   return "mul";
+      case MduOp::Mulh:  return "mulh";
+      case MduOp::Mulhu: return "mulhu";
+    }
+    return "?";
+}
+
+} // namespace vega

@@ -1,0 +1,401 @@
+#include "cpu/softfp.h"
+
+namespace vega::fp {
+
+namespace {
+
+struct Unpacked
+{
+    bool sign;
+    int exp;       ///< raw biased exponent
+    uint32_t man;  ///< 23-bit fraction
+    bool is_zero;  ///< exp == 0 (subnormals flushed)
+    bool is_inf;
+    bool is_nan;
+    bool is_snan;
+};
+
+Unpacked
+unpack(uint32_t bits)
+{
+    Unpacked u;
+    u.sign = (bits >> 31) & 1;
+    u.exp = (bits >> 23) & 0xff;
+    u.man = bits & 0x7fffff;
+    u.is_zero = u.exp == 0; // flush-to-zero treats subnormals as zero
+    u.is_inf = u.exp == 255 && u.man == 0;
+    u.is_nan = u.exp == 255 && u.man != 0;
+    u.is_snan = u.is_nan && ((u.man >> 22) & 1) == 0;
+    return u;
+}
+
+uint32_t
+pack(bool sign, int exp, uint32_t man)
+{
+    return (uint32_t(sign) << 31) | (uint32_t(exp & 0xff) << 23) |
+           (man & 0x7fffff);
+}
+
+uint32_t
+make_inf(bool sign)
+{
+    return pack(sign, 255, 0);
+}
+
+uint32_t
+make_zero(bool sign)
+{
+    return pack(sign, 0, 0);
+}
+
+/** 24-bit significand with the implicit leading one (0 for zeros). */
+uint32_t
+significand(const Unpacked &u)
+{
+    return u.is_zero ? 0 : ((1u << 23) | u.man);
+}
+
+/** Magnitude ordering key: exponent and mantissa as one integer. */
+uint32_t
+magnitude(const Unpacked &u)
+{
+    return u.is_zero ? 0 : ((uint32_t(u.exp) << 23) | u.man);
+}
+
+/**
+ * Round-to-nearest-even and final packing shared by add and mul.
+ *
+ * @param sign  result sign
+ * @param exp   biased exponent of the 1.xx significand in @p man24
+ * @param man24 24-bit significand (bit 23 is the leading one)
+ * @param g,r,s guard, round, sticky bits below the significand
+ */
+FpResult
+round_pack(bool sign, int exp, uint32_t man24, bool g, bool r, bool s)
+{
+    FpResult out;
+    bool inexact = g || r || s;
+    bool round_up = g && (r || s || (man24 & 1));
+    uint32_t m = man24 + (round_up ? 1 : 0);
+    if (m >> 24) { // rounding carried into a new bit
+        m >>= 1;
+        ++exp;
+    }
+    if (inexact)
+        out.flags |= kNX;
+    if (exp >= 255) {
+        out.flags |= kOF | kNX;
+        out.bits = make_inf(sign);
+        return out;
+    }
+    if (exp <= 0) { // flush-to-zero underflow
+        out.flags |= kUF | kNX;
+        out.bits = make_zero(sign);
+        return out;
+    }
+    out.bits = pack(sign, exp, m & 0x7fffff);
+    return out;
+}
+
+} // namespace
+
+FpResult
+fadd(uint32_t abits, uint32_t bbits)
+{
+    Unpacked a = unpack(abits), b = unpack(bbits);
+    FpResult out;
+
+    if (a.is_nan || b.is_nan) {
+        out.bits = kQuietNan;
+        if (a.is_snan || b.is_snan)
+            out.flags |= kNV;
+        return out;
+    }
+    if (a.is_inf && b.is_inf) {
+        if (a.sign != b.sign) {
+            out.bits = kQuietNan;
+            out.flags |= kNV;
+        } else {
+            out.bits = make_inf(a.sign);
+        }
+        return out;
+    }
+    if (a.is_inf) {
+        out.bits = make_inf(a.sign);
+        return out;
+    }
+    if (b.is_inf) {
+        out.bits = make_inf(b.sign);
+        return out;
+    }
+    if (a.is_zero && b.is_zero) {
+        // RNE: -0 only when both addends are -0.
+        out.bits = make_zero(a.sign && b.sign);
+        return out;
+    }
+    if (a.is_zero) {
+        out.bits = pack(b.sign, b.exp, b.man);
+        return out;
+    }
+    if (b.is_zero) {
+        out.bits = pack(a.sign, a.exp, a.man);
+        return out;
+    }
+
+    // Order by magnitude so the larger operand sets the result exponent
+    // and sign.
+    Unpacked hi = a, lo = b;
+    if (magnitude(a) < magnitude(b)) {
+        hi = b;
+        lo = a;
+    }
+    int d = hi.exp - lo.exp;
+    bool eff_sub = hi.sign != lo.sign;
+
+    // 27-bit datapath: 24-bit significand plus G, R, S positions.
+    uint64_t s_hi = uint64_t(significand(hi)) << 3;
+    uint64_t s_lo = uint64_t(significand(lo)) << 3;
+    bool sticky = false;
+    if (d >= 27) {
+        sticky = s_lo != 0;
+        s_lo = 0;
+    } else if (d > 0) {
+        uint64_t lost = s_lo & ((uint64_t(1) << d) - 1);
+        sticky = lost != 0;
+        s_lo >>= d;
+    }
+
+    bool sign = hi.sign;
+    int exp = hi.exp;
+    uint64_t v;
+    if (!eff_sub) {
+        v = s_hi + s_lo;
+        if (v >> 27) { // carry-out: renormalize right
+            sticky = sticky || (v & 1);
+            v >>= 1;
+            ++exp;
+        }
+    } else {
+        // Sticky participates as a borrow: hi - (lo_shifted + sticky_ulp)
+        // is the textbook trick; equivalently subtract and, if sticky,
+        // decrement by one ulp at the sticky position. We keep it simple
+        // and exact: widen by one sticky bit position.
+        uint64_t wide_hi = s_hi << 1;
+        uint64_t wide_lo = (s_lo << 1) | (sticky ? 1 : 0);
+        uint64_t diff = wide_hi - wide_lo;
+        sticky = diff & 1;
+        v = diff >> 1;
+        if (v == 0 && !sticky) {
+            out.bits = make_zero(false); // exact cancellation -> +0
+            return out;
+        }
+        // Normalize: bring the leading one to bit 26.
+        while (v != 0 && ((v >> 26) & 1) == 0 && exp > 0) {
+            v <<= 1;
+            --exp;
+        }
+        if (v == 0) {
+            // Result collapsed below the datapath: flush.
+            out.flags |= kUF | kNX;
+            out.bits = make_zero(sign);
+            return out;
+        }
+    }
+
+    uint32_t man24 = uint32_t(v >> 3) & 0xffffff;
+    bool g = (v >> 2) & 1, r = (v >> 1) & 1;
+    bool s = (v & 1) || sticky;
+    return round_pack(sign, exp, man24, g, r, s);
+}
+
+FpResult
+fsub(uint32_t a, uint32_t b)
+{
+    return fadd(a, b ^ 0x80000000u);
+}
+
+FpResult
+fmul(uint32_t abits, uint32_t bbits)
+{
+    Unpacked a = unpack(abits), b = unpack(bbits);
+    FpResult out;
+    bool sign = a.sign != b.sign;
+
+    if (a.is_nan || b.is_nan) {
+        out.bits = kQuietNan;
+        if (a.is_snan || b.is_snan)
+            out.flags |= kNV;
+        return out;
+    }
+    if ((a.is_inf && b.is_zero) || (b.is_inf && a.is_zero)) {
+        out.bits = kQuietNan;
+        out.flags |= kNV;
+        return out;
+    }
+    if (a.is_inf || b.is_inf) {
+        out.bits = make_inf(sign);
+        return out;
+    }
+    if (a.is_zero || b.is_zero) {
+        out.bits = make_zero(sign);
+        return out;
+    }
+
+    int exp = a.exp + b.exp - 127;
+    uint64_t p = uint64_t(significand(a)) * uint64_t(significand(b));
+    // p in [2^46, 2^48). Normalize the leading one to bit 47: if it is
+    // already there the product is in [2, 4) and the exponent bumps by
+    // one; otherwise shift up and keep the exponent.
+    if ((p >> 47) & 1)
+        ++exp;
+    else
+        p <<= 1;
+    uint32_t man24 = uint32_t(p >> 24) & 0xffffff;
+    bool g = (p >> 23) & 1;
+    bool r = (p >> 22) & 1;
+    bool s = (p & 0x3fffff) != 0;
+    return round_pack(sign, exp, man24, g, r, s);
+}
+
+namespace {
+
+/** Three-way compare on flushed values: -1, 0, +1. NaNs handled upstream. */
+int
+order(const Unpacked &a, const Unpacked &b)
+{
+    bool az = a.is_zero, bz = b.is_zero;
+    if (az && bz)
+        return 0; // +-0 compare equal
+    if (az)
+        return b.sign ? 1 : -1;
+    if (bz)
+        return a.sign ? -1 : 1;
+    if (a.sign != b.sign)
+        return a.sign ? -1 : 1;
+    uint32_t ma = magnitude(a), mb = magnitude(b);
+    int mag_cmp = ma < mb ? -1 : (ma > mb ? 1 : 0);
+    return a.sign ? -mag_cmp : mag_cmp;
+}
+
+} // namespace
+
+FpResult
+feq(uint32_t abits, uint32_t bbits)
+{
+    Unpacked a = unpack(abits), b = unpack(bbits);
+    FpResult out;
+    if (a.is_nan || b.is_nan) {
+        if (a.is_snan || b.is_snan)
+            out.flags |= kNV;
+        out.bits = 0;
+        return out;
+    }
+    out.bits = order(a, b) == 0 ? 1 : 0;
+    return out;
+}
+
+FpResult
+flt(uint32_t abits, uint32_t bbits)
+{
+    Unpacked a = unpack(abits), b = unpack(bbits);
+    FpResult out;
+    if (a.is_nan || b.is_nan) {
+        out.flags |= kNV;
+        out.bits = 0;
+        return out;
+    }
+    out.bits = order(a, b) < 0 ? 1 : 0;
+    return out;
+}
+
+FpResult
+fle(uint32_t abits, uint32_t bbits)
+{
+    Unpacked a = unpack(abits), b = unpack(bbits);
+    FpResult out;
+    if (a.is_nan || b.is_nan) {
+        out.flags |= kNV;
+        out.bits = 0;
+        return out;
+    }
+    out.bits = order(a, b) <= 0 ? 1 : 0;
+    return out;
+}
+
+namespace {
+
+FpResult
+minmax(uint32_t abits, uint32_t bbits, bool want_max)
+{
+    Unpacked a = unpack(abits), b = unpack(bbits);
+    FpResult out;
+    if (a.is_snan || b.is_snan)
+        out.flags |= kNV;
+    if (a.is_nan && b.is_nan) {
+        out.bits = kQuietNan;
+        return out;
+    }
+    if (a.is_nan) {
+        out.bits = bbits;
+        return out;
+    }
+    if (b.is_nan) {
+        out.bits = abits;
+        return out;
+    }
+    // -0 orders below +0 for min/max.
+    int cmp = order(a, b);
+    if (cmp == 0 && a.sign != b.sign)
+        cmp = a.sign ? -1 : 1;
+    bool pick_a = want_max ? cmp >= 0 : cmp <= 0;
+    out.bits = pick_a ? abits : bbits;
+    return out;
+}
+
+} // namespace
+
+FpResult
+fmin(uint32_t a, uint32_t b)
+{
+    return minmax(a, b, false);
+}
+
+FpResult
+fmax(uint32_t a, uint32_t b)
+{
+    return minmax(a, b, true);
+}
+
+FpResult
+fpu_compute(FpuOp op, uint32_t a, uint32_t b)
+{
+    switch (op) {
+      case FpuOp::Add: return fadd(a, b);
+      case FpuOp::Sub: return fsub(a, b);
+      case FpuOp::Mul: return fmul(a, b);
+      case FpuOp::Eq:  return feq(a, b);
+      case FpuOp::Lt:  return flt(a, b);
+      case FpuOp::Le:  return fle(a, b);
+      case FpuOp::Min: return fmin(a, b);
+      case FpuOp::Max: return fmax(a, b);
+    }
+    return {};
+}
+
+const char *
+fpu_op_name(FpuOp op)
+{
+    switch (op) {
+      case FpuOp::Add: return "fadd.s";
+      case FpuOp::Sub: return "fsub.s";
+      case FpuOp::Mul: return "fmul.s";
+      case FpuOp::Eq:  return "feq.s";
+      case FpuOp::Lt:  return "flt.s";
+      case FpuOp::Le:  return "fle.s";
+      case FpuOp::Min: return "fmin.s";
+      case FpuOp::Max: return "fmax.s";
+    }
+    return "?";
+}
+
+} // namespace vega::fp

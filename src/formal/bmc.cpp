@@ -1,0 +1,119 @@
+#include "formal/bmc.h"
+
+#include "common/logging.h"
+#include "formal/unroller.h"
+
+namespace vega::formal {
+
+using sat::Lit;
+
+const char *
+bmc_status_name(BmcStatus status)
+{
+    switch (status) {
+      case BmcStatus::Covered:     return "covered";
+      case BmcStatus::Unreachable: return "unreachable";
+      case BmcStatus::Timeout:     return "timeout";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Record all port buses of @p nl for frames [0, frames) into a Waveform. */
+Waveform
+extract_trace(const Netlist &nl, const Unroller &unroll, int frames)
+{
+    Waveform w;
+    for (int f = 0; f < frames; ++f) {
+        for (const auto &bus : nl.input_bus_names()) {
+            const auto &nets = nl.bus(bus);
+            BitVec v(nets.size());
+            for (size_t i = 0; i < nets.size(); ++i)
+                v.set(i, unroll.value(f, nets[i]));
+            w.record(bus, v);
+        }
+        for (const auto &bus : nl.output_bus_names()) {
+            const auto &nets = nl.bus(bus);
+            BitVec v(nets.size());
+            for (size_t i = 0; i < nets.size(); ++i)
+                v.set(i, unroll.value(f, nets[i]));
+            w.record(bus, v);
+        }
+    }
+    return w;
+}
+
+} // namespace
+
+BmcResult
+check_cover(const Netlist &nl, NetId target, const BmcOptions &opts)
+{
+    BmcResult result;
+    result.conflicts = 0;
+
+    // Phase 1: bounded search from reset, shortest trace first.
+    for (int k = 1; k <= opts.max_frames; ++k) {
+        Unroller unroll(nl, /*free_initial=*/false);
+        for (int f = 0; f < k; ++f)
+            unroll.add_frame();
+        auto &solver = unroll.solver();
+        for (int f = 0; f < k; ++f)
+            for (NetId a : opts.assumes)
+                solver.add_clause(Lit(unroll.var(f, a), false));
+        solver.add_clause(Lit(unroll.var(k - 1, target), false));
+
+        auto res = solver.solve(opts.conflict_budget);
+        result.conflicts += solver.num_conflicts();
+        if (res == sat::Solver::Result::Sat) {
+            result.status = BmcStatus::Covered;
+            result.frames = k;
+            result.trace = extract_trace(nl, unroll, k);
+            return result;
+        }
+        if (res == sat::Solver::Result::Unknown) {
+            result.status = BmcStatus::Timeout;
+            result.frames = k;
+            return result;
+        }
+    }
+
+    // Phase 2: unreachability. From an arbitrary state whose shadow
+    // registers agree with their originals, can one more cycle raise the
+    // target? UNSAT generalizes over every reachable state (the shadow
+    // invariant holds on all of them), proving the cover unreachable.
+    {
+        Unroller unroll(nl, /*free_initial=*/true, opts.state_equalities);
+        unroll.add_frame();
+        unroll.add_frame();
+        auto &solver = unroll.solver();
+        for (int f = 0; f < 2; ++f)
+            for (NetId a : opts.assumes)
+                solver.add_clause(Lit(unroll.var(f, a), false));
+        solver.add_clause(Lit(unroll.var(0, target), false),
+                          Lit(unroll.var(1, target), false));
+
+        auto res = solver.solve(opts.conflict_budget);
+        result.conflicts += solver.num_conflicts();
+        if (res == sat::Solver::Result::Unsat) {
+            result.status = BmcStatus::Unreachable;
+            result.proven_by_induction = true;
+            return result;
+        }
+        if (res == sat::Solver::Result::Unknown) {
+            result.status = BmcStatus::Timeout;
+            return result;
+        }
+    }
+
+    // Free-state check is satisfiable but bounded search from reset found
+    // nothing: for these feed-forward pipelines (state fully refreshed
+    // every `latency` cycles) the bound is exhaustive, so report
+    // unreachable, flagged as a bounded proof.
+    result.status = BmcStatus::Unreachable;
+    result.proven_by_induction = false;
+    result.frames = opts.max_frames;
+    return result;
+}
+
+} // namespace vega::formal

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Bounded model checking of cover properties (§3.3.3).
+ *
+ * Given an instrumented netlist with a 1-bit mismatch target (the cover
+ * property `orig != shadow`), find the shortest input trace from reset
+ * that raises the target — the paper's JasperGold step. Also provides the
+ * unreachability ("UR") and timeout ("FF") outcomes of Table 4:
+ *
+ *  - Covered:     a trace exists; returned as a Waveform.
+ *  - Unreachable: proven impossible — either by a 1-step check from an
+ *                 unconstrained (shadow-consistent) state, which
+ *                 generalizes every reachable state, or by exhausting the
+ *                 bound on these feed-forward pipeline modules.
+ *  - Timeout:     the SAT solver exceeded its conflict budget.
+ */
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sim/waveform.h"
+
+namespace vega::formal {
+
+struct BmcOptions
+{
+    /** Max frames to unroll; should exceed the module pipeline depth. */
+    int max_frames = 6;
+    /** SAT conflict budget per query; exceeded => Timeout ("FF"). */
+    int64_t conflict_budget = 3000000;
+    /**
+     * Nets that must be 1 in every frame — the paper's `assume property`
+     * input restrictions (e.g. "op is a valid operation").
+     */
+    std::vector<NetId> assumes;
+    /**
+     * Register pairs (original, shadow) tied equal in the free-state
+     * unreachability check.
+     */
+    std::vector<std::pair<NetId, NetId>> state_equalities;
+};
+
+enum class BmcStatus { Covered, Unreachable, Timeout };
+
+const char *bmc_status_name(BmcStatus status);
+
+struct BmcResult
+{
+    BmcStatus status = BmcStatus::Timeout;
+    /** Frames in the trace (cover fires in the last one). */
+    int frames = 0;
+    /** Input and output bus values per cycle (Covered only). */
+    Waveform trace;
+    uint64_t conflicts = 0;
+    /** Unreachable only: proven by the induction-style free-state check. */
+    bool proven_by_induction = false;
+};
+
+/**
+ * Check the cover property "target == 1 eventually" on @p nl.
+ *
+ * The trace records every input bus and every output bus of @p nl per
+ * cycle, so it can be replayed on a Simulator or lowered to instructions.
+ */
+BmcResult check_cover(const Netlist &nl, NetId target,
+                      const BmcOptions &opts);
+
+} // namespace vega::formal

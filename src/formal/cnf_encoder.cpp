@@ -1,0 +1,105 @@
+#include "formal/cnf_encoder.h"
+
+#include "common/logging.h"
+
+namespace vega::formal {
+
+using sat::Lit;
+using sat::Var;
+
+void
+encode_combinational(const Netlist &nl, sat::Solver &solver,
+                     FrameVars &frame)
+{
+    auto &vars = frame.net_var;
+    VEGA_CHECK(vars.size() == nl.num_nets(), "frame var map size");
+
+    for (CellId c : nl.topo_order()) {
+        const Cell &cell = nl.cell(c);
+        Var o = solver.new_var();
+        vars[cell.out] = o;
+        Lit lo(o, false), no(o, true);
+
+        switch (cell.type) {
+          case CellType::Const0:
+            solver.add_clause(no);
+            break;
+          case CellType::Const1:
+            solver.add_clause(lo);
+            break;
+          case CellType::Buf: {
+            Lit a(vars[cell.in[0]], false);
+            solver.add_clause(no, a);
+            solver.add_clause(lo, ~a);
+            break;
+          }
+          case CellType::Not: {
+            Lit a(vars[cell.in[0]], false);
+            solver.add_clause(no, ~a);
+            solver.add_clause(lo, a);
+            break;
+          }
+          case CellType::And2: {
+            Lit a(vars[cell.in[0]], false), b(vars[cell.in[1]], false);
+            solver.add_clause(no, a);
+            solver.add_clause(no, b);
+            solver.add_clause(lo, ~a, ~b);
+            break;
+          }
+          case CellType::Or2: {
+            Lit a(vars[cell.in[0]], false), b(vars[cell.in[1]], false);
+            solver.add_clause(lo, ~a);
+            solver.add_clause(lo, ~b);
+            solver.add_clause(no, a, b);
+            break;
+          }
+          case CellType::Nand2: {
+            Lit a(vars[cell.in[0]], false), b(vars[cell.in[1]], false);
+            solver.add_clause(lo, a);
+            solver.add_clause(lo, b);
+            solver.add_clause(no, ~a, ~b);
+            break;
+          }
+          case CellType::Nor2: {
+            Lit a(vars[cell.in[0]], false), b(vars[cell.in[1]], false);
+            solver.add_clause(no, ~a);
+            solver.add_clause(no, ~b);
+            solver.add_clause(lo, a, b);
+            break;
+          }
+          case CellType::Xor2: {
+            Lit a(vars[cell.in[0]], false), b(vars[cell.in[1]], false);
+            solver.add_clause(no, a, b);
+            solver.add_clause(no, ~a, ~b);
+            solver.add_clause(lo, a, ~b);
+            solver.add_clause(lo, ~a, b);
+            break;
+          }
+          case CellType::Xnor2: {
+            Lit a(vars[cell.in[0]], false), b(vars[cell.in[1]], false);
+            solver.add_clause(lo, a, b);
+            solver.add_clause(lo, ~a, ~b);
+            solver.add_clause(no, a, ~b);
+            solver.add_clause(no, ~a, b);
+            break;
+          }
+          case CellType::Mux2: {
+            Lit a(vars[cell.in[0]], false), b(vars[cell.in[1]], false);
+            Lit s(vars[cell.in[2]], false);
+            // o = s ? b : a
+            solver.add_clause(~s, ~b, lo);
+            solver.add_clause(~s, b, no);
+            solver.add_clause(s, ~a, lo);
+            solver.add_clause(s, a, no);
+            // Redundant but propagation-helpful clauses.
+            solver.add_clause(~a, ~b, lo);
+            solver.add_clause(a, b, no);
+            break;
+          }
+          case CellType::Dff:
+            panic("encode_combinational hit a DFF");
+        }
+    }
+}
+
+} // namespace vega::formal

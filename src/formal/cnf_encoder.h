@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Tseitin encoding of one combinational frame of a netlist into CNF.
+ *
+ * The BMC unroller instantiates one frame per cycle, wiring DFF outputs
+ * of frame f to DFF inputs of frame f-1 by variable aliasing (no extra
+ * clauses), so a k-cycle unrolling is a single CNF over k·|nets| vars.
+ */
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sat/solver.h"
+
+namespace vega::formal {
+
+/** Net-to-variable map for one time frame. */
+struct FrameVars
+{
+    std::vector<sat::Var> net_var; ///< indexed by NetId
+};
+
+/**
+ * Encode the combinational logic of @p nl into @p solver for one frame.
+ *
+ * DFF output variables and primary-input variables must already be set
+ * in @p frame (the unroller decides whether they are reset constants,
+ * free variables, or aliases of the previous frame); this function adds
+ * fresh variables and clauses for every combinational cell output.
+ */
+void encode_combinational(const Netlist &nl, sat::Solver &solver,
+                          FrameVars &frame);
+
+} // namespace vega::formal

@@ -1,0 +1,55 @@
+#include "formal/unroller.h"
+
+#include "common/logging.h"
+
+namespace vega::formal {
+
+using sat::Lit;
+using sat::Var;
+
+Unroller::Unroller(const Netlist &nl, bool free_initial,
+                   const std::vector<std::pair<NetId, NetId>> &state_eqs)
+    : nl_(nl), free_initial_(free_initial), state_equalities_(state_eqs)
+{
+}
+
+int
+Unroller::add_frame()
+{
+    FrameVars frame;
+    frame.net_var.assign(nl_.num_nets(), -1);
+    int f = static_cast<int>(frames_.size());
+
+    // Primary inputs: fresh free variables every frame.
+    for (NetId n : nl_.primary_inputs())
+        frame.net_var[n] = solver_.new_var();
+
+    // DFF outputs.
+    for (CellId c : nl_.dffs()) {
+        const Cell &cell = nl_.cell(c);
+        if (f == 0) {
+            Var v = solver_.new_var();
+            frame.net_var[cell.out] = v;
+            if (!free_initial_)
+                solver_.add_clause(Lit(v, !cell.init));
+        } else {
+            // Alias: Q at frame f is D at frame f-1.
+            frame.net_var[cell.out] = frames_[f - 1].net_var[cell.in[0]];
+        }
+    }
+
+    encode_combinational(nl_, solver_, frame);
+
+    if (f == 0 && free_initial_) {
+        for (const auto &[a, b] : state_equalities_) {
+            Lit la(frame.net_var[a], false), lb(frame.net_var[b], false);
+            solver_.add_clause(~la, lb);
+            solver_.add_clause(la, ~lb);
+        }
+    }
+
+    frames_.push_back(std::move(frame));
+    return f;
+}
+
+} // namespace vega::formal

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * k-frame unrolling of a sequential netlist into a single SAT instance.
+ */
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "formal/cnf_encoder.h"
+#include "netlist/netlist.h"
+#include "sat/solver.h"
+
+namespace vega::formal {
+
+/**
+ * Unrolls a netlist frame by frame into an owned solver.
+ *
+ * Frame 0 state is either the reset state (DFF init values as unit
+ * clauses) or free variables, optionally with pairwise equality
+ * constraints (used to tie shadow-replica registers to their originals
+ * in the inductive unreachability check, §3.3.2/§3.3.4).
+ */
+class Unroller
+{
+  public:
+    /**
+     * @param nl           netlist to unroll
+     * @param free_initial frame-0 DFFs unconstrained instead of reset
+     * @param state_equalities net pairs forced equal at frame 0
+     */
+    Unroller(const Netlist &nl, bool free_initial,
+             const std::vector<std::pair<NetId, NetId>> &state_equalities = {});
+
+    /** Append one more frame; returns its index. */
+    int add_frame();
+
+    int num_frames() const { return static_cast<int>(frames_.size()); }
+
+    sat::Solver &solver() { return solver_; }
+
+    /** Variable of @p net at @p frame. */
+    sat::Var var(int frame, NetId net) const
+    {
+        return frames_[frame].net_var[net];
+    }
+
+    /** Model value of @p net at @p frame (after a Sat result). */
+    bool value(int frame, NetId net) const
+    {
+        return solver_.model_value(var(frame, net));
+    }
+
+  private:
+    const Netlist &nl_;
+    sat::Solver solver_;
+    std::vector<FrameVars> frames_;
+    bool free_initial_;
+    std::vector<std::pair<NetId, NetId>> state_equalities_;
+};
+
+} // namespace vega::formal

@@ -1,0 +1,81 @@
+#include "integrate/profile.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+#include "cpu/iss.h"
+
+namespace vega::integrate {
+
+namespace {
+
+bool
+is_control(cpu::Op op)
+{
+    using cpu::Op;
+    switch (op) {
+      case Op::Beq: case Op::Bne: case Op::Blt: case Op::Bge:
+      case Op::Bltu: case Op::Bgeu: case Op::Jal: case Op::Jalr:
+      case Op::Halt:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+has_target(cpu::Op op)
+{
+    using cpu::Op;
+    return op == Op::Beq || op == Op::Bne || op == Op::Blt ||
+           op == Op::Bge || op == Op::Bltu || op == Op::Bgeu ||
+           op == Op::Jal;
+}
+
+} // namespace
+
+std::vector<BasicBlock>
+find_basic_blocks(const std::vector<cpu::Instr> &prog)
+{
+    std::set<size_t> leaders;
+    if (!prog.empty())
+        leaders.insert(0);
+    for (size_t i = 0; i < prog.size(); ++i) {
+        if (has_target(prog[i].op))
+            leaders.insert(size_t(prog[i].imm));
+        if (is_control(prog[i].op) && i + 1 < prog.size())
+            leaders.insert(i + 1);
+    }
+
+    std::vector<BasicBlock> blocks;
+    for (auto it = leaders.begin(); it != leaders.end(); ++it) {
+        BasicBlock b;
+        b.first = *it;
+        auto next = std::next(it);
+        b.last = (next == leaders.end() ? prog.size() : *next) - 1;
+        blocks.push_back(b);
+    }
+    return blocks;
+}
+
+Profile
+profile_program(const std::vector<cpu::Instr> &prog)
+{
+    Profile p;
+    p.blocks = find_basic_blocks(prog);
+
+    cpu::Iss iss(prog);
+    auto status = iss.run();
+    VEGA_CHECK(status == cpu::Iss::Status::Halted,
+               "profiled program did not halt");
+
+    const auto &counts = iss.exec_counts();
+    for (BasicBlock &b : p.blocks)
+        b.count = counts[b.first];
+    p.total_instructions = iss.instret();
+    p.total_cycles = iss.cycles();
+    return p;
+}
+
+} // namespace vega::integrate

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Basic-block profiling for profile-guided test integration (§3.4.2).
+ *
+ * Vega instruments the application with per-basic-block counters, runs
+ * representative inputs, and uses the resulting profile to pick the
+ * integration point. Here the "instrumentation" is the ISS's built-in
+ * per-instruction execution counters; basic blocks are recovered
+ * structurally from the program.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/isa.h"
+
+namespace vega::integrate {
+
+/** A maximal straight-line region [first, last] of instruction indices. */
+struct BasicBlock
+{
+    size_t first = 0;
+    size_t last = 0;
+    uint64_t count = 0; ///< executions observed during profiling
+};
+
+/** Structural basic-block decomposition (leaders: entry, branch targets,
+ *  fall-throughs of control transfers). */
+std::vector<BasicBlock> find_basic_blocks(const std::vector<cpu::Instr> &prog);
+
+struct Profile
+{
+    std::vector<BasicBlock> blocks;
+    uint64_t total_instructions = 0;
+    uint64_t total_cycles = 0;
+};
+
+/** Execute @p prog on the ISS with counters and aggregate per block. */
+Profile profile_program(const std::vector<cpu::Instr> &prog);
+
+} // namespace vega::integrate

@@ -1,0 +1,290 @@
+#include "lift/error_lifting.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "lift/fuzz_lifting.h"
+#include "sim/simulator.h"
+
+namespace vega::lift {
+
+const char *
+trace_engine_name(TraceEngine engine)
+{
+    switch (engine) {
+      case TraceEngine::Formal:  return "formal";
+      case TraceEngine::Fuzzing: return "fuzzing";
+      case TraceEngine::Hybrid:  return "hybrid";
+    }
+    return "?";
+}
+
+const char *
+pair_status_name(PairStatus s)
+{
+    switch (s) {
+      case PairStatus::Success:          return "S";
+      case PairStatus::Unreachable:      return "UR";
+      case PairStatus::Timeout:          return "FF";
+      case PairStatus::ConversionFailed: return "FC";
+    }
+    return "?";
+}
+
+std::vector<runtime::TestCase>
+LiftResult::suite() const
+{
+    std::vector<runtime::TestCase> out;
+    for (const PairResult &p : pairs)
+        for (const runtime::TestCase &t : p.tests)
+            out.push_back(t);
+    return out;
+}
+
+uint64_t
+LiftResult::suite_cycles() const
+{
+    uint64_t total = 0;
+    for (const PairResult &p : pairs)
+        for (const runtime::TestCase &t : p.tests)
+            total += t.cycle_cost;
+    return total;
+}
+
+runtime::Detection
+replay_on_module(const runtime::TestCase &tc, const Netlist &netlist,
+                 bool has_random_input, uint64_t seed)
+{
+    Simulator sim(netlist);
+    Rng rng(seed);
+    bool is_fpu = tc.module == ModuleKind::Fpu32;
+
+    size_t n = tc.stimulus.size();
+    std::vector<uint32_t> r_out(n, 0);
+    std::vector<bool> valid_out(n, false), ack_out(n, false);
+    bool tag_anomaly = false;
+
+    for (size_t t = 0; t < n + 2; ++t) {
+        if (t < n) {
+            const runtime::ModuleStep &s = tc.stimulus[t];
+            sim.set_bus("a", BitVec(32, s.a));
+            sim.set_bus("b", BitVec(32, s.b));
+            sim.set_bus("op",
+                        BitVec(tc.module == ModuleKind::Mdu32 ? 2
+                               : is_fpu                       ? 3
+                                                              : 4,
+                               s.op));
+            if (is_fpu) {
+                sim.set_bus("valid", BitVec(1, s.valid ? 1 : 0));
+                sim.set_bus("clear", BitVec(1, s.clear ? 1 : 0));
+            }
+        } else if (is_fpu) {
+            sim.set_bus("valid", BitVec(1, 0));
+            sim.set_bus("clear", BitVec(1, 0));
+        }
+        if (has_random_input)
+            sim.set_bus("fm_rand", BitVec(1, rng.next() & 1));
+        if (t >= 2) {
+            size_t k = t - 2;
+            r_out[k] = uint32_t(sim.bus_value("r").to_u64());
+            if (is_fpu) {
+                valid_out[k] = sim.bus_value("valid_out").to_u64() != 0;
+                ack_out[k] = sim.bus_value("ack").to_u64() != 0;
+            }
+        }
+        if (is_fpu) {
+            // The transaction tag is checked continuously by the core:
+            // dbg_out after t edges shows the parity of ops issued at
+            // cycles <= t-3.
+            size_t ops_visible = 0;
+            for (size_t k = 0; k + 3 <= t && k < n; ++k)
+                if (tc.stimulus[k].valid)
+                    ++ops_visible;
+            bool dbg = sim.bus_value("dbg_out").to_u64() != 0;
+            if (dbg != (ops_visible % 2 == 1))
+                tag_anomaly = true;
+        }
+        sim.step();
+    }
+
+    // A parked handshake is a stall the software watchdog catches.
+    if (is_fpu) {
+        for (size_t k = 0; k < n; ++k)
+            if (tc.stimulus[k].valid && !(valid_out[k] && ack_out[k]))
+                return runtime::Detection::Stall;
+    }
+
+    for (const runtime::ResultCheck &c : tc.checks)
+        if (r_out[c.step] != c.expected)
+            return runtime::Detection::Mismatch;
+
+    if (is_fpu) {
+        if (tc.check_final_flags) {
+            uint8_t flags = uint8_t(sim.bus_value("flags").to_u64());
+            if (flags != tc.expected_flags)
+                return runtime::Detection::Mismatch;
+        }
+        // Transaction tag: settled state must show the parity of all
+        // accepted ops, and no transient disagreement may have occurred.
+        size_t n_ops = 0;
+        for (const auto &s : tc.stimulus)
+            if (s.valid)
+                ++n_ops;
+        bool dbg = sim.bus_value("dbg_out").to_u64() != 0;
+        if (tag_anomaly || dbg != (n_ops % 2 == 1))
+            return runtime::Detection::TagAnomaly;
+    }
+    return runtime::Detection::None;
+}
+
+namespace {
+
+std::vector<std::pair<std::string, FailureModelSpec>>
+make_configs(const sta::EndpointPair &pair, bool mitigation)
+{
+    std::vector<std::pair<std::string, FailureModelSpec>> out;
+    FailureModelSpec base;
+    base.launch = pair.launch;
+    base.capture = pair.capture;
+    base.is_setup = pair.is_setup;
+    for (FaultConstant c : {FaultConstant::Zero, FaultConstant::One}) {
+        if (!mitigation) {
+            FailureModelSpec s = base;
+            s.constant = c;
+            s.mitigation = Mitigation::None;
+            out.emplace_back(fault_constant_name(c), s);
+        } else {
+            for (Mitigation m :
+                 {Mitigation::RisingEdge, Mitigation::FallingEdge}) {
+                FailureModelSpec s = base;
+                s.constant = c;
+                s.mitigation = m;
+                out.emplace_back(std::string(fault_constant_name(c)) + "," +
+                                     mitigation_name(m),
+                                 s);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+LiftResult
+run_error_lifting(const HwModule &module,
+                  const std::vector<sta::EndpointPair> &pairs,
+                  const LiftConfig &config)
+{
+    LiftResult result;
+    size_t limit = std::min(pairs.size(), config.max_pairs);
+
+    for (size_t pi = 0; pi < limit; ++pi) {
+        const sta::EndpointPair &pair = pairs[pi];
+        PairResult pr;
+        pr.pair = pair;
+
+        if (pair.launch == kInvalidId) {
+            // Primary-input-launched path: the upstream register lives
+            // outside this module; not modeled (and not produced by our
+            // registered-input modules in practice).
+            pr.status = PairStatus::Unreachable;
+            result.pairs.push_back(std::move(pr));
+            ++result.n_unreachable;
+            continue;
+        }
+
+        bool any_success = false, any_timeout = false, any_fc = false;
+        for (auto &[name, spec] : make_configs(pair, config.mitigation)) {
+            ConfigOutcome co;
+            co.spec = spec;
+            co.name = name;
+
+            ShadowInstrumentation shadow =
+                build_shadow_instrumentation(module.netlist, spec);
+
+            // §6.3: optionally explore cheaply with the fuzzer before
+            // (or instead of) the formal engine.
+            formal::BmcResult bmc;
+            bool have_trace = false;
+            if (config.engine != TraceEngine::Formal) {
+                FuzzConfig fcfg;
+                fcfg.max_episodes = config.fuzz_episodes;
+                fcfg.seed = 1234 + pi;
+                FuzzResult fz = fuzz_cover(shadow, module.kind, fcfg);
+                if (fz.found) {
+                    bmc.status = formal::BmcStatus::Covered;
+                    bmc.trace = std::move(fz.trace);
+                    bmc.frames = int(bmc.trace.num_cycles());
+                    co.fuzzed = true;
+                    have_trace = true;
+                } else if (config.engine == TraceEngine::Fuzzing) {
+                    // Fuzzing alone cannot distinguish "unreachable"
+                    // from "not found": report the giving-up outcome.
+                    bmc.status = formal::BmcStatus::Timeout;
+                    have_trace = true;
+                }
+            }
+            if (!have_trace) {
+                formal::BmcOptions opts = config.bmc;
+                opts.assumes = build_assumes(shadow.netlist, module.kind);
+                opts.state_equalities = shadow.state_pairs;
+                bmc = formal::check_cover(shadow.netlist, shadow.mismatch,
+                                          opts);
+            }
+            co.bmc = bmc.status;
+            co.proven_by_induction = bmc.proven_by_induction;
+            co.frames = bmc.frames;
+            co.conflicts = bmc.conflicts;
+
+            if (bmc.status == formal::BmcStatus::Covered) {
+                ConversionResult conv = build_test_case(
+                    module.kind, bmc.trace, int(pi), name);
+                co.converted = conv.ok;
+                co.failure_reason = conv.reason;
+                if (conv.ok) {
+                    // Validate against the matching failing netlist: can
+                    // this block observe the modeled fault at all?
+                    FailingNetlist failing =
+                        build_failing_netlist(module.netlist, spec);
+                    runtime::Detection det =
+                        replay_on_module(conv.test, failing.netlist);
+                    co.validated = det != runtime::Detection::None;
+                    if (co.validated) {
+                        pr.tests.push_back(std::move(conv.test));
+                        any_success = true;
+                    } else {
+                        co.failure_reason =
+                            "no observable output distinguishes the fault";
+                        any_fc = true;
+                    }
+                } else {
+                    any_fc = true;
+                }
+            } else if (bmc.status == formal::BmcStatus::Timeout) {
+                any_timeout = true;
+            }
+            pr.configs.push_back(std::move(co));
+        }
+
+        if (any_success)
+            pr.status = PairStatus::Success;
+        else if (any_fc)
+            pr.status = PairStatus::ConversionFailed;
+        else if (any_timeout)
+            pr.status = PairStatus::Timeout;
+        else
+            pr.status = PairStatus::Unreachable;
+
+        switch (pr.status) {
+          case PairStatus::Success: ++result.n_success; break;
+          case PairStatus::Unreachable: ++result.n_unreachable; break;
+          case PairStatus::Timeout: ++result.n_timeout; break;
+          case PairStatus::ConversionFailed:
+            ++result.n_conversion_failed;
+            break;
+        }
+        result.pairs.push_back(std::move(pr));
+    }
+    return result;
+}
+
+} // namespace vega::lift

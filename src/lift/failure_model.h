@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Logical failure models for timing violations (§3.3.1–§3.3.2).
+ *
+ * A setup violation on path X ⇝ Y makes Y sample a wrong constant C
+ * whenever X changed in the previous cycle (Eq. 2); a hold violation
+ * does so whenever X is about to change (Eq. 3); a path that starts and
+ * ends at the same flop leaves Y metastable (always C). The §3.3.4
+ * mitigation narrows activation to a specific edge of X so generated
+ * tests do not depend on pre-existing register state.
+ *
+ * The model is built from ordinary cells (a history DFF, an activation
+ * comparator, and a MUX in front of Y's D pin), so the same construction
+ * serves both products of this phase:
+ *
+ *  - a *failing netlist*: the fault spliced directly into a copy of the
+ *    module, used for fault-injection evaluation (§5.2.2) and exportable
+ *    as synthesizable Verilog;
+ *  - a *shadow replica*: the fault feeding a duplicated fanout cone of Y
+ *    whose outputs are compared against the originals, producing the
+ *    cover target for trace generation (§3.3.3).
+ */
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sta/sta.h"
+
+namespace vega::lift {
+
+/** The wrong value C sampled on a violation. */
+enum class FaultConstant {
+    Zero,
+    One,
+    /**
+     * A fresh value each cycle, driven by the evaluation testbench
+     * through an added "fm_rand" input (Table 6's "R" failure mode).
+     * Not used for formal trace generation, matching the paper.
+     */
+    RandomInput,
+};
+
+/** §3.3.4 activation narrowing. */
+enum class Mitigation { None, RisingEdge, FallingEdge };
+
+const char *fault_constant_name(FaultConstant c);
+const char *mitigation_name(Mitigation m);
+
+/** Which violation to model on which endpoint pair. */
+struct FailureModelSpec
+{
+    CellId launch = kInvalidId;  ///< X: launching DFF
+    CellId capture = kInvalidId; ///< Y: capturing DFF
+    bool is_setup = true;
+    FaultConstant constant = FaultConstant::Zero;
+    Mitigation mitigation = Mitigation::None;
+};
+
+/** A module copy with the fault spliced in front of Y. */
+struct FailingNetlist
+{
+    Netlist netlist;
+    /** True if the "fm_rand" input bus exists (RandomInput mode). */
+    bool has_random_input = false;
+};
+
+FailingNetlist build_failing_netlist(const Netlist &nl,
+                                     const FailureModelSpec &spec);
+
+/** A module copy with fault + shadow replica + cover target. */
+struct ShadowInstrumentation
+{
+    Netlist netlist;
+    /** 1-bit cover target: some shadowed output differs (Figure 7). */
+    NetId mismatch = kInvalidId;
+    /** (original Q, shadow Q) pairs for the inductive check. */
+    std::vector<std::pair<NetId, NetId>> state_pairs;
+    /** Output buses that have shadow copies, e.g. "o" -> "o_s". */
+    std::vector<std::string> shadowed_buses;
+};
+
+ShadowInstrumentation
+build_shadow_instrumentation(const Netlist &nl, const FailureModelSpec &spec);
+
+} // namespace vega::lift

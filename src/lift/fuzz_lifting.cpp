@@ -1,0 +1,74 @@
+#include "lift/fuzz_lifting.h"
+
+#include "common/rng.h"
+#include "sim/simulator.h"
+
+namespace vega::lift {
+
+namespace {
+
+uint32_t
+random_operand(Rng &rng, double special_bias)
+{
+    if (rng.chance(special_bias)) {
+        static const uint32_t kSpecials[] = {
+            0x00000000, 0x80000000, 0x3f800000, 0xbf800000, 0x7f800000,
+            0xff800000, 0x7fc00000, 0x7f800001, 0xffffffff, 0x00000001,
+            0x7f7fffff, 0x00800000,
+        };
+        return kSpecials[rng.below(sizeof(kSpecials) /
+                                   sizeof(kSpecials[0]))];
+    }
+    return uint32_t(rng.next());
+}
+
+} // namespace
+
+FuzzResult
+fuzz_cover(const ShadowInstrumentation &shadow, ModuleKind kind,
+           const FuzzConfig &config)
+{
+    const Netlist &nl = shadow.netlist;
+    Simulator sim(nl);
+    Rng rng(config.seed);
+    FuzzResult result;
+
+    bool is_fpu = kind == ModuleKind::Fpu32;
+    for (size_t episode = 0; episode < config.max_episodes; ++episode) {
+        sim.reset();
+        Waveform w;
+        for (int t = 0; t < config.episode_len; ++t) {
+            uint32_t a = random_operand(rng, config.special_bias);
+            uint32_t b = random_operand(rng, config.special_bias);
+            uint32_t op = is_fpu ? uint32_t(rng.below(8))
+                                 : uint32_t(rng.below(10));
+            sim.set_bus("a", BitVec(32, a));
+            sim.set_bus("b", BitVec(32, b));
+            sim.set_bus("op", BitVec(is_fpu ? 3 : 4, op));
+            if (is_fpu) {
+                // Same restrictions as the formal path: no mid-trace
+                // clears; mostly-valid issue.
+                sim.set_bus("valid", BitVec(1, rng.chance(0.85) ? 1 : 0));
+                sim.set_bus("clear", BitVec(1, 0));
+            }
+            // Record exactly what BMC records: every port bus.
+            for (const auto &bus : nl.input_bus_names())
+                w.record(bus, sim.bus_value(bus));
+            for (const auto &bus : nl.output_bus_names())
+                w.record(bus, sim.bus_value(bus));
+            ++result.cycles;
+            bool hit = sim.value(shadow.mismatch);
+            if (hit) {
+                result.found = true;
+                result.trace = std::move(w);
+                result.episodes = episode + 1;
+                return result;
+            }
+            sim.step();
+        }
+    }
+    result.episodes = config.max_episodes;
+    return result;
+}
+
+} // namespace vega::lift

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fuzzing-based trace generation — the paper's §6.3 future-work
+ * direction ("fast exploration of useful test cases via random and
+ * fuzzing-based methods") implemented as an alternative engine for
+ * Error Lifting's trace-generation step.
+ *
+ * Instead of model checking, the shadow-instrumented netlist is
+ * simulated from reset under random (but microarchitecturally valid)
+ * stimulus; an episode that raises the cover target yields the same
+ * kind of Waveform the BMC path produces, and flows through the same
+ * instruction construction. Fuzzing cannot prove unreachability — the
+ * key limitation the paper's §3.3 argues formal methods remove — which
+ * the `ablation_fuzz_vs_formal` bench quantifies.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "lift/failure_model.h"
+#include "rtl/module.h"
+#include "sim/waveform.h"
+
+namespace vega::lift {
+
+struct FuzzConfig
+{
+    /** Give up after this many simulated episodes. */
+    size_t max_episodes = 4000;
+    /** Cycles per episode (kept short so traces stay convertible). */
+    int episode_len = 5;
+    uint64_t seed = 1;
+    /** Bias toward special operand values (0, ±inf, NaN, all-ones). */
+    double special_bias = 0.3;
+};
+
+struct FuzzResult
+{
+    bool found = false;
+    /** Input/output waveform of the covering episode (like BMC). */
+    Waveform trace;
+    /** Episodes simulated before the hit (== max_episodes if none). */
+    size_t episodes = 0;
+    /** Total simulated cycles across all episodes. */
+    uint64_t cycles = 0;
+};
+
+/**
+ * Fuzz the cover target of a shadow instrumentation of @p kind.
+ * The stimulus respects the same input restrictions the formal path
+ * assumes (valid opcodes; no mid-trace fflags clears).
+ */
+FuzzResult fuzz_cover(const ShadowInstrumentation &shadow, ModuleKind kind,
+                      const FuzzConfig &config = {});
+
+} // namespace vega::lift

@@ -1,0 +1,195 @@
+#include "lift/instruction_builder.h"
+
+#include "common/logging.h"
+#include "cpu/alu_ops.h"
+#include "cpu/mdu_ops.h"
+#include "cpu/softfp.h"
+#include "netlist/builder.h"
+
+namespace vega::lift {
+
+namespace {
+
+ConversionResult
+convert_alu(const Waveform &trace, int pair_index,
+            const std::string &config_name)
+{
+    ConversionResult out;
+    runtime::TestCase tc;
+    tc.module = ModuleKind::Alu32;
+    tc.pair_index = pair_index;
+    tc.config = config_name;
+    tc.name = "alu_pair" + std::to_string(pair_index) + "_" + config_name;
+
+    size_t frames = trace.num_cycles();
+    if (frames > 8) {
+        out.reason = "trace longer than the register budget allows";
+        return out;
+    }
+    for (size_t f = 0; f < frames; ++f) {
+        runtime::ModuleStep step;
+        step.a = uint32_t(trace.at("a", f).to_u64());
+        step.b = uint32_t(trace.at("b", f).to_u64());
+        step.op = uint32_t(trace.at("op", f).to_u64());
+        if (step.op >= uint32_t(kNumAluOps)) {
+            out.reason = "trace uses an undefined opcode";
+            return out;
+        }
+        tc.stimulus.push_back(step);
+        runtime::ResultCheck check;
+        check.step = f;
+        check.expected = alu_compute(AluOp(step.op), step.a, step.b);
+        tc.checks.push_back(check);
+    }
+
+    runtime::finalize_test_case(tc);
+    out.ok = true;
+    out.test = std::move(tc);
+    return out;
+}
+
+ConversionResult
+convert_fpu(const Waveform &trace, int pair_index,
+            const std::string &config_name)
+{
+    ConversionResult out;
+    runtime::TestCase tc;
+    tc.module = ModuleKind::Fpu32;
+    tc.pair_index = pair_index;
+    tc.config = config_name;
+    tc.name = "fpu_pair" + std::to_string(pair_index) + "_" + config_name;
+
+    size_t frames = trace.num_cycles();
+    if (frames > 8) {
+        out.reason = "trace longer than the register budget allows";
+        return out;
+    }
+
+    uint8_t flags_acc = 0;
+    for (size_t f = 0; f < frames; ++f) {
+        runtime::ModuleStep step;
+        step.a = uint32_t(trace.at("a", f).to_u64());
+        step.b = uint32_t(trace.at("b", f).to_u64());
+        step.op = uint32_t(trace.at("op", f).to_u64());
+        step.valid = trace.at("valid", f).to_u64() != 0;
+        step.clear = trace.at("clear", f).to_u64() != 0;
+        tc.stimulus.push_back(step);
+
+        if (step.clear) {
+            flags_acc = 0;
+            continue;
+        }
+        if (!step.valid)
+            continue;
+        auto op = fp::FpuOp(step.op);
+        fp::FpResult golden = fp::fpu_compute(op, step.a, step.b);
+        flags_acc |= golden.flags;
+
+        runtime::ResultCheck check;
+        check.step = f;
+        check.expected = golden.bits;
+        check.to_xreg = op == fp::FpuOp::Eq || op == fp::FpuOp::Lt ||
+                        op == fp::FpuOp::Le;
+        tc.checks.push_back(check);
+    }
+    tc.check_final_flags = true;
+    tc.expected_flags = flags_acc;
+
+    runtime::finalize_test_case(tc);
+    out.ok = true;
+    out.test = std::move(tc);
+    return out;
+}
+
+ConversionResult
+convert_mdu(const Waveform &trace, int pair_index,
+            const std::string &config_name)
+{
+    ConversionResult out;
+    runtime::TestCase tc;
+    tc.module = ModuleKind::Mdu32;
+    tc.pair_index = pair_index;
+    tc.config = config_name;
+    tc.name = "mdu_pair" + std::to_string(pair_index) + "_" + config_name;
+
+    size_t frames = trace.num_cycles();
+    if (frames > 8) {
+        out.reason = "trace longer than the register budget allows";
+        return out;
+    }
+    for (size_t f = 0; f < frames; ++f) {
+        runtime::ModuleStep step;
+        step.a = uint32_t(trace.at("a", f).to_u64());
+        step.b = uint32_t(trace.at("b", f).to_u64());
+        step.op = uint32_t(trace.at("op", f).to_u64());
+        if (step.op >= uint32_t(kNumMduOps)) {
+            out.reason = "trace uses an undefined opcode";
+            return out;
+        }
+        tc.stimulus.push_back(step);
+        runtime::ResultCheck check;
+        check.step = f;
+        check.expected = mdu_compute(MduOp(step.op), step.a, step.b);
+        tc.checks.push_back(check);
+    }
+
+    runtime::finalize_test_case(tc);
+    out.ok = true;
+    out.test = std::move(tc);
+    return out;
+}
+
+} // namespace
+
+ConversionResult
+build_test_case(ModuleKind kind, const Waveform &trace, int pair_index,
+                const std::string &config_name)
+{
+    switch (kind) {
+      case ModuleKind::Alu32:
+        return convert_alu(trace, pair_index, config_name);
+      case ModuleKind::Fpu32:
+        return convert_fpu(trace, pair_index, config_name);
+      case ModuleKind::Mdu32:
+        return convert_mdu(trace, pair_index, config_name);
+      default: {
+        ConversionResult out;
+        out.reason = "no instruction mapping for this module";
+        return out;
+      }
+    }
+}
+
+std::vector<NetId>
+build_assumes(Netlist &nl, ModuleKind kind)
+{
+    Builder b(nl, "vegaassume");
+    switch (kind) {
+      case ModuleKind::Alu32: {
+        // Only opcodes 0..9 correspond to instructions: op[3] implies
+        // op[2:1] == 0 (allowing 8 = OR and 9 = AND).
+        const auto &op = nl.bus("op");
+        NetId bad = b.and_(op[3], b.or_(op[2], op[1]));
+        return {b.not_(bad)};
+      }
+      case ModuleKind::Mdu32: {
+        // Opcode 3 has no instruction: op[1] implies op[0] == 0.
+        const auto &op = nl.bus("op");
+        return {b.not_(b.and_(op[1], op[0]))};
+      }
+      case ModuleKind::Fpu32: {
+        // Generated test blocks clear fflags once, *before* the trace
+        // ops, and never mid-test: a clear pulse inside the trace would
+        // wipe a corrupted sticky flag before software could read it,
+        // making the trace unobservable (the paper's §3.3.3 input
+        // restrictions encode exactly this kind of microarchitectural
+        // knowledge).
+        NetId c = nl.bus("clear")[0];
+        return {b.not_(c)};
+      }
+      default:
+        return {};
+    }
+}
+
+} // namespace vega::lift

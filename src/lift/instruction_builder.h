@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Instruction Construction (§3.3.5): lower a cycle-accurate module-level
+ * cover trace into a software test case.
+ *
+ * This is the per-microarchitecture lookup the paper describes: each
+ * trace cycle maps to the CPU instruction that drives the module's ports
+ * with exactly those values (ALU ops for alu32 frames; FPU ops, fflags
+ * clears, or integer nops for fpu32 frames). Expected results come from
+ * the golden models; register allocation is deferred to the test-case
+ * compiler (runtime/test_case.cpp), matching the paper's deferral to the
+ * Test Integration phase.
+ */
+#pragma once
+
+#include <string>
+
+#include "lift/failure_model.h"
+#include "runtime/test_case.h"
+#include "sim/waveform.h"
+
+namespace vega::lift {
+
+struct ConversionResult
+{
+    bool ok = false;
+    runtime::TestCase test;
+    /** Why conversion failed (the paper's "FC" outcome). */
+    std::string reason;
+};
+
+/**
+ * Convert @p trace (recorded by BMC on the shadow-instrumented module)
+ * into a finalized TestCase.
+ */
+ConversionResult build_test_case(ModuleKind kind, const Waveform &trace,
+                                 int pair_index,
+                                 const std::string &config_name);
+
+/**
+ * The `assume property` input restrictions for a module (§3.3.3):
+ * returns nets that must be 1 every cycle. Builds constraint logic into
+ * @p nl; call on the instrumented copy before BMC.
+ */
+std::vector<NetId> build_assumes(Netlist &nl, ModuleKind kind);
+
+} // namespace vega::lift

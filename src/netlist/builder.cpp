@@ -1,0 +1,197 @@
+#include "netlist/builder.h"
+
+#include "common/logging.h"
+
+namespace vega {
+
+Builder::Builder(Netlist &nl, std::string prefix)
+    : nl_(nl), prefix_(std::move(prefix))
+{
+}
+
+std::string
+Builder::next_name(const char *kind)
+{
+    return prefix_ + "_" + kind + std::to_string(counter_++);
+}
+
+NetId
+Builder::const0()
+{
+    NetId out = nl_.new_net(next_name("c0"));
+    nl_.add_cell(CellType::Const0, next_name("C0"), {}, out);
+    return out;
+}
+
+NetId
+Builder::const1()
+{
+    NetId out = nl_.new_net(next_name("c1"));
+    nl_.add_cell(CellType::Const1, next_name("C1"), {}, out);
+    return out;
+}
+
+#define VEGA_GATE1(fn, TYPE)                                                 \
+    NetId Builder::fn(NetId a)                                               \
+    {                                                                        \
+        NetId out = nl_.new_net(next_name("n"));                             \
+        nl_.add_cell(CellType::TYPE, next_name(#TYPE), {a}, out);            \
+        return out;                                                          \
+    }
+
+#define VEGA_GATE2(fn, TYPE)                                                 \
+    NetId Builder::fn(NetId a, NetId b)                                      \
+    {                                                                        \
+        NetId out = nl_.new_net(next_name("n"));                             \
+        nl_.add_cell(CellType::TYPE, next_name(#TYPE), {a, b}, out);         \
+        return out;                                                          \
+    }
+
+VEGA_GATE1(buf, Buf)
+VEGA_GATE1(not_, Not)
+VEGA_GATE2(and_, And2)
+VEGA_GATE2(or_, Or2)
+VEGA_GATE2(xor_, Xor2)
+VEGA_GATE2(nand_, Nand2)
+VEGA_GATE2(nor_, Nor2)
+VEGA_GATE2(xnor_, Xnor2)
+
+#undef VEGA_GATE1
+#undef VEGA_GATE2
+
+NetId
+Builder::mux(NetId a, NetId b, NetId s)
+{
+    NetId out = nl_.new_net(next_name("n"));
+    nl_.add_cell(CellType::Mux2, next_name("MUX2"), {a, b, s}, out);
+    return out;
+}
+
+NetId
+Builder::dff(NetId d, bool init, uint32_t clock_leaf)
+{
+    NetId q = nl_.new_net(next_name("q"));
+    nl_.add_dff(next_name("DFF"), d, q, init, clock_leaf);
+    return q;
+}
+
+namespace {
+
+template <typename GateFn>
+NetId
+reduce_tree(const std::vector<NetId> &xs, GateFn gate)
+{
+    VEGA_CHECK(!xs.empty(), "empty reduction");
+    std::vector<NetId> level = xs;
+    while (level.size() > 1) {
+        std::vector<NetId> next;
+        for (size_t i = 0; i + 1 < level.size(); i += 2)
+            next.push_back(gate(level[i], level[i + 1]));
+        if (level.size() % 2 != 0)
+            next.push_back(level.back());
+        level = std::move(next);
+    }
+    return level[0];
+}
+
+} // namespace
+
+NetId
+Builder::and_n(const std::vector<NetId> &xs)
+{
+    return reduce_tree(xs, [this](NetId a, NetId b) { return and_(a, b); });
+}
+
+NetId
+Builder::or_n(const std::vector<NetId> &xs)
+{
+    return reduce_tree(xs, [this](NetId a, NetId b) { return or_(a, b); });
+}
+
+NetId
+Builder::xor_n(const std::vector<NetId> &xs)
+{
+    return reduce_tree(xs, [this](NetId a, NetId b) { return xor_(a, b); });
+}
+
+Bus
+Builder::buf_bus(const Bus &a)
+{
+    Bus out;
+    out.reserve(a.size());
+    for (NetId n : a)
+        out.push_back(buf(n));
+    return out;
+}
+
+Bus
+Builder::not_bus(const Bus &a)
+{
+    Bus out;
+    out.reserve(a.size());
+    for (NetId n : a)
+        out.push_back(not_(n));
+    return out;
+}
+
+#define VEGA_BUS2(fn, gate)                                                  \
+    Bus Builder::fn(const Bus &a, const Bus &b)                              \
+    {                                                                        \
+        VEGA_CHECK(a.size() == b.size(), "bus width mismatch");              \
+        Bus out;                                                             \
+        out.reserve(a.size());                                               \
+        for (size_t i = 0; i < a.size(); ++i)                                \
+            out.push_back(gate(a[i], b[i]));                                 \
+        return out;                                                          \
+    }
+
+VEGA_BUS2(and_bus, and_)
+VEGA_BUS2(or_bus, or_)
+VEGA_BUS2(xor_bus, xor_)
+
+#undef VEGA_BUS2
+
+Bus
+Builder::mux_bus(const Bus &a, const Bus &b, NetId s)
+{
+    VEGA_CHECK(a.size() == b.size(), "bus width mismatch");
+    Bus out;
+    out.reserve(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        out.push_back(mux(a[i], b[i], s));
+    return out;
+}
+
+Bus
+Builder::dff_bus(const Bus &d, uint32_t clock_leaf)
+{
+    Bus q;
+    q.reserve(d.size());
+    for (NetId n : d)
+        q.push_back(dff(n, false, clock_leaf));
+    return q;
+}
+
+Bus
+Builder::const_bus(size_t width, uint64_t value)
+{
+    // Share one constant-0 and one constant-1 driver per call.
+    NetId c0 = kInvalidId, c1 = kInvalidId;
+    Bus out;
+    out.reserve(width);
+    for (size_t i = 0; i < width; ++i) {
+        bool bit = (i < 64) && ((value >> i) & 1);
+        if (bit) {
+            if (c1 == kInvalidId)
+                c1 = const1();
+            out.push_back(c1);
+        } else {
+            if (c0 == kInvalidId)
+                c0 = const0();
+            out.push_back(c0);
+        }
+    }
+    return out;
+}
+
+} // namespace vega

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Structural netlist construction helper.
+ *
+ * Plays the role of the synthesis tool's technology mapper: rtl generators
+ * describe functional units gate-by-gate through this fluent API instead of
+ * writing Verilog and running Genus/Design Compiler. Every helper allocates
+ * uniquely-named nets and cells so the resulting netlist is well-formed by
+ * construction.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace vega {
+
+/** A bus of nets, LSB first. */
+using Bus = std::vector<NetId>;
+
+class Builder
+{
+  public:
+    explicit Builder(Netlist &nl, std::string prefix = "u");
+
+    Netlist &netlist() { return nl_; }
+
+    /// @name Single-bit gates (each returns the output net)
+    /// @{
+    NetId const0();
+    NetId const1();
+    NetId buf(NetId a);
+    NetId not_(NetId a);
+    NetId and_(NetId a, NetId b);
+    NetId or_(NetId a, NetId b);
+    NetId xor_(NetId a, NetId b);
+    NetId nand_(NetId a, NetId b);
+    NetId nor_(NetId a, NetId b);
+    NetId xnor_(NetId a, NetId b);
+    /** out = s ? b : a. */
+    NetId mux(NetId a, NetId b, NetId s);
+    /** D flip-flop; returns Q. */
+    NetId dff(NetId d, bool init = false, uint32_t clock_leaf = 0);
+    /// @}
+
+    /// @name Multi-input reductions (balanced trees)
+    /// @{
+    NetId and_n(const std::vector<NetId> &xs);
+    NetId or_n(const std::vector<NetId> &xs);
+    NetId xor_n(const std::vector<NetId> &xs);
+    /// @}
+
+    /// @name Bus helpers
+    /// @{
+    Bus buf_bus(const Bus &a);
+    Bus not_bus(const Bus &a);
+    Bus and_bus(const Bus &a, const Bus &b);
+    Bus or_bus(const Bus &a, const Bus &b);
+    Bus xor_bus(const Bus &a, const Bus &b);
+    /** Per-bit mux: s ? b : a. */
+    Bus mux_bus(const Bus &a, const Bus &b, NetId s);
+    /** Register a whole bus; returns the Q bus. */
+    Bus dff_bus(const Bus &d, uint32_t clock_leaf = 0);
+    /** Bus of constant bits from the low bits of @p value. */
+    Bus const_bus(size_t width, uint64_t value);
+    /// @}
+
+  private:
+    std::string next_name(const char *kind);
+
+    Netlist &nl_;
+    std::string prefix_;
+    uint64_t counter_ = 0;
+};
+
+} // namespace vega

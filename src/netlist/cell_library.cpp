@@ -1,0 +1,132 @@
+#include "netlist/cell_library.h"
+
+#include "common/logging.h"
+
+namespace vega {
+
+int
+cell_num_inputs(CellType type)
+{
+    switch (type) {
+      case CellType::Const0:
+      case CellType::Const1:
+        return 0;
+      case CellType::Buf:
+      case CellType::Not:
+      case CellType::Dff:
+        return 1;
+      case CellType::And2:
+      case CellType::Or2:
+      case CellType::Xor2:
+      case CellType::Nand2:
+      case CellType::Nor2:
+      case CellType::Xnor2:
+        return 2;
+      case CellType::Mux2:
+        return 3;
+    }
+    panic("cell_num_inputs: bad type");
+}
+
+const char *
+cell_type_name(CellType type)
+{
+    switch (type) {
+      case CellType::Const0: return "CONST0";
+      case CellType::Const1: return "CONST1";
+      case CellType::Buf:    return "BUF";
+      case CellType::Not:    return "NOT";
+      case CellType::And2:   return "AND2";
+      case CellType::Or2:    return "OR2";
+      case CellType::Xor2:   return "XOR2";
+      case CellType::Nand2:  return "NAND2";
+      case CellType::Nor2:   return "NOR2";
+      case CellType::Xnor2:  return "XNOR2";
+      case CellType::Mux2:   return "MUX2";
+      case CellType::Dff:    return "DFF";
+    }
+    return "?";
+}
+
+bool
+eval_cell(CellType type, bool a, bool b, bool s)
+{
+    switch (type) {
+      case CellType::Const0: return false;
+      case CellType::Const1: return true;
+      case CellType::Buf:    return a;
+      case CellType::Not:    return !a;
+      case CellType::And2:   return a && b;
+      case CellType::Or2:    return a || b;
+      case CellType::Xor2:   return a != b;
+      case CellType::Nand2:  return !(a && b);
+      case CellType::Nor2:   return !(a || b);
+      case CellType::Xnor2:  return a == b;
+      case CellType::Mux2:   return s ? b : a;
+      case CellType::Dff:    break;
+    }
+    panic("eval_cell: DFF is not combinational");
+}
+
+const CellTiming &
+cell_timing(CellType type)
+{
+    // Picosecond-scale values consistent with a 28 nm standard cell library
+    // under the worst-case (slow-slow, low-voltage, high-temperature) corner
+    // that the paper's Aging-Aware STA assumes (§3.2.2).
+    static const CellTiming kConst = {0.0, 0.0, 0.0, 0.0};
+    static const CellTiming kBuf   = {14.0, 6.0, 0.0, 0.0};
+    static const CellTiming kNot   = {11.0, 5.0, 0.0, 0.0};
+    static const CellTiming kAnd2  = {24.0, 10.0, 0.0, 0.0};
+    static const CellTiming kOr2   = {26.0, 10.0, 0.0, 0.0};
+    static const CellTiming kXor2  = {34.0, 14.0, 0.0, 0.0};
+    static const CellTiming kNand2 = {18.0, 7.0, 0.0, 0.0};
+    static const CellTiming kNor2  = {21.0, 8.0, 0.0, 0.0};
+    static const CellTiming kXnor2 = {34.0, 14.0, 0.0, 0.0};
+    static const CellTiming kMux2  = {30.0, 12.0, 0.0, 0.0};
+    // DFF: clk-to-Q max/min, then setup and hold requirements.
+    static const CellTiming kDff   = {52.0, 26.0, 38.0, 16.0};
+
+    switch (type) {
+      case CellType::Const0:
+      case CellType::Const1: return kConst;
+      case CellType::Buf:    return kBuf;
+      case CellType::Not:    return kNot;
+      case CellType::And2:   return kAnd2;
+      case CellType::Or2:    return kOr2;
+      case CellType::Xor2:   return kXor2;
+      case CellType::Nand2:  return kNand2;
+      case CellType::Nor2:   return kNor2;
+      case CellType::Xnor2:  return kXnor2;
+      case CellType::Mux2:   return kMux2;
+      case CellType::Dff:    return kDff;
+    }
+    panic("cell_timing: bad type");
+}
+
+double
+cell_aging_sensitivity(CellType type)
+{
+    // Relative sensitivity of delay to a threshold-voltage shift. Cells with
+    // series PMOS stacks (NOR-like pull-ups) degrade faster under NBTI;
+    // transmission-gate structures (XOR/MUX) sit in between; NAND-like
+    // pull-ups are most robust. Constants are dimensionless multipliers on
+    // the alpha-power-law degradation computed in src/aging.
+    switch (type) {
+      case CellType::Const0:
+      case CellType::Const1: return 0.0;
+      case CellType::Buf:    return 0.90;
+      case CellType::Not:    return 1.00;
+      case CellType::And2:   return 1.00;
+      case CellType::Or2:    return 1.20;
+      case CellType::Xor2:   return 1.10;
+      case CellType::Nand2:  return 0.85;
+      case CellType::Nor2:   return 1.30;
+      case CellType::Xnor2:  return 1.10;
+      case CellType::Mux2:   return 1.05;
+      case CellType::Dff:    return 0.95;
+    }
+    panic("cell_aging_sensitivity: bad type");
+}
+
+} // namespace vega

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The "vega28" standard cell library.
+ *
+ * The paper synthesizes the CV32E40P ALU/FPU into a real 28 nm cell library;
+ * this module plays that library's role. It defines the primitive cell types
+ * a netlist may contain, their logic functions (shared by the simulator and
+ * the CNF encoder so both interpret a netlist identically), and their fresh
+ * (unaged) timing characteristics. Aging adjustments are layered on top by
+ * src/aging (the aging-aware timing library of §3.2.2).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vega {
+
+/** Primitive cell types available to synthesized netlists. */
+enum class CellType : uint8_t {
+    Const0, ///< constant logical 0 driver
+    Const1, ///< constant logical 1 driver
+    Buf,    ///< buffer
+    Not,    ///< inverter
+    And2,
+    Or2,
+    Xor2,
+    Nand2,
+    Nor2,
+    Xnor2,
+    Mux2,   ///< 2:1 mux; inputs (A, B, S): out = S ? B : A
+    Dff,    ///< D flip-flop; input (D), output Q, posedge-clocked
+};
+
+/** Number of logic input pins for a cell type. */
+int cell_num_inputs(CellType type);
+
+/** True for the sequential element (DFF). */
+inline bool cell_is_dff(CellType type) { return type == CellType::Dff; }
+
+/** Human-readable type name, e.g. "XOR2". */
+const char *cell_type_name(CellType type);
+
+/**
+ * Combinational logic function of a cell.
+ *
+ * Unused inputs must be passed as false. Dff is not a combinational
+ * function and must not be evaluated through here.
+ */
+bool eval_cell(CellType type, bool a, bool b = false, bool s = false);
+
+/**
+ * Fresh (unaged) timing characteristics of a cell, in picoseconds.
+ *
+ * For Dff, delay_max/min are the clk-to-Q arcs and setup/hold are the
+ * input-pin constraints of Figure 1.
+ */
+struct CellTiming
+{
+    double delay_max; ///< max propagation delay (ps)
+    double delay_min; ///< min propagation delay (ps)
+    double setup;     ///< setup time (ps), DFF only
+    double hold;      ///< hold time (ps), DFF only
+};
+
+/** The vega28 timing entry for @p type. */
+const CellTiming &cell_timing(CellType type);
+
+/**
+ * Per-type BTI aging sensitivity.
+ *
+ * Scales how strongly a cell's propagation delay reacts to a given
+ * threshold-voltage shift; wider cells with more stacked PMOS devices
+ * (NOR-like) are more sensitive than NAND-like ones, per §2.3.1.
+ */
+double cell_aging_sensitivity(CellType type);
+
+} // namespace vega

@@ -1,0 +1,267 @@
+#include "netlist/netlist.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.h"
+
+namespace vega {
+
+NetId
+Netlist::new_net(const std::string &name)
+{
+    nets_.push_back(Net{name, kInvalidId, false});
+    topo_dirty_ = true;
+    return static_cast<NetId>(nets_.size() - 1);
+}
+
+CellId
+Netlist::add_cell(CellType type, const std::string &name,
+                  const std::vector<NetId> &inputs, NetId out)
+{
+    VEGA_CHECK(static_cast<int>(inputs.size()) == cell_num_inputs(type),
+               "cell ", name, " pin count");
+    VEGA_CHECK(out < nets_.size(), "cell ", name, " output net");
+    VEGA_CHECK(nets_[out].driver == kInvalidId && !nets_[out].is_primary_input,
+               "net ", nets_[out].name, " multiply driven");
+
+    Cell c;
+    c.type = type;
+    c.name = name;
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        VEGA_CHECK(inputs[i] < nets_.size(), "cell ", name, " input net");
+        c.in[i] = inputs[i];
+    }
+    c.out = out;
+    cells_.push_back(c);
+    CellId id = static_cast<CellId>(cells_.size() - 1);
+    nets_[out].driver = id;
+    topo_dirty_ = true;
+    return id;
+}
+
+CellId
+Netlist::add_dff(const std::string &name, NetId d, NetId q, bool init,
+                 uint32_t clock_leaf)
+{
+    CellId id = add_cell(CellType::Dff, name, {d}, q);
+    cells_[id].init = init;
+    cells_[id].clock_leaf = clock_leaf;
+    return id;
+}
+
+void
+Netlist::mark_input(NetId net)
+{
+    VEGA_CHECK(nets_[net].driver == kInvalidId,
+               "net ", nets_[net].name, " already driven");
+    nets_[net].is_primary_input = true;
+    topo_dirty_ = true;
+}
+
+std::vector<NetId>
+Netlist::add_input_bus(const std::string &name, size_t width)
+{
+    std::vector<NetId> nets;
+    nets.reserve(width);
+    for (size_t i = 0; i < width; ++i) {
+        NetId n = new_net(name + "[" + std::to_string(i) + "]");
+        mark_input(n);
+        nets.push_back(n);
+    }
+    add_input_bus_alias(name, nets);
+    return nets;
+}
+
+void
+Netlist::add_input_bus_alias(const std::string &name,
+                             const std::vector<NetId> &nets)
+{
+    VEGA_CHECK(!buses_.count(name), "duplicate bus ", name);
+    buses_[name] = nets;
+    input_bus_order_.push_back(name);
+}
+
+void
+Netlist::add_output_bus(const std::string &name,
+                        const std::vector<NetId> &nets)
+{
+    VEGA_CHECK(!buses_.count(name), "duplicate bus ", name);
+    buses_[name] = nets;
+    output_bus_order_.push_back(name);
+}
+
+const std::vector<NetId> &
+Netlist::bus(const std::string &name) const
+{
+    auto it = buses_.find(name);
+    VEGA_CHECK(it != buses_.end(), "no bus named ", name);
+    return it->second;
+}
+
+std::vector<NetId>
+Netlist::primary_inputs() const
+{
+    std::vector<NetId> out;
+    for (const auto &name : input_bus_order_)
+        for (NetId n : buses_.at(name))
+            out.push_back(n);
+    return out;
+}
+
+std::vector<NetId>
+Netlist::primary_outputs() const
+{
+    std::vector<NetId> out;
+    for (const auto &name : output_bus_order_)
+        for (NetId n : buses_.at(name))
+            out.push_back(n);
+    return out;
+}
+
+std::vector<CellId>
+Netlist::dffs() const
+{
+    std::vector<CellId> out;
+    for (CellId i = 0; i < cells_.size(); ++i)
+        if (cells_[i].type == CellType::Dff)
+            out.push_back(i);
+    return out;
+}
+
+std::unordered_map<CellType, size_t>
+Netlist::type_histogram() const
+{
+    std::unordered_map<CellType, size_t> h;
+    for (const Cell &c : cells_)
+        ++h[c.type];
+    return h;
+}
+
+const std::vector<CellId> &
+Netlist::topo_order() const
+{
+    if (!topo_dirty_)
+        return topo_;
+
+    // Kahn's algorithm over the combinational subgraph. A combinational
+    // cell becomes ready once all its input nets are resolved; primary
+    // inputs, constants, and DFF Q outputs are resolved from the start.
+    std::vector<bool> net_ready(nets_.size(), false);
+    for (NetId n = 0; n < nets_.size(); ++n) {
+        const Net &net = nets_[n];
+        if (net.is_primary_input)
+            net_ready[n] = true;
+        else if (net.driver != kInvalidId &&
+                 cells_[net.driver].type == CellType::Dff)
+            net_ready[n] = true;
+    }
+
+    // Build reader lists while we are at it.
+    readers_.assign(nets_.size(), {});
+    for (CellId c = 0; c < cells_.size(); ++c)
+        for (int i = 0; i < cells_[c].num_inputs(); ++i)
+            readers_[cells_[c].in[i]].push_back(c);
+
+    std::vector<int> missing(cells_.size(), 0);
+    std::deque<CellId> ready;
+    for (CellId c = 0; c < cells_.size(); ++c) {
+        const Cell &cell = cells_[c];
+        if (cell.type == CellType::Dff)
+            continue;
+        int need = 0;
+        for (int i = 0; i < cell.num_inputs(); ++i)
+            if (!net_ready[cell.in[i]])
+                ++need;
+        missing[c] = need;
+        if (need == 0)
+            ready.push_back(c);
+    }
+
+    topo_.clear();
+    size_t num_comb = 0;
+    for (const Cell &c : cells_)
+        if (c.type != CellType::Dff)
+            ++num_comb;
+
+    while (!ready.empty()) {
+        CellId c = ready.front();
+        ready.pop_front();
+        topo_.push_back(c);
+        NetId out = cells_[c].out;
+        net_ready[out] = true;
+        // readers_ holds one entry per (cell, pin), so a cell reading
+        // this net on several pins appears several times — decrement
+        // exactly once per occurrence.
+        for (CellId r : readers_[out]) {
+            if (cells_[r].type == CellType::Dff)
+                continue;
+            if (--missing[r] == 0)
+                ready.push_back(r);
+        }
+    }
+
+    VEGA_CHECK(topo_.size() == num_comb,
+               "combinational cycle in netlist ", name_, " (", topo_.size(),
+               " of ", num_comb, " cells ordered)");
+    topo_dirty_ = false;
+    return topo_;
+}
+
+const std::vector<CellId> &
+Netlist::readers(NetId net) const
+{
+    topo_order(); // refreshes readers_ if dirty
+    return readers_[net];
+}
+
+std::vector<CellId>
+Netlist::fanout_cone(CellId root) const
+{
+    topo_order();
+    std::vector<bool> seen(cells_.size(), false);
+    std::deque<CellId> work{root};
+    seen[root] = true;
+    std::vector<CellId> cone;
+    while (!work.empty()) {
+        CellId c = work.front();
+        work.pop_front();
+        cone.push_back(c);
+        for (CellId r : readers_[cells_[c].out]) {
+            if (!seen[r]) {
+                seen[r] = true;
+                work.push_back(r);
+            }
+        }
+    }
+    return cone;
+}
+
+void
+Netlist::validate() const
+{
+    for (NetId n = 0; n < nets_.size(); ++n) {
+        const Net &net = nets_[n];
+        bool driven = net.driver != kInvalidId || net.is_primary_input;
+        VEGA_CHECK(driven, "net ", net.name, " undriven");
+        if (net.driver != kInvalidId)
+            VEGA_CHECK(cells_[net.driver].out == n,
+                       "net ", net.name, " driver mismatch");
+    }
+    for (CellId c = 0; c < cells_.size(); ++c) {
+        const Cell &cell = cells_[c];
+        for (int i = 0; i < cell.num_inputs(); ++i)
+            VEGA_CHECK(cell.in[i] < nets_.size(),
+                       "cell ", cell.name, " dangling pin");
+        VEGA_CHECK(cell.out < nets_.size(), "cell ", cell.name, " output");
+    }
+    topo_order(); // asserts acyclicity
+}
+
+void
+Netlist::invalidate_caches() const
+{
+    topo_dirty_ = true;
+}
+
+} // namespace vega

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Structural Verilog import.
+ *
+ * Parses the gate-level subset emitted by verilog_writer.h — module
+ * header, port declarations, escaped-identifier wires, constant/mux
+ * assigns, primitive gate instances, and VEGA_DFF instances — so the
+ * circuit-level failure models Vega exports (§3.3.2) can be read back
+ * into a Netlist for simulation, BMC, or re-instrumentation.
+ */
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace vega {
+
+/**
+ * Parse the first module of @p text into a Netlist. Throws
+ * std::runtime_error with a line number on any syntax the subset does
+ * not cover.
+ */
+Netlist read_verilog(const std::string &text);
+
+} // namespace vega

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Structural Verilog export.
+ *
+ * Serializes a Netlist (including instrumented failing netlists from the
+ * Error Lifting phase, §3.3.2) as a synthesizable gate-level Verilog module
+ * so the circuit-level failure models Vega produces can be consumed by
+ * external simulators and FPGA flows, as the paper advertises.
+ */
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace vega {
+
+/** Write @p nl as a structural Verilog module to @p os. */
+void write_verilog(const Netlist &nl, std::ostream &os);
+
+/** Convenience: render to a string. */
+std::string to_verilog(const Netlist &nl);
+
+} // namespace vega

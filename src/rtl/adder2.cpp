@@ -1,0 +1,70 @@
+#include "rtl/adder2.h"
+
+#include "common/logging.h"
+
+namespace vega {
+
+const char *
+module_kind_name(ModuleKind kind)
+{
+    switch (kind) {
+      case ModuleKind::Adder2: return "adder2";
+      case ModuleKind::Alu32:  return "alu32";
+      case ModuleKind::Fpu32:  return "fpu32";
+      case ModuleKind::Mdu32:  return "mdu32";
+    }
+    return "?";
+}
+
+namespace rtl {
+
+HwModule
+make_adder2()
+{
+    HwModule m;
+    m.kind = ModuleKind::Adder2;
+    m.latency = 2;
+    Netlist &nl = m.netlist;
+    nl.set_name("adder2");
+
+    // Clock: a two-level tree; DFFs $1..$4 on leaf 0, $9/$10 on leaf 1.
+    auto leaves = m.clock.grow_balanced(1, 20.0, 12.0);
+
+    auto a = nl.add_input_bus("a", 2);
+    auto b = nl.add_input_bus("b", 2);
+
+    // Input registers $1..$4: aq[0], aq[1], bq[0], bq[1].
+    NetId aq0 = nl.new_net("aq[0]");
+    NetId aq1 = nl.new_net("aq[1]");
+    NetId bq0 = nl.new_net("bq[0]");
+    NetId bq1 = nl.new_net("bq[1]");
+    nl.add_dff("$1", a[0], aq0, false, leaves[0]);
+    nl.add_dff("$2", a[1], aq1, false, leaves[0]);
+    nl.add_dff("$3", b[0], bq0, false, leaves[0]);
+    nl.add_dff("$4", b[1], bq1, false, leaves[0]);
+
+    // Combinational sum: o[0] = aq0 ^ bq0; o[1] = (aq1 ^ bq1) ^ carry.
+    NetId s0 = nl.new_net("sum0");
+    nl.add_cell(CellType::Xor2, "$5", {aq0, bq0}, s0);
+    NetId carry = nl.new_net("carry");
+    nl.add_cell(CellType::And2, "$6", {aq0, bq0}, carry);
+    NetId p1 = nl.new_net("p1");
+    nl.add_cell(CellType::Xor2, "$7", {aq1, bq1}, p1);
+    NetId s1 = nl.new_net("sum1");
+    nl.add_cell(CellType::Xor2, "$8", {p1, carry}, s1);
+
+    // Output registers $9 / $10.
+    NetId o0 = nl.new_net("o[0]");
+    NetId o1 = nl.new_net("o[1]");
+    nl.add_dff("$9", s0, o0, false, leaves[1]);
+    nl.add_dff("$10", s1, o1, false, leaves[1]);
+
+    nl.add_output_bus("o", {o0, o1});
+
+    nl.set_clock_period_ps(1000.0); // 1 GHz, as in §3.1
+    nl.validate();
+    return m;
+}
+
+} // namespace rtl
+} // namespace vega

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * The paper's running example: the pipelined 2-bit adder of Listing 1,
+ * synthesized into the exact netlist of Figure 3 (cells $1..$10).
+ */
+#pragma once
+
+#include "rtl/module.h"
+
+namespace vega::rtl {
+
+/**
+ * Build the Listing-1 adder. Ports: inputs a[1:0], b[1:0]; output o[1:0].
+ * Targets 1 GHz (1000 ps period) as in §3.1.
+ */
+HwModule make_adder2();
+
+} // namespace vega::rtl

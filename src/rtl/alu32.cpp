@@ -1,0 +1,95 @@
+#include "rtl/alu32.h"
+
+#include "rtl/blocks.h"
+
+namespace vega::rtl {
+
+HwModule
+make_alu32()
+{
+    HwModule m;
+    m.kind = ModuleKind::Alu32;
+    m.latency = 2;
+    Netlist &nl = m.netlist;
+    nl.set_name("alu32");
+    nl.set_clock_period_ps(6000.0); // 167 MHz, as in the paper
+
+    // Clock: three levels, eight leaves, all free-running (the ALU is
+    // never clock gated in our CPU, so its tree ages uniformly).
+    auto leaves = m.clock.grow_balanced(3, 24.0, 14.0);
+
+    Builder b(nl, "alu");
+
+    Bus a_in = nl.add_input_bus("a", 32);
+    Bus b_in = nl.add_input_bus("b", 32);
+    Bus op_in = nl.add_input_bus("op", 4);
+
+    // Stage 1: operand registers, spread across the first four leaves.
+    Bus aq, bq;
+    for (size_t i = 0; i < 32; ++i) {
+        aq.push_back(b.dff(a_in[i], false, leaves[i / 8]));
+        bq.push_back(b.dff(b_in[i], false, leaves[i / 8]));
+    }
+    Bus opq;
+    for (size_t i = 0; i < 4; ++i)
+        opq.push_back(b.dff(op_in[i], false, leaves[0]));
+
+    // Decode: subtraction-style ops invert B and inject carry.
+    // op encodings: 1 = SUB, 3 = SLT, 4 = SLTU.
+    NetId n_op0 = b.not_(opq[0]);
+    NetId n_op1 = b.not_(opq[1]);
+    NetId n_op2 = b.not_(opq[2]);
+    NetId n_op3 = b.not_(opq[3]);
+    NetId is_sub = b.and_(b.and_(opq[0], n_op1), b.and_(n_op2, n_op3));
+    NetId is_slt = b.and_(b.and_(opq[0], opq[1]), b.and_(n_op2, n_op3));
+    NetId is_sltu = b.and_(b.and_(n_op0, n_op1), b.and_(opq[2], n_op3));
+    NetId use_sub = b.or_(is_sub, b.or_(is_slt, is_sltu));
+
+    // Shared adder/subtractor.
+    Bus b_eff;
+    b_eff.reserve(32);
+    for (size_t i = 0; i < 32; ++i)
+        b_eff.push_back(b.xor_(bq[i], use_sub));
+    AddResult add = ripple_add(b, aq, b_eff, use_sub);
+
+    // Comparisons come from the subtraction result.
+    NetId sign_diff = b.xor_(aq[31], bq[31]);
+    NetId lt_signed = b.mux(add.sum[31], aq[31], sign_diff);
+    NetId lt_unsigned = b.not_(add.carry);
+    NetId zero = b.const0();
+    Bus slt_bus = zext(b, Bus{lt_signed}, 32);
+    Bus sltu_bus = zext(b, Bus{lt_unsigned}, 32);
+    (void)zero;
+
+    // Shifters: shared right-shifter; SLL reverses in and out.
+    Bus shamt(bq.begin(), bq.begin() + 5);
+    Bus srl_out = shift_right_sticky(b, aq, shamt, b.const0()).out;
+    Bus sra_out = shift_right_sticky(b, aq, shamt, aq[31]).out;
+    Bus a_rev(aq.rbegin(), aq.rend());
+    Bus sll_rev = shift_right_sticky(b, a_rev, shamt, b.const0()).out;
+    Bus sll_out(sll_rev.rbegin(), sll_rev.rend());
+
+    // Bitwise ops.
+    Bus xor_out = b.xor_bus(aq, bq);
+    Bus or_out = b.or_bus(aq, bq);
+    Bus and_out = b.and_bus(aq, bq);
+
+    // Result select. Order matches AluOp; encodings 10..15 alias And
+    // via select()'s repeat-last padding.
+    Bus result = select(b,
+                        {add.sum, add.sum, sll_out, slt_bus, sltu_bus,
+                         xor_out, srl_out, sra_out, or_out, and_out},
+                        opq);
+
+    // Stage 2: result register, spread across the last four leaves.
+    Bus r;
+    r.reserve(32);
+    for (size_t i = 0; i < 32; ++i)
+        r.push_back(b.dff(result[i], false, leaves[4 + i / 8]));
+    nl.add_output_bus("r", r);
+
+    nl.validate();
+    return m;
+}
+
+} // namespace vega::rtl

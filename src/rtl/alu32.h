@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Gate-level 32-bit RISC-V ALU (the paper's first analysis target).
+ *
+ * Two-stage pipeline mirroring the CV32E40P EX stage structure: operand
+ * and opcode registers, a combinational compute cloud (shared
+ * adder/subtractor, barrel shifters, comparators, logic ops), and a
+ * registered result. Targets 167 MHz (6 ns period) like the paper's ALU.
+ *
+ * Ports: inputs a[31:0], b[31:0], op[3:0]; output r[31:0].
+ */
+#pragma once
+
+#include "rtl/module.h"
+
+namespace vega::rtl {
+
+HwModule make_alu32();
+
+} // namespace vega::rtl

@@ -1,0 +1,186 @@
+#include "rtl/blocks.h"
+
+#include "common/logging.h"
+
+namespace vega::rtl {
+
+AddResult
+ripple_add(Builder &b, const Bus &x, const Bus &y, NetId cin)
+{
+    VEGA_CHECK(x.size() == y.size(), "adder width mismatch");
+    NetId carry = (cin == kInvalidId) ? b.const0() : cin;
+    Bus sum;
+    sum.reserve(x.size());
+    for (size_t i = 0; i < x.size(); ++i) {
+        // Full adder from two half adders.
+        NetId axb = b.xor_(x[i], y[i]);
+        sum.push_back(b.xor_(axb, carry));
+        NetId c1 = b.and_(x[i], y[i]);
+        NetId c2 = b.and_(axb, carry);
+        carry = b.or_(c1, c2);
+    }
+    return {sum, carry};
+}
+
+AddResult
+ripple_sub(Builder &b, const Bus &x, const Bus &y)
+{
+    return ripple_add(b, x, b.not_bus(y), b.const1());
+}
+
+Bus
+increment(Builder &b, const Bus &x)
+{
+    NetId carry = b.const1();
+    Bus sum;
+    sum.reserve(x.size());
+    for (size_t i = 0; i < x.size(); ++i) {
+        sum.push_back(b.xor_(x[i], carry));
+        if (i + 1 < x.size())
+            carry = b.and_(x[i], carry);
+    }
+    return sum;
+}
+
+NetId
+is_zero(Builder &b, const Bus &x)
+{
+    return b.not_(b.or_n(x));
+}
+
+NetId
+bus_eq(Builder &b, const Bus &x, const Bus &y)
+{
+    VEGA_CHECK(x.size() == y.size(), "eq width mismatch");
+    std::vector<NetId> bits;
+    bits.reserve(x.size());
+    for (size_t i = 0; i < x.size(); ++i)
+        bits.push_back(b.xnor_(x[i], y[i]));
+    return b.and_n(bits);
+}
+
+NetId
+ult(Builder &b, const Bus &x, const Bus &y)
+{
+    // x < y  iff  x - y borrows  iff  carry-out of x + ~y + 1 is 0.
+    AddResult r = ripple_sub(b, x, y);
+    return b.not_(r.carry);
+}
+
+Bus
+zext(Builder &b, const Bus &x, size_t width)
+{
+    Bus out = x;
+    if (out.size() > width) {
+        out.resize(width);
+        return out;
+    }
+    if (out.size() < width) {
+        NetId zero = b.const0();
+        while (out.size() < width)
+            out.push_back(zero);
+    }
+    return out;
+}
+
+ShiftResult
+shift_right_sticky(Builder &b, const Bus &x, const Bus &sh, NetId fill)
+{
+    Bus cur = x;
+    NetId sticky = b.const0();
+    size_t n = cur.size();
+    for (size_t k = 0; k < sh.size(); ++k) {
+        size_t amount = size_t(1) << k;
+        // Bits that fall off the low end this stage.
+        size_t lost = std::min(amount, n);
+        std::vector<NetId> lost_bits(cur.begin(), cur.begin() + lost);
+        NetId stage_sticky = b.and_(sh[k], b.or_n(lost_bits));
+        sticky = b.or_(sticky, stage_sticky);
+
+        Bus shifted;
+        shifted.reserve(n);
+        for (size_t i = 0; i < n; ++i)
+            shifted.push_back(i + amount < n ? cur[i + amount] : fill);
+        cur = b.mux_bus(cur, shifted, sh[k]);
+    }
+    return {cur, sticky};
+}
+
+Bus
+shift_left(Builder &b, const Bus &x, const Bus &sh)
+{
+    Bus cur = x;
+    size_t n = cur.size();
+    NetId zero = b.const0();
+    for (size_t k = 0; k < sh.size(); ++k) {
+        size_t amount = size_t(1) << k;
+        Bus shifted;
+        shifted.reserve(n);
+        for (size_t i = 0; i < n; ++i)
+            shifted.push_back(i >= amount ? cur[i - amount] : zero);
+        cur = b.mux_bus(cur, shifted, sh[k]);
+    }
+    return cur;
+}
+
+Bus
+leading_zero_count(Builder &b, const Bus &x)
+{
+    // Linear mux scan from the MSB: the count is the index of the first
+    // set bit, or |x| when all bits are clear. Width: enough to hold |x|.
+    size_t n = x.size();
+    size_t w = 1;
+    while ((size_t(1) << w) < n + 1)
+        ++w;
+
+    Bus count = b.const_bus(w, n); // all-zero case
+    // Walk from LSB to MSB so the MSB has the highest priority.
+    for (size_t i = 0; i < n; ++i) {
+        Bus when_set = b.const_bus(w, n - 1 - i);
+        count = b.mux_bus(count, when_set, x[i]);
+    }
+    return count;
+}
+
+Bus
+multiply(Builder &b, const Bus &x, const Bus &y)
+{
+    size_t nx = x.size(), ny = y.size();
+    // Accumulate shifted partial products with ripple adders.
+    Bus acc = b.const_bus(nx + ny, 0);
+    for (size_t j = 0; j < ny; ++j) {
+        Bus pp;
+        pp.reserve(nx + ny);
+        NetId zero = b.const0();
+        for (size_t i = 0; i < j; ++i)
+            pp.push_back(zero);
+        for (size_t i = 0; i < nx; ++i)
+            pp.push_back(b.and_(x[i], y[j]));
+        while (pp.size() < nx + ny)
+            pp.push_back(zero);
+        acc = ripple_add(b, acc, pp).sum;
+    }
+    return acc;
+}
+
+Bus
+select(Builder &b, const std::vector<Bus> &options, const Bus &sel)
+{
+    VEGA_CHECK(!options.empty(), "select: no options");
+    std::vector<Bus> level = options;
+    // Pad to a power of two by repeating the last option.
+    size_t need = size_t(1) << sel.size();
+    while (level.size() < need)
+        level.push_back(level.back());
+
+    for (size_t k = 0; k < sel.size(); ++k) {
+        std::vector<Bus> next;
+        for (size_t i = 0; i + 1 < level.size(); i += 2)
+            next.push_back(b.mux_bus(level[i], level[i + 1], sel[k]));
+        level = std::move(next);
+    }
+    VEGA_CHECK(level.size() == 1, "select: reduction error");
+    return level[0];
+}
+
+} // namespace vega::rtl

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Generic gate-level arithmetic blocks.
+ *
+ * These are the technology-mapped building blocks the rtl generators
+ * compose into the ALU and FPU netlists — the role a synthesis tool's
+ * arithmetic library (ripple adders, barrel shifters, array multipliers,
+ * leading-zero counters) plays in the paper's flow.
+ */
+#pragma once
+
+#include <vector>
+
+#include "netlist/builder.h"
+
+namespace vega::rtl {
+
+/** Sum bus plus the final carry-out. */
+struct AddResult
+{
+    Bus sum;
+    NetId carry;
+};
+
+/** a + b + cin; pass kInvalidId as @p cin for a hard 0. */
+AddResult ripple_add(Builder &b, const Bus &x, const Bus &y,
+                     NetId cin = kInvalidId);
+
+/** a - b; returns sum and carry (carry == 1 means no borrow, i.e. a >= b). */
+AddResult ripple_sub(Builder &b, const Bus &x, const Bus &y);
+
+/** a + 1. */
+Bus increment(Builder &b, const Bus &x);
+
+/** 1 iff all bits of @p x are zero. */
+NetId is_zero(Builder &b, const Bus &x);
+
+/** 1 iff x == y bitwise. */
+NetId bus_eq(Builder &b, const Bus &x, const Bus &y);
+
+/** 1 iff x < y, unsigned. */
+NetId ult(Builder &b, const Bus &x, const Bus &y);
+
+/** Zero-extend (or truncate) to @p width. */
+Bus zext(Builder &b, const Bus &x, size_t width);
+
+/** Result of a right shift that tracks the OR of shifted-out bits. */
+struct ShiftResult
+{
+    Bus out;
+    NetId sticky;
+};
+
+/**
+ * Logical/arithmetic barrel right shift by the unsigned amount @p sh.
+ * Vacated positions fill with @p fill (a net; pass builder const0 for
+ * logical). Shift amounts >= width shift everything out.
+ */
+ShiftResult shift_right_sticky(Builder &b, const Bus &x, const Bus &sh,
+                               NetId fill);
+
+/** Barrel left shift, zero fill. */
+Bus shift_left(Builder &b, const Bus &x, const Bus &sh);
+
+/** Count of leading zeros of @p x (MSB-first), as a minimal-width bus. */
+Bus leading_zero_count(Builder &b, const Bus &x);
+
+/** Unsigned array multiplier: result width = |x| + |y|. */
+Bus multiply(Builder &b, const Bus &x, const Bus &y);
+
+/**
+ * Binary-select mux tree: options[sel]. All options must share a width
+ * and options.size() must be a power-of-two reachable by |sel| bits
+ * (missing entries select option 0's width duplicate — caller pads).
+ */
+Bus select(Builder &b, const std::vector<Bus> &options, const Bus &sel);
+
+} // namespace vega::rtl

@@ -1,0 +1,584 @@
+#include "rtl/fpu32.h"
+
+#include "common/logging.h"
+#include "rtl/blocks.h"
+
+namespace vega::rtl {
+
+namespace {
+
+/** Result of the shared round-and-pack unit. */
+struct Packed
+{
+    Bus bits;   ///< 32-bit result
+    NetId of;   ///< overflow raised
+    NetId uf;   ///< underflow (flush) raised
+    NetId nx;   ///< inexact raised
+};
+
+/** Bus of the 32-bit encoding {sign, exp[7:0], man[22:0]}, LSB first. */
+Bus
+pack_bits(const Bus &man23, const Bus &exp8, NetId sign)
+{
+    Bus out = man23;
+    out.insert(out.end(), exp8.begin(), exp8.end());
+    out.push_back(sign);
+    return out;
+}
+
+/**
+ * Round-to-nearest-even and final packing (mirrors softfp round_pack).
+ *
+ * @param exp10 biased exponent, 10-bit two's complement
+ * @param man24 normalized significand, bit 23 = leading one
+ */
+Packed
+round_pack(Builder &b, NetId sign, const Bus &exp10, const Bus &man24,
+           NetId g, NetId r, NetId s)
+{
+    VEGA_CHECK(exp10.size() == 10 && man24.size() == 24, "round_pack widths");
+
+    NetId inexact = b.or_(g, b.or_(r, s));
+    NetId round_up = b.and_(g, b.or_(r, b.or_(s, man24[0])));
+
+    // man24 + round_up, 25 bits.
+    Bus man25 = zext(b, man24, 25);
+    Bus rup = zext(b, Bus{round_up}, 25);
+    Bus m = ripple_add(b, man25, rup).sum;
+
+    // Carry into bit 24: shift right one, bump exponent.
+    NetId carried = m[24];
+    Bus m_shift(m.begin() + 1, m.begin() + 25); // m >> 1, 24 bits
+    Bus m_norm = b.mux_bus(Bus(m.begin(), m.begin() + 24), m_shift, carried);
+
+    Bus exp_inc = increment(b, exp10);
+    Bus exp_fin = b.mux_bus(exp10, exp_inc, carried);
+
+    // exp >= 255 (signed): exp - 255 has sign 0 and is not negative.
+    Bus c255 = b.const_bus(10, 255);
+    AddResult ge = ripple_sub(b, exp_fin, c255);
+    NetId overflow = b.not_(ge.sum[9]); // exp - 255 >= 0
+
+    // exp <= 0 (signed): exp - 1 < 0.
+    Bus c1 = b.const_bus(10, 1);
+    AddResult le = ripple_sub(b, exp_fin, c1);
+    NetId underflow = b.and_(le.sum[9], b.not_(overflow));
+
+    // Normal packing.
+    Bus man_out(m_norm.begin(), m_norm.begin() + 23);
+    Bus exp8(exp_fin.begin(), exp_fin.begin() + 8);
+    Bus normal = pack_bits(man_out, exp8, sign);
+
+    // Overflow -> signed infinity; underflow -> signed zero (FTZ).
+    Bus zero23 = b.const_bus(23, 0);
+    Bus ones8 = b.const_bus(8, 255);
+    Bus zeros8 = b.const_bus(8, 0);
+    Bus inf = pack_bits(zero23, ones8, sign);
+    Bus zero = pack_bits(zero23, zeros8, sign);
+
+    Bus out = b.mux_bus(normal, inf, overflow);
+    out = b.mux_bus(out, zero, underflow);
+
+    Packed p;
+    p.bits = out;
+    p.of = overflow;
+    p.uf = underflow;
+    p.nx = b.or_(inexact, b.or_(overflow, underflow));
+    return p;
+}
+
+/** Unpacked operand signals. */
+struct Operand
+{
+    NetId sign;
+    Bus exp;   ///< 8-bit raw exponent
+    Bus man;   ///< 23-bit fraction
+    Bus mag;   ///< 31-bit magnitude key (0 when flushed to zero)
+    Bus sig;   ///< 24-bit significand with implicit one (0 when zero)
+    NetId zero;
+    NetId inf;
+    NetId nan;
+    NetId snan;
+};
+
+Operand
+unpack(Builder &b, const Bus &v)
+{
+    Operand u;
+    u.sign = v[31];
+    u.exp = Bus(v.begin() + 23, v.begin() + 31);
+    u.man = Bus(v.begin(), v.begin() + 23);
+    NetId exp_zero = is_zero(b, u.exp);
+    NetId exp_ones = b.and_n(u.exp);
+    NetId man_nonzero = b.or_n(u.man);
+    u.zero = exp_zero; // FTZ: subnormals are zeros
+    u.nan = b.and_(exp_ones, man_nonzero);
+    u.inf = b.and_(exp_ones, b.not_(man_nonzero));
+    u.snan = b.and_(u.nan, b.not_(u.man[22]));
+
+    NetId not_zero = b.not_(u.zero);
+    Bus raw_mag = u.man;
+    raw_mag.insert(raw_mag.end(), u.exp.begin(), u.exp.end()); // 31 bits
+    u.mag.reserve(31);
+    for (NetId n : raw_mag)
+        u.mag.push_back(b.and_(n, not_zero));
+    u.sig = u.man;
+    u.sig.push_back(not_zero); // implicit one
+    return u;
+}
+
+Bus
+make_const_inf(Builder &b, NetId sign)
+{
+    return pack_bits(b.const_bus(23, 0), b.const_bus(8, 255), sign);
+}
+
+Bus
+make_const_zero(Builder &b, NetId sign)
+{
+    return pack_bits(b.const_bus(23, 0), b.const_bus(8, 0), sign);
+}
+
+/** The floating-point adder/subtractor datapath (softfp fadd). */
+struct AddUnit
+{
+    Bus result;  ///< 32 bits
+    NetId nv, of, uf, nx;
+};
+
+AddUnit
+build_fadd(Builder &b, const Bus &a_bits, const Bus &b_bits, NetId flip_b)
+{
+    // Effective second operand: sign xored with flip_b (fsub support).
+    Bus b_eff = b_bits;
+    b_eff[31] = b.xor_(b_bits[31], flip_b);
+
+    Operand a = unpack(b, a_bits);
+    Operand bb = unpack(b, b_eff);
+
+    // ---- Magnitude ordering --------------------------------------------
+    NetId swap = ult(b, a.mag, bb.mag);
+    NetId sign_hi = b.mux(a.sign, bb.sign, swap);
+    NetId sign_lo = b.mux(bb.sign, a.sign, swap);
+    Bus exp_hi = b.mux_bus(a.exp, bb.exp, swap);
+    Bus exp_lo = b.mux_bus(bb.exp, a.exp, swap);
+    Bus sig_hi = b.mux_bus(a.sig, bb.sig, swap);
+    Bus sig_lo = b.mux_bus(bb.sig, a.sig, swap);
+
+    // ---- Alignment ------------------------------------------------------
+    Bus d = ripple_sub(b, exp_hi, exp_lo).sum; // 8-bit, >= 0 by ordering
+
+    // 27-bit datapath: significand << 3 (G/R/S slots).
+    NetId zero = b.const0();
+    Bus s_hi{zero, zero, zero};
+    s_hi.insert(s_hi.end(), sig_hi.begin(), sig_hi.end()); // 27 bits
+    Bus s_lo_pre{zero, zero, zero};
+    s_lo_pre.insert(s_lo_pre.end(), sig_lo.begin(), sig_lo.end());
+
+    ShiftResult sh = shift_right_sticky(b, s_lo_pre, d, zero);
+    Bus s_lo = sh.out;
+    NetId sticky0 = sh.sticky;
+
+    NetId eff_sub = b.xor_(sign_hi, sign_lo);
+
+    // ---- Same-sign addition ---------------------------------------------
+    AddResult sum28 = ripple_add(b, zext(b, s_hi, 28), zext(b, s_lo, 28));
+    NetId add_carry = sum28.sum[27];
+    // On carry: v = sum >> 1, sticky |= bit0.
+    Bus add_v_carry(sum28.sum.begin() + 1, sum28.sum.begin() + 28); // 27b
+    Bus add_v = b.mux_bus(Bus(sum28.sum.begin(), sum28.sum.begin() + 27),
+                          add_v_carry, add_carry);
+    NetId add_sticky = b.or_(sticky0, b.and_(add_carry, sum28.sum[0]));
+    Bus add_exp = b.mux_bus(zext(b, exp_hi, 10),
+                            increment(b, zext(b, exp_hi, 10)), add_carry);
+
+    // ---- Effective subtraction ------------------------------------------
+    // Widen one bit so sticky participates as a borrow.
+    Bus wide_hi{zero};
+    wide_hi.insert(wide_hi.end(), s_hi.begin(), s_hi.end()); // 28 bits
+    Bus wide_lo{sticky0};
+    wide_lo.insert(wide_lo.end(), s_lo.begin(), s_lo.end());
+    Bus diff = ripple_sub(b, wide_hi, wide_lo).sum; // 28 bits, >= 0
+    NetId sub_sticky = diff[0];
+    Bus sub_v(diff.begin() + 1, diff.begin() + 28); // 27 bits
+
+    NetId v_zero = is_zero(b, sub_v);
+    NetId cancel_exact = b.and_(v_zero, b.not_(sub_sticky));
+    NetId cancel_flush = b.and_(v_zero, sub_sticky);
+
+    // Normalize: shift left by min(lzc, exp_hi).
+    Bus lz = leading_zero_count(b, sub_v); // 5 bits (27-input)
+    Bus lz10 = zext(b, lz, 10);
+    Bus exp_hi10 = zext(b, exp_hi, 10);
+    NetId lz_bigger = ult(b, exp_hi10, lz10);
+    Bus shift_amt10 = b.mux_bus(lz10, exp_hi10, lz_bigger);
+    Bus shift_amt(shift_amt10.begin(), shift_amt10.begin() + 5);
+    Bus sub_norm = shift_left(b, sub_v, shift_amt);
+    Bus sub_exp = ripple_sub(b, exp_hi10, shift_amt10).sum;
+
+    // ---- Merge add/sub paths ---------------------------------------------
+    Bus v = b.mux_bus(add_v, sub_norm, eff_sub);
+    Bus exp10 = b.mux_bus(add_exp, sub_exp, eff_sub);
+    NetId sticky = b.mux(add_sticky, sub_sticky, eff_sub);
+
+    Bus man24(v.begin() + 3, v.begin() + 27);
+    NetId g = v[2], r = v[1];
+    NetId s = b.or_(v[0], sticky);
+    Packed packed = round_pack(b, sign_hi, exp10, man24, g, r, s);
+
+    // Exact cancellation -> +0; datapath-collapse -> flushed zero + UF|NX.
+    Bus plus_zero = make_const_zero(b, zero);
+    Bus signed_zero = make_const_zero(b, sign_hi);
+    NetId sub_active = eff_sub;
+    NetId take_plus_zero = b.and_(sub_active, cancel_exact);
+    NetId take_flush = b.and_(sub_active, cancel_flush);
+
+    Bus dp_result = b.mux_bus(packed.bits, plus_zero, take_plus_zero);
+    dp_result = b.mux_bus(dp_result, signed_zero, take_flush);
+    NetId dp_uf = b.or_(b.and_(packed.uf, b.not_(take_plus_zero)),
+                        take_flush);
+    NetId dp_nx0 = b.and_(packed.nx, b.not_(take_plus_zero));
+    NetId dp_nx = b.or_(dp_nx0, take_flush);
+    NetId dp_of = b.and_(packed.of,
+                         b.not_(b.or_(take_plus_zero, take_flush)));
+
+    // ---- Specials ---------------------------------------------------------
+    NetId any_nan = b.or_(a.nan, bb.nan);
+    NetId any_snan = b.or_(a.snan, bb.snan);
+    NetId both_inf = b.and_(a.inf, bb.inf);
+    NetId inf_conflict = b.and_(both_inf, b.xor_(a.sign, bb.sign));
+    NetId a_only_inf = a.inf;
+    NetId b_only_inf = bb.inf;
+    NetId both_zero = b.and_(a.zero, bb.zero);
+
+    Bus qnan = pack_bits(b.const_bus(23, 0x400000), b.const_bus(8, 255),
+                         zero);
+    Bus inf_a = make_const_inf(b, a.sign);
+    Bus inf_b = make_const_inf(b, bb.sign);
+    Bus zero_both = make_const_zero(b, b.and_(a.sign, bb.sign));
+    // Flushed pass-through of the non-zero operand.
+    Bus a_flushed = pack_bits(a.man, a.exp, a.sign);
+    Bus b_flushed = pack_bits(bb.man, bb.exp, bb.sign);
+
+    // Priority (highest last applied): nan > inf conflict > a inf > b inf
+    // > both zero > a zero -> b > b zero -> a > datapath.
+    Bus res = dp_result;
+    NetId nv = b.const0();
+    NetId of = dp_of, uf = dp_uf, nx = dp_nx;
+
+    res = b.mux_bus(res, a_flushed, bb.zero);
+    res = b.mux_bus(res, b_flushed, a.zero);
+    res = b.mux_bus(res, zero_both, both_zero);
+    res = b.mux_bus(res, inf_b, b_only_inf);
+    res = b.mux_bus(res, inf_a, a_only_inf);
+    res = b.mux_bus(res, qnan, inf_conflict);
+    res = b.mux_bus(res, qnan, any_nan);
+
+    NetId special = b.or_(any_nan,
+                          b.or_(a_only_inf,
+                                b.or_(b_only_inf,
+                                      b.or_(both_zero,
+                                            b.or_(a.zero, bb.zero)))));
+    NetId kill = special;
+    of = b.and_(of, b.not_(kill));
+    uf = b.and_(uf, b.not_(kill));
+    nx = b.and_(nx, b.not_(kill));
+    nv = b.or_(b.and_(any_nan, any_snan),
+               b.and_(b.not_(any_nan), inf_conflict));
+
+    AddUnit out;
+    out.result = res;
+    out.nv = nv;
+    out.of = of;
+    out.uf = uf;
+    out.nx = nx;
+    return out;
+}
+
+/** The floating-point multiplier datapath (softfp fmul). */
+AddUnit
+build_fmul(Builder &b, const Bus &a_bits, const Bus &b_bits)
+{
+    Operand a = unpack(b, a_bits);
+    Operand bb = unpack(b, b_bits);
+    NetId sign = b.xor_(a.sign, bb.sign);
+
+    // exp = ea + eb - 127 in 10-bit two's complement.
+    Bus ea10 = zext(b, a.exp, 10);
+    Bus eb10 = zext(b, bb.exp, 10);
+    Bus esum = ripple_add(b, ea10, eb10).sum;
+    Bus c127 = b.const_bus(10, 127);
+    Bus exp10 = ripple_sub(b, esum, c127).sum;
+
+    // 24x24 significand product.
+    Bus p = multiply(b, a.sig, bb.sig); // 48 bits
+
+    // Normalize leading one to bit 47.
+    NetId top = p[47];
+    Bus p_shift;
+    p_shift.reserve(48);
+    p_shift.push_back(b.const0());
+    for (size_t i = 0; i + 1 < 48; ++i)
+        p_shift.push_back(p[i]);
+    // Top set: product in [2,4), exponent bumps. Otherwise shift left.
+    Bus p_norm = b.mux_bus(p_shift, p, top);
+    Bus exp_inc = increment(b, exp10);
+    Bus exp_norm = b.mux_bus(exp10, exp_inc, top);
+
+    Bus man24(p_norm.begin() + 24, p_norm.begin() + 48);
+    NetId g = p_norm[23];
+    NetId r = p_norm[22];
+    Bus low(p_norm.begin(), p_norm.begin() + 22);
+    NetId s = b.or_n(low);
+
+    Packed packed = round_pack(b, sign, exp_norm, man24, g, r, s);
+
+    // Specials.
+    NetId any_nan = b.or_(a.nan, bb.nan);
+    NetId any_snan = b.or_(a.snan, bb.snan);
+    NetId zero_times_inf = b.or_(b.and_(a.inf, bb.zero),
+                                 b.and_(bb.inf, a.zero));
+    NetId any_inf = b.or_(a.inf, bb.inf);
+    NetId any_zero = b.or_(a.zero, bb.zero);
+
+    Bus qnan = pack_bits(b.const_bus(23, 0x400000), b.const_bus(8, 255),
+                         b.const0());
+    Bus inf_s = make_const_inf(b, sign);
+    Bus zero_s = make_const_zero(b, sign);
+
+    Bus res = packed.bits;
+    res = b.mux_bus(res, zero_s, any_zero);
+    res = b.mux_bus(res, inf_s, any_inf);
+    res = b.mux_bus(res, qnan, zero_times_inf);
+    res = b.mux_bus(res, qnan, any_nan);
+
+    NetId special = b.or_(any_nan,
+                          b.or_(zero_times_inf, b.or_(any_inf, any_zero)));
+    AddUnit out;
+    out.result = res;
+    out.nv = b.or_(b.and_(any_nan, any_snan),
+                   b.and_(b.not_(any_nan), zero_times_inf));
+    out.of = b.and_(packed.of, b.not_(special));
+    out.uf = b.and_(packed.uf, b.not_(special));
+    out.nx = b.and_(packed.nx, b.not_(special));
+    return out;
+}
+
+/** Comparison / min / max signals. */
+struct CmpUnit
+{
+    NetId eq, lt, le;       ///< NaN-free ordering results
+    NetId any_nan, any_snan;
+    Bus min_bits, max_bits; ///< 32-bit min/max results (NaN-suppressing)
+};
+
+CmpUnit
+build_cmp(Builder &b, const Bus &a_bits, const Bus &b_bits)
+{
+    Operand a = unpack(b, a_bits);
+    Operand bb = unpack(b, b_bits);
+    CmpUnit u;
+    u.any_nan = b.or_(a.nan, bb.nan);
+    u.any_snan = b.or_(a.snan, bb.snan);
+
+    NetId both_zero = b.and_(a.zero, bb.zero);
+    NetId mag_eq = bus_eq(b, a.mag, bb.mag);
+    NetId mag_lt = ult(b, a.mag, bb.mag);
+    NetId mag_gt = b.and_(b.not_(mag_eq), b.not_(mag_lt));
+
+    NetId same_sign = b.xnor_(a.sign, bb.sign);
+    // eq: +-0 equal, otherwise identical sign and magnitude.
+    u.eq = b.or_(both_zero, b.and_(mag_eq, b.and_(same_sign,
+                                                  b.not_(a.zero))));
+
+    // lt, ignoring NaN (handled by the caller):
+    //  - both zero: false
+    //  - a zero: b positive nonzero
+    //  - b zero: a negative nonzero
+    //  - signs differ: a negative
+    //  - same sign: magnitude order, reversed for negatives
+    NetId lt_same_pos = b.and_(b.not_(a.sign), mag_lt);
+    NetId lt_same_neg = b.and_(a.sign, mag_gt);
+    NetId lt_same = b.or_(lt_same_pos, lt_same_neg);
+    NetId lt_diff = a.sign;
+    NetId lt_nz = b.mux(lt_same, lt_diff, b.xor_(a.sign, bb.sign));
+    NetId lt_a_zero = b.and_(b.not_(bb.sign), b.not_(bb.zero));
+    NetId lt_b_zero = b.and_(a.sign, b.not_(a.zero));
+    NetId lt1 = b.mux(lt_nz, lt_b_zero, bb.zero);
+    NetId lt2 = b.mux(lt1, lt_a_zero, a.zero);
+    u.lt = b.and_(lt2, b.not_(both_zero));
+    u.le = b.or_(u.lt, u.eq);
+
+    // min/max with the -0 < +0 tie-break and NaN suppression.
+    NetId eq_signs_differ = b.and_(u.eq, b.xor_(a.sign, bb.sign));
+    NetId lt_adj = b.or_(u.lt, b.and_(eq_signs_differ, a.sign));
+    NetId eq_adj = b.and_(u.eq, b.not_(b.xor_(a.sign, bb.sign)));
+    NetId pick_a_min = b.or_(lt_adj, eq_adj);
+    NetId pick_a_max = b.not_(lt_adj); // gt_adj | eq_adj
+
+    Bus qnan = pack_bits(b.const_bus(23, 0x400000), b.const_bus(8, 255),
+                         b.const0());
+    NetId both_nan = b.and_(a.nan, bb.nan);
+
+    Bus min_r = b.mux_bus(b_bits, a_bits, pick_a_min);
+    min_r = b.mux_bus(min_r, a_bits, bb.nan);
+    min_r = b.mux_bus(min_r, b_bits, a.nan);
+    min_r = b.mux_bus(min_r, qnan, both_nan);
+    u.min_bits = min_r;
+
+    Bus max_r = b.mux_bus(b_bits, a_bits, pick_a_max);
+    max_r = b.mux_bus(max_r, a_bits, bb.nan);
+    max_r = b.mux_bus(max_r, b_bits, a.nan);
+    max_r = b.mux_bus(max_r, qnan, both_nan);
+    u.max_bits = max_r;
+    return u;
+}
+
+} // namespace
+
+HwModule
+make_fpu32()
+{
+    HwModule m;
+    m.kind = ModuleKind::Fpu32;
+    m.latency = 2;
+    Netlist &nl = m.netlist;
+    nl.set_name("fpu32");
+    nl.set_clock_period_ps(4000.0); // 250 MHz, as in the paper
+
+    // Clock: a four-level spine plus a 44-buffer local chain per leaf
+    // (gated domains carry the ICG plus a deep local tree).
+    // Region assignment models FPnew-style clock gating:
+    //   leaves 0..7  — always-on input/issue domain (SP 0.5)
+    //   leaves 8..11 — main datapath, gated with ~25% activity (SP 0.125)
+    //   leaves 12..15 — flags/handshake capture, rarely enabled (SP 0.01)
+    // Rare-region buffers park at 0 and age fastest; the capture clock
+    // there drifts late, creating the module's hold-violation endpoints.
+    auto spine = m.clock.grow_balanced(4, 28.0, 16.0);
+    std::vector<uint32_t> leaves;
+    for (size_t i = 0; i < spine.size(); ++i) {
+        double sp = i < 8 ? 0.5 : (i < 12 ? 0.125 : 0.01);
+        uint32_t cur = spine[i];
+        for (int k = 0; k < 44; ++k) {
+            cur = m.clock.add_buffer(cur,
+                                     "ckchain_" + std::to_string(i) + "_" +
+                                         std::to_string(k),
+                                     28.0, 16.0, sp);
+        }
+        leaves.push_back(cur);
+    }
+
+    Builder b(nl, "fpu");
+
+    Bus a_in = nl.add_input_bus("a", 32);
+    Bus b_in = nl.add_input_bus("b", 32);
+    Bus op_in = nl.add_input_bus("op", 3);
+    Bus valid_in = nl.add_input_bus("valid", 1);
+    Bus clear_in = nl.add_input_bus("clear", 1);
+
+    // Stage 1 registers (always-on domain).
+    Bus aq, bq;
+    for (size_t i = 0; i < 32; ++i) {
+        aq.push_back(b.dff(a_in[i], false, leaves[i / 8]));
+        bq.push_back(b.dff(b_in[i], false, leaves[4 + i / 8]));
+    }
+    Bus opq;
+    for (size_t i = 0; i < 3; ++i)
+        opq.push_back(b.dff(op_in[i], false, leaves[0]));
+    NetId vq = b.dff(valid_in[0], false, leaves[1]);
+    NetId clearq = b.dff(clear_in[0], false, leaves[2]);
+
+    // Transaction-tag bit: toggles on every accepted operation. It is
+    // hardware-generated (software predicts it from the op count but
+    // cannot drive it directly), mirroring FPnew's transaction ids.
+    NetId dbgq = nl.new_net("dbg_q");
+    NetId dbg_next = b.xor_(dbgq, vq);
+    nl.add_dff("fpu_dbg_dff", dbg_next, dbgq, false, leaves[3]);
+
+    // Opcode decode (FpuOp encoding).
+    NetId n0 = b.not_(opq[0]), n1 = b.not_(opq[1]), n2 = b.not_(opq[2]);
+    NetId is_sub = b.and_(b.and_(opq[0], n1), n2);
+    NetId is_mul = b.and_(b.and_(n0, opq[1]), n2);
+    NetId is_eq = b.and_(b.and_(opq[0], opq[1]), n2);
+    NetId is_lt = b.and_(b.and_(n0, n1), opq[2]);
+    NetId is_le = b.and_(b.and_(opq[0], n1), opq[2]);
+    NetId is_min = b.and_(b.and_(n0, opq[1]), opq[2]);
+    NetId is_max = b.and_(b.and_(opq[0], opq[1]), opq[2]);
+    NetId is_cmp = b.or_(is_eq, b.or_(is_lt, is_le));
+    NetId is_minmax = b.or_(is_min, is_max);
+
+    // Datapath units.
+    AddUnit addu = build_fadd(b, aq, bq, is_sub);
+    AddUnit mulu = build_fmul(b, aq, bq);
+    CmpUnit cmpu = build_cmp(b, aq, bq);
+
+    // Comparison result bit (0 on any NaN).
+    NetId cmp_raw = b.mux(b.mux(cmpu.eq, cmpu.lt, is_lt), cmpu.le, is_le);
+    NetId cmp_bit = b.and_(cmp_raw, b.not_(cmpu.any_nan));
+    Bus cmp_bus = zext(b, Bus{cmp_bit}, 32);
+
+    Bus mm_bus = b.mux_bus(cmpu.min_bits, cmpu.max_bits, is_max);
+
+    // Result select: default add/sub, overridden by mul/cmp/minmax.
+    Bus r_sel = addu.result;
+    r_sel = b.mux_bus(r_sel, mulu.result, is_mul);
+    r_sel = b.mux_bus(r_sel, cmp_bus, is_cmp);
+    r_sel = b.mux_bus(r_sel, mm_bus, is_minmax);
+
+    // Flags select (NV DZ OF UF NX = bits 4..0 of the flags bus).
+    NetId cmp_nv = b.mux(b.and_(cmpu.any_snan, cmpu.any_nan), cmpu.any_nan,
+                         b.or_(is_lt, is_le));
+    NetId mm_nv = cmpu.any_snan;
+
+    NetId nv = addu.nv;
+    nv = b.mux(nv, mulu.nv, is_mul);
+    nv = b.mux(nv, cmp_nv, is_cmp);
+    nv = b.mux(nv, mm_nv, is_minmax);
+
+    NetId arith = b.or_(b.not_(b.or_(is_cmp, is_minmax)), b.const0());
+    NetId of = b.and_(b.mux(addu.of, mulu.of, is_mul), arith);
+    NetId uf = b.and_(b.mux(addu.uf, mulu.uf, is_mul), arith);
+    NetId nx = b.and_(b.mux(addu.nx, mulu.nx, is_mul), arith);
+
+    Bus flags_new{nx, uf, of, b.const0(), nv}; // LSB first: NX UF OF DZ NV
+
+    // Sticky flags register (rare clock-gated region): next = clear ? 0
+    // : old | (valid ? new : 0).
+    Bus flags_q_nets;
+    // Create the register outputs first so the OR can read them.
+    for (size_t i = 0; i < 5; ++i)
+        flags_q_nets.push_back(nl.new_net("flags_q[" + std::to_string(i) +
+                                          "]"));
+    Bus flags_out;
+    for (size_t i = 0; i < 5; ++i) {
+        NetId gated_new = b.and_(flags_new[i], vq);
+        NetId ored = b.or_(flags_q_nets[i], gated_new);
+        NetId next = b.and_(ored, b.not_(clearq));
+        nl.add_dff("fpu_flags_dff" + std::to_string(i), next,
+                   flags_q_nets[i], false, leaves[12 + i % 2]);
+        flags_out.push_back(flags_q_nets[i]);
+    }
+
+    // Stage 2 result registers (main gated datapath domain).
+    Bus r;
+    for (size_t i = 0; i < 32; ++i)
+        r.push_back(b.dff(r_sel[i], false, leaves[8 + i / 8]));
+
+    // Handshake and tag pipeline: launch flops live in the always-on
+    // domain, capture flops in the rarely-enabled region — these direct
+    // register-to-register wires are the hold-violation paths.
+    NetId valid_out = b.dff(vq, false, leaves[14]);
+    NetId ack_out = b.dff(vq, false, leaves[15]);
+    NetId dbg_out = b.dff(dbgq, false, leaves[13]);
+
+    nl.add_output_bus("r", r);
+    nl.add_output_bus("flags", flags_out);
+    nl.add_output_bus("valid_out", {valid_out});
+    nl.add_output_bus("ack", {ack_out});
+    nl.add_output_bus("dbg_out", {dbg_out});
+
+    nl.validate();
+    return m;
+}
+
+} // namespace vega::rtl

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Gate-level single-precision FPU (the paper's second analysis target,
+ * standing in for the CV32E40P's FPnew instance).
+ *
+ * Two-stage pipeline: operand/opcode/valid registers, a combinational
+ * datapath (shared add/sub unit, array multiplier, comparator, min/max),
+ * and registered outputs. Arithmetic is bit-exact against cpu/softfp:
+ * binary32, round-to-nearest-even, flush-to-zero, canonical NaN, RISC-V
+ * fflags. Targets 250 MHz (4 ns) like the paper's FPU.
+ *
+ * Ports:
+ *   in : a[31:0], b[31:0], op[2:0], valid[0:0], clear[0:0]
+ *   out: r[31:0], flags[4:0], valid_out[0:0], ack[0:0], dbg_out[0:0]
+ *
+ * The valid/ack pins model the FPnew handshake: software (the ISS) waits
+ * for both after issuing, so a fault that parks either low manifests as a
+ * CPU stall — the "S" outcome of the paper's Table 6. dbg_out is a
+ * hardware-generated transaction-tag bit (toggles per accepted op). The
+ * valid_out/ack/dbg_out capture flops live in a rarely-enabled
+ * clock-gated region whose buffers age fastest; these are the module's
+ * hold-violation endpoints.
+ */
+#pragma once
+
+#include "rtl/module.h"
+
+namespace vega::rtl {
+
+HwModule make_fpu32();
+
+} // namespace vega::rtl

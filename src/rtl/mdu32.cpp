@@ -1,0 +1,58 @@
+#include "rtl/mdu32.h"
+
+#include "rtl/blocks.h"
+
+namespace vega::rtl {
+
+HwModule
+make_mdu32()
+{
+    HwModule m;
+    m.kind = ModuleKind::Mdu32;
+    m.latency = 2;
+    Netlist &nl = m.netlist;
+    nl.set_name("mdu32");
+    nl.set_clock_period_ps(7000.0); // 143 MHz
+
+    auto leaves = m.clock.grow_balanced(3, 24.0, 14.0);
+
+    Builder b(nl, "mdu");
+
+    Bus a_in = nl.add_input_bus("a", 32);
+    Bus b_in = nl.add_input_bus("b", 32);
+    Bus op_in = nl.add_input_bus("op", 2);
+
+    Bus aq, bq;
+    for (size_t i = 0; i < 32; ++i) {
+        aq.push_back(b.dff(a_in[i], false, leaves[i / 8]));
+        bq.push_back(b.dff(b_in[i], false, leaves[i / 8]));
+    }
+    Bus opq;
+    for (size_t i = 0; i < 2; ++i)
+        opq.push_back(b.dff(op_in[i], false, leaves[0]));
+
+    // 32x32 unsigned product.
+    Bus p = multiply(b, aq, bq); // 64 bits
+    Bus lo(p.begin(), p.begin() + 32);
+    Bus hi(p.begin() + 32, p.begin() + 64);
+
+    // Signed high word: mulh = mulhu - (a<0 ? b : 0) - (b<0 ? a : 0).
+    Bus zero32 = b.const_bus(32, 0);
+    Bus corr_a = b.mux_bus(zero32, bq, aq[31]);
+    Bus corr_b = b.mux_bus(zero32, aq, bq[31]);
+    Bus h1 = ripple_sub(b, hi, corr_a).sum;
+    Bus mulh = ripple_sub(b, h1, corr_b).sum;
+
+    // op: 0 = mul, 1 = mulh, 2/3 = mulhu (select() repeats the last).
+    Bus result = select(b, {lo, mulh, hi}, opq);
+
+    Bus r;
+    for (size_t i = 0; i < 32; ++i)
+        r.push_back(b.dff(result[i], false, leaves[4 + i / 8]));
+    nl.add_output_bus("r", r);
+
+    nl.validate();
+    return m;
+}
+
+} // namespace vega::rtl

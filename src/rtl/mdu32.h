@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Gate-level 32-bit multiply unit (the RV32M mul/mulh/mulhu subset) —
+ * the third Vega analysis target, demonstrating that the workflow is
+ * not ALU/FPU-specific.
+ *
+ * Two-stage pipeline like the other units: operand/opcode registers, a
+ * 32x32 array multiplier with the standard signed-high correction
+ * (mulh = mulhu - (a<0 ? b : 0) - (b<0 ? a : 0)), and a registered
+ * result. Targets 143 MHz (7 ns period).
+ *
+ * Ports: inputs a[31:0], b[31:0], op[1:0]; output r[31:0].
+ */
+#pragma once
+
+#include "rtl/module.h"
+
+namespace vega::rtl {
+
+HwModule make_mdu32();
+
+} // namespace vega::rtl

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * A hardware module under Vega analysis: netlist + clock network + the
+ * microarchitectural metadata that Error Lifting's instruction construction
+ * needs (which CPU instructions drive which module ports, §3.3.5).
+ */
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.h"
+#include "rtl/clock_tree.h"
+
+namespace vega {
+
+/** Which functional unit a module implements. */
+enum class ModuleKind { Adder2, Alu32, Fpu32, Mdu32 };
+
+const char *module_kind_name(ModuleKind kind);
+
+/** A placed-and-routed functional unit ready for the Vega workflow. */
+struct HwModule
+{
+    ModuleKind kind = ModuleKind::Adder2;
+    Netlist netlist;
+    ClockTree clock;
+    /** Pipeline depth in cycles from input port to output port. */
+    int latency = 2;
+};
+
+} // namespace vega

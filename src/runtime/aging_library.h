@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The software aging library (§3.4.1): Vega's generated test cases
+ * packaged behind an application-facing API with pluggable scheduling
+ * and failure handling — the "invoke a library" integration path.
+ *
+ * Execution goes through an Engine so the same library runs on the host
+ * deployment target (here: the golden ISS, standing in for native inline
+ * asm) and on the evaluation targets (ISS + failing gate-level netlist).
+ * generate_c_source() renders the library as a self-contained C file
+ * with inline assembly, the artifact the paper's workflow emits.
+ */
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "runtime/scheduler.h"
+#include "runtime/test_case.h"
+
+namespace vega::runtime {
+
+/** Thrown by the exception-policy library on a detected fault. */
+class HardwareFaultError : public std::runtime_error
+{
+  public:
+    HardwareFaultError(std::string test_name, Detection detection)
+        : std::runtime_error("aging-related hardware fault detected by " +
+                             test_name + " (" +
+                             detection_name(detection) + ")"),
+          test_name_(std::move(test_name)), detection_(detection)
+    {
+    }
+
+    const std::string &test_name() const { return test_name_; }
+    Detection detection() const { return detection_; }
+
+  private:
+    std::string test_name_;
+    Detection detection_;
+};
+
+/** Executes one test block on some target. */
+class Engine
+{
+  public:
+    virtual ~Engine() = default;
+    virtual Detection run(const TestCase &tc) = 0;
+};
+
+/** Runs blocks on the golden ISS (the healthy deployment target). */
+class GoldenEngine : public Engine
+{
+  public:
+    Detection run(const TestCase &tc) override;
+};
+
+struct AgingLibraryOptions
+{
+    SchedulePolicy policy = SchedulePolicy::Sequential;
+    double probability = 1.0;
+    uint64_t seed = 1;
+    /** Throw HardwareFaultError instead of returning the detection. */
+    bool throw_on_detect = false;
+};
+
+class AgingLibrary
+{
+  public:
+    AgingLibrary(std::vector<TestCase> suite, AgingLibraryOptions options);
+
+    size_t num_tests() const { return suite_.size(); }
+    const std::vector<TestCase> &suite() const { return suite_; }
+
+    /** Total cycles of one full sequential pass. */
+    uint64_t suite_cycles() const;
+
+    /**
+     * Run the next scheduled test on @p engine. Returns Detection::None
+     * for a pass or a skipped slot.
+     */
+    Detection run_next(Engine &engine);
+
+    /** One full pass over every test; returns the first detection. */
+    Detection run_all(Engine &engine);
+
+    uint64_t runs() const { return runs_; }
+    uint64_t detections() const { return detections_; }
+
+    /** Render the §3.4.1 C file: inline-asm tests + helpers. */
+    std::string generate_c_source() const;
+
+  private:
+    Detection dispatch(Engine &engine, size_t index);
+
+    std::vector<TestCase> suite_;
+    AgingLibraryOptions options_;
+    Scheduler scheduler_;
+    uint64_t runs_ = 0;
+    uint64_t detections_ = 0;
+};
+
+} // namespace vega::runtime

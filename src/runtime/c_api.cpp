@@ -1,0 +1,115 @@
+#include "runtime/c_api.h"
+
+#include <memory>
+#include <new>
+
+#include "cpu/alu_ops.h"
+#include "runtime/aging_library.h"
+
+using vega::AluOp;
+using vega::ModuleKind;
+using vega::runtime::AgingLibrary;
+using vega::runtime::AgingLibraryOptions;
+using vega::runtime::Detection;
+using vega::runtime::GoldenEngine;
+using vega::runtime::ModuleStep;
+using vega::runtime::SchedulePolicy;
+using vega::runtime::TestCase;
+
+struct vega_library
+{
+    std::unique_ptr<AgingLibrary> lib;
+    GoldenEngine engine;
+};
+
+namespace {
+
+int
+to_code(Detection d)
+{
+    switch (d) {
+      case Detection::None:       return VEGA_OK;
+      case Detection::Mismatch:   return VEGA_MISMATCH;
+      case Detection::Stall:      return VEGA_STALL;
+      case Detection::TagAnomaly: return VEGA_TAG_ANOMALY;
+    }
+    return VEGA_MISMATCH;
+}
+
+TestCase
+make_demo_test(const char *name, AluOp op, uint32_t a, uint32_t b)
+{
+    TestCase tc;
+    tc.name = name;
+    tc.module = ModuleKind::Alu32;
+    tc.stimulus = {ModuleStep{a, b, uint32_t(op), true, false}};
+    tc.checks = {{0, vega::alu_compute(op, a, b), false}};
+    vega::runtime::finalize_test_case(tc);
+    return tc;
+}
+
+} // namespace
+
+vega_library *
+vega_library_create_demo(int policy, double probability, uint64_t seed)
+{
+    if (policy < VEGA_SEQUENTIAL || policy > VEGA_PROBABILISTIC)
+        return nullptr;
+    if (probability <= 0.0 || probability > 1.0)
+        return nullptr;
+
+    std::vector<TestCase> suite;
+    suite.push_back(make_demo_test("demo_add", AluOp::Add, 0xdeadbeef,
+                                   0x01020304));
+    suite.push_back(make_demo_test("demo_sub", AluOp::Sub, 0x80000000,
+                                   0x7fffffff));
+    suite.push_back(make_demo_test("demo_sll", AluOp::Sll, 0x1, 31));
+    suite.push_back(make_demo_test("demo_xor", AluOp::Xor, 0xaaaaaaaa,
+                                   0x55555555));
+
+    AgingLibraryOptions options;
+    options.policy = SchedulePolicy(policy);
+    options.probability = probability;
+    options.seed = seed;
+
+    auto *handle = new (std::nothrow) vega_library;
+    if (!handle)
+        return nullptr;
+    handle->lib =
+        std::make_unique<AgingLibrary>(std::move(suite), options);
+    return handle;
+}
+
+void
+vega_library_destroy(vega_library *lib)
+{
+    delete lib;
+}
+
+size_t
+vega_library_num_tests(const vega_library *lib)
+{
+    return lib ? lib->lib->num_tests() : 0;
+}
+
+uint64_t
+vega_library_suite_cycles(const vega_library *lib)
+{
+    return lib ? lib->lib->suite_cycles() : 0;
+}
+
+int
+vega_library_run_next(vega_library *lib)
+{
+    if (!lib)
+        return VEGA_MISMATCH;
+    return to_code(lib->lib->run_next(lib->engine));
+}
+
+int
+vega_library_run_all(vega_library *lib)
+{
+    if (!lib)
+        return VEGA_MISMATCH;
+    return to_code(lib->lib->run_all(lib->engine));
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * C-language wrapper around the aging library (§3.4.1's
+ * "wrappers compatible with various programming languages").
+ *
+ * The handle-based API carries no C++ types across the boundary, so it
+ * binds directly from C, Rust (via bindgen), Python (ctypes), etc.
+ */
+#pragma once
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct vega_library vega_library;
+
+/** Detection codes mirrored from vega::runtime::Detection. */
+enum vega_detection {
+    VEGA_OK = 0,
+    VEGA_MISMATCH = 1,
+    VEGA_STALL = 2,
+    VEGA_TAG_ANOMALY = 3,
+};
+
+/** Scheduling policies mirrored from vega::runtime::SchedulePolicy. */
+enum vega_policy {
+    VEGA_SEQUENTIAL = 0,
+    VEGA_RANDOM = 1,
+    VEGA_PROBABILISTIC = 2,
+};
+
+/**
+ * Build the demo library: runs the full Vega workflow on the bundled
+ * ALU model and packages the resulting suite. Returns NULL on failure.
+ * (Production deployments construct the library from a shipped suite;
+ * this entry point exists so language bindings can be exercised
+ * end-to-end without C++.)
+ */
+vega_library *vega_library_create_demo(int policy, double probability,
+                                       uint64_t seed);
+
+void vega_library_destroy(vega_library *lib);
+
+size_t vega_library_num_tests(const vega_library *lib);
+uint64_t vega_library_suite_cycles(const vega_library *lib);
+
+/** Run the next scheduled test on the healthy reference engine. */
+int vega_library_run_next(vega_library *lib);
+/** Run one full pass; returns the first non-OK detection code. */
+int vega_library_run_all(vega_library *lib);
+
+#ifdef __cplusplus
+} // extern "C"
+#endif

@@ -1,0 +1,60 @@
+#include "runtime/scheduler.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace vega::runtime {
+
+const char *
+schedule_policy_name(SchedulePolicy p)
+{
+    switch (p) {
+      case SchedulePolicy::Sequential:    return "sequential";
+      case SchedulePolicy::Random:        return "random";
+      case SchedulePolicy::Probabilistic: return "probabilistic";
+    }
+    return "?";
+}
+
+Scheduler::Scheduler(size_t num_tests, SchedulePolicy policy,
+                     double probability, uint64_t seed)
+    : n_(num_tests), policy_(policy), probability_(probability), rng_(seed)
+{
+    VEGA_CHECK(n_ > 0, "scheduler needs at least one test");
+    VEGA_CHECK(probability_ > 0.0 && probability_ <= 1.0,
+               "probability range");
+    order_.resize(n_);
+    std::iota(order_.begin(), order_.end(), size_t(0));
+    if (policy_ == SchedulePolicy::Random)
+        reshuffle();
+}
+
+void
+Scheduler::reshuffle()
+{
+    for (size_t i = n_; i > 1; --i)
+        std::swap(order_[i - 1], order_[rng_.below(i)]);
+}
+
+std::optional<size_t>
+Scheduler::next()
+{
+    ++slots_;
+    if (policy_ == SchedulePolicy::Probabilistic &&
+        !rng_.chance(probability_))
+        return std::nullopt;
+
+    size_t idx = order_[cursor_];
+    ++cursor_;
+    if (cursor_ == n_) {
+        cursor_ = 0;
+        if (policy_ == SchedulePolicy::Random)
+            reshuffle();
+    }
+    ++dispatched_;
+    return idx;
+}
+
+} // namespace vega::runtime

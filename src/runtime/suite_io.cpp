@@ -1,0 +1,136 @@
+#include "runtime/suite_io.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace vega::runtime {
+
+namespace {
+
+const char *
+module_token(ModuleKind kind)
+{
+    switch (kind) {
+      case ModuleKind::Adder2: return "adder2";
+      case ModuleKind::Alu32:  return "alu32";
+      case ModuleKind::Fpu32:  return "fpu32";
+      case ModuleKind::Mdu32:  return "mdu32";
+    }
+    return "?";
+}
+
+ModuleKind
+parse_module(const std::string &token)
+{
+    if (token == "adder2")
+        return ModuleKind::Adder2;
+    if (token == "alu32")
+        return ModuleKind::Alu32;
+    if (token == "fpu32")
+        return ModuleKind::Fpu32;
+    if (token == "mdu32")
+        return ModuleKind::Mdu32;
+    throw std::runtime_error("suite_io: unknown module '" + token + "'");
+}
+
+} // namespace
+
+std::string
+serialize_suite(const std::vector<TestCase> &suite)
+{
+    std::ostringstream os;
+    os << "# vega test suite v1\n";
+    for (const TestCase &t : suite) {
+        os << "testcase " << module_token(t.module) << " " << t.pair_index
+           << " " << (t.name.empty() ? "-" : t.name) << " "
+           << (t.config.empty() ? "-" : t.config) << "\n";
+        for (const ModuleStep &s : t.stimulus)
+            os << "  step " << s.a << " " << s.b << " " << s.op << " "
+               << (s.valid ? 1 : 0) << " " << (s.clear ? 1 : 0) << "\n";
+        for (const ResultCheck &c : t.checks)
+            os << "  check " << c.step << " " << c.expected << " "
+               << (c.to_xreg ? 1 : 0) << "\n";
+        if (t.check_final_flags)
+            os << "  flags " << unsigned(t.expected_flags) << "\n";
+        os << "end\n";
+    }
+    return os.str();
+}
+
+std::vector<TestCase>
+deserialize_suite(const std::string &text)
+{
+    std::vector<TestCase> suite;
+    std::istringstream is(text);
+    std::string line;
+    TestCase current;
+    bool in_test = false;
+    size_t line_no = 0;
+
+    auto fail = [&](const std::string &msg) {
+        throw std::runtime_error("suite_io: line " +
+                                 std::to_string(line_no) + ": " + msg);
+    };
+
+    while (std::getline(is, line)) {
+        ++line_no;
+        std::istringstream ls(line);
+        std::string word;
+        if (!(ls >> word) || word[0] == '#')
+            continue;
+        if (word == "testcase") {
+            if (in_test)
+                fail("nested testcase");
+            std::string module, name, config;
+            int pair = -1;
+            if (!(ls >> module >> pair >> name >> config))
+                fail("malformed testcase header");
+            current = TestCase{};
+            current.module = parse_module(module);
+            current.pair_index = pair;
+            current.name = name == "-" ? "" : name;
+            current.config = config == "-" ? "" : config;
+            in_test = true;
+        } else if (word == "step") {
+            if (!in_test)
+                fail("step outside testcase");
+            ModuleStep s;
+            unsigned valid = 0, clear = 0;
+            if (!(ls >> s.a >> s.b >> s.op >> valid >> clear))
+                fail("malformed step");
+            s.valid = valid != 0;
+            s.clear = clear != 0;
+            current.stimulus.push_back(s);
+        } else if (word == "check") {
+            if (!in_test)
+                fail("check outside testcase");
+            ResultCheck c;
+            unsigned to_x = 0;
+            if (!(ls >> c.step >> c.expected >> to_x))
+                fail("malformed check");
+            c.to_xreg = to_x != 0;
+            current.checks.push_back(c);
+        } else if (word == "flags") {
+            if (!in_test)
+                fail("flags outside testcase");
+            unsigned flags = 0;
+            if (!(ls >> flags))
+                fail("malformed flags");
+            current.check_final_flags = true;
+            current.expected_flags = uint8_t(flags);
+        } else if (word == "end") {
+            if (!in_test)
+                fail("end outside testcase");
+            finalize_test_case(current);
+            suite.push_back(std::move(current));
+            in_test = false;
+        } else {
+            fail("unknown directive '" + word + "'");
+        }
+    }
+    if (in_test)
+        fail("unterminated testcase");
+    return suite;
+}
+
+} // namespace vega::runtime

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Test-suite serialization.
+ *
+ * The paper's §6.3 envisions a commercial setting where chip
+ * manufacturers generate test suites and ship them to data center
+ * operators. This module provides the interchange format: a
+ * line-oriented, human-auditable text encoding of test cases that
+ * carries the module-level stimulus and expected results; programs are
+ * recompiled (and re-verified against the golden model) on load.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/test_case.h"
+
+namespace vega::runtime {
+
+/** Render @p suite in the interchange format. */
+std::string serialize_suite(const std::vector<TestCase> &suite);
+
+/**
+ * Parse a serialized suite; finalizes (compiles + golden-verifies)
+ * every test. Throws std::runtime_error on malformed input.
+ */
+std::vector<TestCase> deserialize_suite(const std::string &text);
+
+} // namespace vega::runtime

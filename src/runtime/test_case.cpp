@@ -1,0 +1,266 @@
+#include "runtime/test_case.h"
+
+#include <map>
+
+#include "common/logging.h"
+#include "cpu/alu_ops.h"
+#include "cpu/mdu_ops.h"
+#include "cpu/assembler.h"
+#include "cpu/iss.h"
+#include "cpu/softfp.h"
+
+namespace vega::runtime {
+
+const char *
+detection_name(Detection d)
+{
+    switch (d) {
+      case Detection::None:       return "none";
+      case Detection::Mismatch:   return "mismatch";
+      case Detection::Stall:      return "stall";
+      case Detection::TagAnomaly: return "tag-anomaly";
+    }
+    return "?";
+}
+
+namespace {
+
+/**
+ * Register plan for generated blocks:
+ *   x5..x18   operand pool (deduplicated immediates)
+ *   x19..x26  per-step integer results (ALU results / FPU compare bits)
+ *   x28, x29  compare scratch
+ *   x31       fail flag
+ *   f1..f14   FP operand pool
+ *   f20..f27  FP results
+ */
+constexpr cpu::Reg kOperandBase = 5;
+constexpr int kOperandMax = 14;
+constexpr cpu::Reg kResultBase = 19;
+constexpr int kResultMax = 8;
+constexpr cpu::Reg kScratchA = 28;
+constexpr cpu::Reg kScratchB = 29;
+constexpr cpu::Reg kFailFlag = 31;
+constexpr cpu::FReg kFOperandBase = 1;
+constexpr cpu::FReg kFResultBase = 20;
+
+/** Dedup operand values into the pool; emits loads on first use. */
+class OperandPool
+{
+  public:
+    explicit OperandPool(cpu::Asm &a, bool fp) : a_(a), fp_(fp) {}
+
+    uint8_t
+    reg_for(uint32_t value)
+    {
+        auto it = map_.find(value);
+        if (it != map_.end())
+            return it->second;
+        VEGA_CHECK(next_ < kOperandMax, "operand pool exhausted");
+        uint8_t x_reg = kOperandBase + next_;
+        if (fp_) {
+            uint8_t f_reg = kFOperandBase + next_;
+            a_.li(kScratchA, value);
+            a_.fmv_w_x(f_reg, kScratchA);
+            map_[value] = f_reg;
+            ++next_;
+            return f_reg;
+        }
+        a_.li(x_reg, value);
+        map_[value] = x_reg;
+        ++next_;
+        return x_reg;
+    }
+
+  private:
+    cpu::Asm &a_;
+    bool fp_;
+    std::map<uint32_t, uint8_t> map_;
+    int next_ = 0;
+};
+
+void
+build_alu_program(TestCase &tc)
+{
+    cpu::Asm a;
+    a.addi(kFailFlag, 0, 0);
+    OperandPool pool(a, false);
+
+    // Preload every distinct operand so the op burst runs back-to-back.
+    std::vector<std::pair<uint8_t, uint8_t>> op_regs;
+    for (const ModuleStep &s : tc.stimulus)
+        op_regs.emplace_back(pool.reg_for(s.a), pool.reg_for(s.b));
+
+    VEGA_CHECK(tc.stimulus.size() <= kResultMax, "too many steps");
+    for (size_t i = 0; i < tc.stimulus.size(); ++i) {
+        auto [ra, rb] = op_regs[i];
+        cpu::Reg rd = kResultBase + cpu::Reg(i);
+        auto op = AluOp(tc.stimulus[i].op);
+        switch (op) {
+          case AluOp::Add: a.add(rd, ra, rb); break;
+          case AluOp::Sub: a.sub(rd, ra, rb); break;
+          case AluOp::Sll: a.sll(rd, ra, rb); break;
+          case AluOp::Slt: a.slt(rd, ra, rb); break;
+          case AluOp::Sltu: a.sltu(rd, ra, rb); break;
+          case AluOp::Xor: a.xor_(rd, ra, rb); break;
+          case AluOp::Srl: a.srl(rd, ra, rb); break;
+          case AluOp::Sra: a.sra(rd, ra, rb); break;
+          case AluOp::Or: a.or_(rd, ra, rb); break;
+          case AluOp::And: a.and_(rd, ra, rb); break;
+        }
+    }
+
+    for (const ResultCheck &c : tc.checks) {
+        a.li(kScratchA, c.expected);
+        a.bne(kResultBase + cpu::Reg(c.step), kScratchA, "fail");
+    }
+    a.j("done");
+    a.label("fail");
+    a.addi(kFailFlag, 0, 1);
+    a.label("done");
+    a.halt();
+    tc.program = a.finish();
+}
+
+void
+build_fpu_program(TestCase &tc)
+{
+    cpu::Asm a;
+    a.addi(kFailFlag, 0, 0);
+    // Deterministic flag baseline.
+    a.clear_fflags();
+
+    OperandPool pool(a, true);
+    std::vector<std::pair<uint8_t, uint8_t>> op_regs(tc.stimulus.size());
+    for (size_t i = 0; i < tc.stimulus.size(); ++i)
+        if (tc.stimulus[i].valid)
+            op_regs[i] = {pool.reg_for(tc.stimulus[i].a),
+                          pool.reg_for(tc.stimulus[i].b)};
+
+    // Map step -> result register (FP or integer).
+    std::vector<uint8_t> result_reg(tc.stimulus.size(), 0);
+    int n_f = 0, n_x = 0;
+    for (size_t i = 0; i < tc.stimulus.size(); ++i) {
+        if (!tc.stimulus[i].valid)
+            continue;
+        auto op = fp::FpuOp(tc.stimulus[i].op);
+        bool to_x = op == fp::FpuOp::Eq || op == fp::FpuOp::Lt ||
+                    op == fp::FpuOp::Le;
+        result_reg[i] = to_x ? kResultBase + uint8_t(n_x++)
+                             : kFResultBase + uint8_t(n_f++);
+        VEGA_CHECK(n_x <= kResultMax && n_f <= kResultMax,
+                   "result registers exhausted");
+    }
+
+    // The trace burst: one instruction per trace cycle, preserving the
+    // exact valid/clear timing the cover trace requires.
+    for (size_t i = 0; i < tc.stimulus.size(); ++i) {
+        const ModuleStep &s = tc.stimulus[i];
+        if (s.clear) {
+            a.clear_fflags();
+            continue;
+        }
+        if (!s.valid) {
+            a.nop();
+            continue;
+        }
+        auto [ra, rb] = op_regs[i];
+        uint8_t rd = result_reg[i];
+        switch (fp::FpuOp(s.op)) {
+          case fp::FpuOp::Add: a.fadd_s(rd, ra, rb); break;
+          case fp::FpuOp::Sub: a.fsub_s(rd, ra, rb); break;
+          case fp::FpuOp::Mul: a.fmul_s(rd, ra, rb); break;
+          case fp::FpuOp::Eq: a.feq_s(rd, ra, rb); break;
+          case fp::FpuOp::Lt: a.flt_s(rd, ra, rb); break;
+          case fp::FpuOp::Le: a.fle_s(rd, ra, rb); break;
+          case fp::FpuOp::Min: a.fmin_s(rd, ra, rb); break;
+          case fp::FpuOp::Max: a.fmax_s(rd, ra, rb); break;
+        }
+    }
+
+    for (const ResultCheck &c : tc.checks) {
+        uint8_t rd = result_reg[c.step];
+        a.li(kScratchB, c.expected);
+        if (c.to_xreg) {
+            a.bne(rd, kScratchB, "fail");
+        } else {
+            a.fmv_x_w(kScratchA, rd);
+            a.bne(kScratchA, kScratchB, "fail");
+        }
+    }
+    if (tc.check_final_flags) {
+        a.csrr_fflags(kScratchA);
+        a.li(kScratchB, tc.expected_flags);
+        a.bne(kScratchA, kScratchB, "fail");
+    }
+    a.j("done");
+    a.label("fail");
+    a.addi(kFailFlag, 0, 1);
+    a.label("done");
+    a.halt();
+    tc.program = a.finish();
+}
+
+void
+build_mdu_program(TestCase &tc)
+{
+    cpu::Asm a;
+    a.addi(kFailFlag, 0, 0);
+    OperandPool pool(a, false);
+
+    std::vector<std::pair<uint8_t, uint8_t>> op_regs;
+    for (const ModuleStep &s : tc.stimulus)
+        op_regs.emplace_back(pool.reg_for(s.a), pool.reg_for(s.b));
+
+    VEGA_CHECK(tc.stimulus.size() <= kResultMax, "too many steps");
+    for (size_t i = 0; i < tc.stimulus.size(); ++i) {
+        auto [ra, rb] = op_regs[i];
+        cpu::Reg rd = kResultBase + cpu::Reg(i);
+        switch (MduOp(tc.stimulus[i].op)) {
+          case MduOp::Mul: a.mul(rd, ra, rb); break;
+          case MduOp::Mulh: a.mulh(rd, ra, rb); break;
+          case MduOp::Mulhu: a.mulhu(rd, ra, rb); break;
+        }
+    }
+
+    for (const ResultCheck &c : tc.checks) {
+        a.li(kScratchA, c.expected);
+        a.bne(kResultBase + cpu::Reg(c.step), kScratchA, "fail");
+    }
+    a.j("done");
+    a.label("fail");
+    a.addi(kFailFlag, 0, 1);
+    a.label("done");
+    a.halt();
+    tc.program = a.finish();
+}
+
+} // namespace
+
+void
+finalize_test_case(TestCase &tc)
+{
+    switch (tc.module) {
+      case ModuleKind::Alu32:
+        build_alu_program(tc);
+        break;
+      case ModuleKind::Fpu32:
+        build_fpu_program(tc);
+        break;
+      case ModuleKind::Mdu32:
+        build_mdu_program(tc);
+        break;
+      default:
+        panic("finalize_test_case: unsupported module");
+    }
+
+    cpu::Iss iss(tc.program);
+    auto status = iss.run();
+    VEGA_CHECK(status == cpu::Iss::Status::Halted,
+               "test block did not halt: ", tc.name);
+    VEGA_CHECK(iss.reg(31) == 0,
+               "test block fails on golden hardware: ", tc.name);
+    tc.cycle_cost = iss.cycles();
+}
+
+} // namespace vega::runtime

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * CDCL SAT solver.
+ *
+ * The formal-verification engine under Vega's Error Lifting phase
+ * (substituting the commercial model checker the paper uses). Implements
+ * the standard modern architecture: two-watched-literal propagation,
+ * first-UIP conflict analysis with clause learning, EVSIDS branching,
+ * phase saving, Luby restarts, and LBD-based learned-clause reduction.
+ * A conflict budget turns long proofs into Result::Unknown, which the
+ * Error Lifting phase reports as the paper's "FF" (formal failure/timeout)
+ * outcome.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vega::sat {
+
+/** Variable index, 0-based. */
+using Var = int32_t;
+
+/**
+ * Literal: 2*var for the positive phase, 2*var+1 for the negative.
+ */
+struct Lit
+{
+    int32_t x = -2;
+
+    Lit() = default;
+    Lit(Var v, bool negative) : x(v * 2 + (negative ? 1 : 0)) {}
+
+    Var var() const { return x >> 1; }
+    bool sign() const { return x & 1; } ///< true = negated
+    Lit operator~() const
+    {
+        Lit l;
+        l.x = x ^ 1;
+        return l;
+    }
+    bool operator==(const Lit &o) const { return x == o.x; }
+    bool operator!=(const Lit &o) const { return x != o.x; }
+};
+
+inline Lit mk_lit(Var v) { return Lit(v, false); }
+
+class Solver
+{
+  public:
+    enum class Result { Sat, Unsat, Unknown };
+
+    Solver();
+
+    Var new_var();
+    int num_vars() const { return static_cast<int>(activity_.size()); }
+
+    /**
+     * Add a clause (empty clause makes the instance trivially unsat).
+     * Returns false if the solver is already in an unsat state.
+     */
+    bool add_clause(std::vector<Lit> lits);
+
+    /** Convenience single/binary/ternary clause adders. */
+    bool add_clause(Lit a) { return add_clause(std::vector<Lit>{a}); }
+    bool add_clause(Lit a, Lit b) { return add_clause({a, b}); }
+    bool add_clause(Lit a, Lit b, Lit c) { return add_clause({a, b, c}); }
+
+    /**
+     * Solve. Stops with Result::Unknown once @p conflict_budget conflicts
+     * have been spent (pass a negative budget for "no limit").
+     */
+    Result solve(int64_t conflict_budget = -1);
+
+    /** Model value of @p v after Result::Sat. */
+    bool model_value(Var v) const;
+
+    uint64_t num_conflicts() const { return conflicts_; }
+    uint64_t num_decisions() const { return decisions_; }
+    uint64_t num_propagations() const { return propagations_; }
+
+  private:
+    // Clause storage: all clauses live in one arena; a Cref is an offset.
+    using Cref = uint32_t;
+    static constexpr Cref kCrefUndef = 0xffffffffu;
+
+    struct Watcher
+    {
+        Cref cref;
+        Lit blocker;
+    };
+
+    enum : uint8_t { kTrue = 0, kFalse = 1, kUndef = 2 };
+
+    uint8_t value(Lit l) const
+    {
+        uint8_t a = assigns_[l.var()];
+        if (a == kUndef)
+            return kUndef;
+        return (a == kTrue) != l.sign() ? kTrue : kFalse;
+    }
+
+    Cref alloc_clause(const std::vector<Lit> &lits, bool learnt);
+    int clause_size(Cref c) const { return arena_[c]; }
+    Lit *clause_lits(Cref c) { return reinterpret_cast<Lit *>(&arena_[c + 2]); }
+    const Lit *clause_lits(Cref c) const
+    {
+        return reinterpret_cast<const Lit *>(&arena_[c + 2]);
+    }
+    uint32_t &clause_lbd(Cref c) { return arena_[c + 1]; }
+
+    void attach(Cref c);
+    void enqueue(Lit l, Cref reason);
+    Cref propagate();
+    void analyze(Cref conflict, std::vector<Lit> &learnt, int &backtrack);
+    void backtrack_to(int level);
+    Lit pick_branch();
+    void bump_var(Var v);
+    void decay_activity();
+    void reduce_db();
+    static int64_t luby(int64_t i);
+
+    // State
+    std::vector<uint32_t> arena_;
+    std::vector<Cref> clauses_;
+    std::vector<Cref> learnts_;
+    std::vector<std::vector<Watcher>> watches_; ///< indexed by Lit.x
+    std::vector<uint8_t> assigns_;              ///< per var
+    std::vector<uint8_t> saved_phase_;
+    std::vector<Cref> reason_;
+    std::vector<int> level_;
+    std::vector<Lit> trail_;
+    std::vector<int> trail_lim_;
+    size_t qhead_ = 0;
+
+    std::vector<double> activity_;
+    double var_inc_ = 1.0;
+    // Binary-heap order by activity.
+    std::vector<Var> heap_;
+    std::vector<int> heap_pos_;
+    void heap_insert(Var v);
+    void heap_update(Var v);
+    Var heap_pop();
+    void heap_sift_up(int i);
+    void heap_sift_down(int i);
+    bool heap_less(Var a, Var b) const
+    {
+        return activity_[a] > activity_[b];
+    }
+
+    std::vector<uint8_t> seen_; ///< scratch for analyze()
+
+    bool ok_ = true;
+    uint64_t conflicts_ = 0;
+    uint64_t decisions_ = 0;
+    uint64_t propagations_ = 0;
+};
+
+} // namespace vega::sat

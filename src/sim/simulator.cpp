@@ -1,0 +1,100 @@
+#include "sim/simulator.h"
+
+#include "common/logging.h"
+
+namespace vega {
+
+Simulator::Simulator(const Netlist &nl)
+    : nl_(nl), values_(nl.num_nets(), 0)
+{
+    nl_.topo_order(); // validate acyclicity up front
+    reset();
+}
+
+void
+Simulator::reset()
+{
+    std::fill(values_.begin(), values_.end(), 0);
+    for (CellId c : nl_.dffs())
+        values_[nl_.cell(c).out] = nl_.cell(c).init ? 1 : 0;
+    cycle_ = 0;
+    dirty_ = true;
+    eval();
+}
+
+void
+Simulator::set_input(NetId net, bool value)
+{
+    VEGA_CHECK(nl_.net(net).is_primary_input,
+               "set_input on non-input net ", nl_.net(net).name);
+    values_[net] = value ? 1 : 0;
+    dirty_ = true;
+}
+
+void
+Simulator::set_bus(const std::string &bus, const BitVec &value)
+{
+    const auto &nets = nl_.bus(bus);
+    VEGA_CHECK(nets.size() == value.width(), "bus width mismatch on ", bus);
+    for (size_t i = 0; i < nets.size(); ++i)
+        set_input(nets[i], value.get(i));
+}
+
+void
+Simulator::eval()
+{
+    if (!dirty_)
+        return;
+    for (CellId c : nl_.topo_order()) {
+        const Cell &cell = nl_.cell(c);
+        bool a = cell.num_inputs() > 0 ? values_[cell.in[0]] : false;
+        bool b = cell.num_inputs() > 1 ? values_[cell.in[1]] : false;
+        bool s = cell.num_inputs() > 2 ? values_[cell.in[2]] : false;
+        values_[cell.out] = eval_cell(cell.type, a, b, s) ? 1 : 0;
+    }
+    dirty_ = false;
+}
+
+void
+Simulator::step()
+{
+    eval();
+    // Capture all D pins, then commit all Qs (atomic clock edge).
+    auto dffs = nl_.dffs();
+    std::vector<uint8_t> next;
+    next.reserve(dffs.size());
+    for (CellId c : dffs)
+        next.push_back(values_[nl_.cell(c).in[0]]);
+    for (size_t i = 0; i < dffs.size(); ++i)
+        values_[nl_.cell(dffs[i]).out] = next[i];
+    ++cycle_;
+    dirty_ = true;
+    eval();
+}
+
+void
+Simulator::run(uint64_t n)
+{
+    for (uint64_t i = 0; i < n; ++i)
+        step();
+}
+
+bool
+Simulator::value(NetId net)
+{
+    eval();
+    return values_[net];
+}
+
+BitVec
+Simulator::bus_value(const std::string &bus)
+{
+    eval();
+    const auto &nets = nl_.bus(bus);
+    BitVec v(nets.size());
+    for (size_t i = 0; i < nets.size(); ++i)
+        v.set(i, values_[nets[i]]);
+    return v;
+}
+
+} // namespace vega

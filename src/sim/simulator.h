@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Levelized cycle-accurate gate-level simulator.
+ *
+ * Plays the role Verilator plays in the paper's evaluation: it executes the
+ * placed-and-routed netlist (including instrumented failing netlists)
+ * cycle by cycle. Semantics are standard synchronous two-phase evaluation:
+ * combinational cells settle in topological order, then the clock edge
+ * commits every DFF atomically.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "netlist/netlist.h"
+
+namespace vega {
+
+class Simulator
+{
+  public:
+    explicit Simulator(const Netlist &nl);
+
+    const Netlist &netlist() const { return nl_; }
+
+    /** Load DFF init values, zero all primary inputs, settle. */
+    void reset();
+
+    /** Drive a single primary-input net. Takes effect at the next eval. */
+    void set_input(NetId net, bool value);
+
+    /** Drive an input bus (LSB first); width must match. */
+    void set_bus(const std::string &bus, const BitVec &value);
+
+    /** Settle combinational logic. Called implicitly by step()/readers. */
+    void eval();
+
+    /** One clock edge: settle, then commit all DFFs, then settle again. */
+    void step();
+
+    /** Run @p n clock cycles. */
+    void run(uint64_t n);
+
+    /** Current value of a net (post-settle). */
+    bool value(NetId net);
+
+    /** Current value of a bus as a BitVec (LSB first). */
+    BitVec bus_value(const std::string &bus);
+
+    uint64_t cycle() const { return cycle_; }
+
+    /** Snapshot of all net values (for speculative pipeline reads). */
+    std::vector<uint8_t> save_state() const { return values_; }
+    void restore_state(const std::vector<uint8_t> &state)
+    {
+        values_ = state;
+        dirty_ = true;
+    }
+
+  private:
+    const Netlist &nl_;
+    std::vector<uint8_t> values_; ///< per-net current value
+    bool dirty_ = true;           ///< inputs changed since last eval
+    uint64_t cycle_ = 0;
+};
+
+} // namespace vega

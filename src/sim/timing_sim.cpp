@@ -1,0 +1,199 @@
+#include "sim/timing_sim.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vega {
+
+TimingSimulator::TimingSimulator(const Netlist &nl,
+                                 const sta::AgedTiming &timing)
+    : nl_(nl), timing_(timing), period_(nl.clock_period_ps()),
+      stable_(nl.num_nets(), 0), prev_stable_(nl.num_nets(), 0),
+      arr_max_(nl.num_nets(), 0.0), arr_min_(nl.num_nets(), 0.0),
+      inputs_(nl.num_nets(), 0), q_(nl.num_cells(), 0),
+      q_changed_(nl.num_cells(), 0)
+{
+    VEGA_CHECK(timing.delay_max.size() == nl.num_cells(),
+               "timing annotations do not match the netlist");
+    reset();
+}
+
+void
+TimingSimulator::reset()
+{
+    std::fill(stable_.begin(), stable_.end(), 0);
+    std::fill(prev_stable_.begin(), prev_stable_.end(), 0);
+    std::fill(inputs_.begin(), inputs_.end(), 0);
+    std::fill(q_changed_.begin(), q_changed_.end(), 0);
+    for (CellId c = 0; c < nl_.num_cells(); ++c)
+        q_[c] = nl_.cell(c).type == CellType::Dff && nl_.cell(c).init;
+    cycle_ = 0;
+    events_.clear();
+    pending_settle_ = true;
+    settle();
+    // The reset state is the baseline: nothing "changed" into it.
+    prev_stable_ = stable_;
+}
+
+void
+TimingSimulator::set_input(NetId net, bool value)
+{
+    VEGA_CHECK(nl_.net(net).is_primary_input, "not a primary input");
+    inputs_[net] = value ? 1 : 0;
+    pending_settle_ = true;
+}
+
+void
+TimingSimulator::set_bus(const std::string &bus, const BitVec &value)
+{
+    const auto &nets = nl_.bus(bus);
+    VEGA_CHECK(nets.size() == value.width(), "bus width mismatch");
+    for (size_t i = 0; i < nets.size(); ++i)
+        set_input(nets[i], value.get(i));
+}
+
+BitVec
+TimingSimulator::bus_value(const std::string &bus) const
+{
+    const auto &nets = nl_.bus(bus);
+    BitVec v(nets.size());
+    for (size_t i = 0; i < nets.size(); ++i)
+        v.set(i, stable_[nets[i]]);
+    return v;
+}
+
+void
+TimingSimulator::settle()
+{
+    // Sources. Primary inputs come from upstream registers whose
+    // clk-to-Q keeps them stable through the hold window, so their
+    // earliest-move time is unbounded (the STA applies the same
+    // exemption); their latest arrival is the edge itself.
+    for (NetId n = 0; n < nl_.num_nets(); ++n) {
+        if (nl_.net(n).is_primary_input) {
+            stable_[n] = inputs_[n];
+            arr_max_[n] = 0.0;
+            arr_min_[n] = 1e30;
+        }
+    }
+    for (CellId c : nl_.dffs()) {
+        const Cell &cell = nl_.cell(c);
+        stable_[cell.out] = q_[c];
+        if (q_changed_[c]) {
+            double launch = timing_.clk_arrival_max[cell.clock_leaf];
+            arr_max_[cell.out] = launch + timing_.clk_to_q_max[c];
+            arr_min_[cell.out] =
+                timing_.clk_arrival_min[cell.clock_leaf] +
+                timing_.clk_to_q_min[c];
+        } else {
+            arr_max_[cell.out] = 0.0;
+            arr_min_[cell.out] = 0.0;
+        }
+    }
+
+    // Combinational propagation with single-transition timing.
+    for (CellId c : nl_.topo_order()) {
+        const Cell &cell = nl_.cell(c);
+        bool a = cell.num_inputs() > 0 ? stable_[cell.in[0]] : false;
+        bool b = cell.num_inputs() > 1 ? stable_[cell.in[1]] : false;
+        bool s = cell.num_inputs() > 2 ? stable_[cell.in[2]] : false;
+        bool val = cell.num_inputs() == 0
+                       ? eval_cell(cell.type, false)
+                       : eval_cell(cell.type, a, b, s);
+        NetId out = cell.out;
+        bool changed = val != bool(prev_stable_[out]);
+        stable_[out] = val;
+        if (!changed) {
+            arr_max_[out] = 0.0;
+            arr_min_[out] = 0.0;
+            continue;
+        }
+        double in_max = 0.0;
+        double in_min = 1e30;
+        for (int i = 0; i < cell.num_inputs(); ++i) {
+            NetId in = cell.in[i];
+            in_max = std::max(in_max, arr_max_[in]);
+            if (stable_[in] != prev_stable_[in])
+                in_min = std::min(in_min, arr_min_[in]);
+        }
+        arr_max_[out] = in_max + timing_.delay_max[c];
+        // A 1e30 min survives the addition: paths moved only by primary
+        // inputs stay hold-exempt end to end.
+        arr_min_[out] = in_min >= 1e30 ? 1e30
+                                       : in_min + timing_.delay_min[c];
+    }
+    pending_settle_ = false;
+}
+
+std::vector<TimingEvent>
+TimingSimulator::step()
+{
+    settle();
+    std::vector<TimingEvent> edge_events;
+
+    // ---- Hold outcomes of the previous edge --------------------------------
+    // Data launched by the last edge that races through a short path can
+    // slip into the previous capture. Detected now, once this cycle's
+    // arrivals exist; corrupted flops take the new value retroactively.
+    if (cycle_ > 0) {
+        bool corrected = false;
+        for (CellId c : nl_.dffs()) {
+            const Cell &cell = nl_.cell(c);
+            NetId d = cell.in[0];
+            if (stable_[d] == prev_stable_[d])
+                continue; // Eq. 3: safe when the value does not change
+            double window = timing_.clk_arrival_max[cell.clock_leaf] +
+                            timing_.hold[c];
+            if (arr_min_[d] >= window)
+                continue;
+            if (q_[c] == stable_[d])
+                continue; // races to the same value: benign
+            q_[c] = stable_[d];
+            q_changed_[c] = 1;
+            corrected = true;
+            edge_events.push_back({c, false, cycle_});
+        }
+        if (corrected) {
+            settle(); // corrupted state propagates this cycle
+            for (const TimingEvent &e : edge_events)
+                events_.push_back(e);
+        }
+    }
+
+    // ---- Setup outcomes of this edge ---------------------------------------
+    auto dffs = nl_.dffs();
+    std::vector<uint8_t> captured(dffs.size());
+    for (size_t i = 0; i < dffs.size(); ++i) {
+        CellId c = dffs[i];
+        const Cell &cell = nl_.cell(c);
+        NetId d = cell.in[0];
+        bool intended = stable_[d];
+        bool changed = stable_[d] != prev_stable_[d];
+        double limit = period_ +
+                       timing_.clk_arrival_min[cell.clock_leaf] -
+                       timing_.setup[c];
+        if (changed && arr_max_[d] > limit) {
+            // Late data: the flop keeps sampling the stale value.
+            captured[i] = prev_stable_[d];
+            TimingEvent e{c, true, cycle_ + 1};
+            edge_events.push_back(e);
+            events_.push_back(e);
+        } else {
+            captured[i] = intended;
+        }
+    }
+    for (size_t i = 0; i < dffs.size(); ++i) {
+        CellId c = dffs[i];
+        q_changed_[c] = captured[i] != q_[c];
+        q_[c] = captured[i];
+    }
+
+    prev_stable_ = stable_;
+    ++cycle_;
+    pending_settle_ = true;
+    settle();
+    return edge_events;
+}
+
+} // namespace vega

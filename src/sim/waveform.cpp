@@ -1,0 +1,58 @@
+#include "sim/waveform.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace vega {
+
+void
+Waveform::record(const std::string &signal, const BitVec &value)
+{
+    auto it = data_.find(signal);
+    if (it == data_.end()) {
+        order_.push_back(signal);
+        it = data_.emplace(signal, std::vector<BitVec>{}).first;
+    }
+    it->second.push_back(value);
+    cycles_ = std::max(cycles_, it->second.size());
+}
+
+const BitVec &
+Waveform::at(const std::string &signal, size_t cycle) const
+{
+    auto it = data_.find(signal);
+    VEGA_CHECK(it != data_.end(), "waveform has no signal ", signal);
+    VEGA_CHECK(cycle < it->second.size(), "waveform cycle out of range");
+    return it->second[cycle];
+}
+
+std::string
+Waveform::to_table() const
+{
+    std::ostringstream os;
+    size_t name_w = 5;
+    for (const auto &s : order_)
+        name_w = std::max(name_w, s.size());
+
+    os << std::string(name_w, ' ') << " | ";
+    for (size_t t = 0; t < cycles_; ++t)
+        os << "cyc" << (t + 1) << " ";
+    os << "\n";
+    for (const auto &s : order_) {
+        os << s << std::string(name_w - s.size(), ' ') << " | ";
+        const auto &vals = data_.at(s);
+        for (size_t t = 0; t < cycles_; ++t) {
+            if (t < vals.size())
+                os << "'b" << vals[t].to_binary();
+            else
+                os << "-";
+            os << " ";
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace vega

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Cycle-indexed waveform of named bus values.
+ *
+ * The formal engine emits the cover trace (Table 2 of the paper) as a
+ * Waveform: one row per module input/output bus per cycle. Instruction
+ * construction consumes it; tests and examples pretty-print it.
+ */
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitvec.h"
+
+namespace vega {
+
+class Waveform
+{
+  public:
+    /** Number of recorded cycles. */
+    size_t num_cycles() const { return cycles_; }
+
+    /** Signals in insertion order. */
+    const std::vector<std::string> &signals() const { return order_; }
+
+    bool has(const std::string &signal) const
+    {
+        return data_.count(signal) > 0;
+    }
+
+    /** Append @p value for @p signal at cycle index == current length. */
+    void record(const std::string &signal, const BitVec &value);
+
+    /** Value of @p signal at @p cycle. */
+    const BitVec &at(const std::string &signal, size_t cycle) const;
+
+    /** Render as an ASCII table like the paper's Table 2. */
+    std::string to_table() const;
+
+  private:
+    std::unordered_map<std::string, std::vector<BitVec>> data_;
+    std::vector<std::string> order_;
+    size_t cycles_ = 0;
+};
+
+} // namespace vega

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Aging analysis of the clock distribution network (§3.2.2).
+ *
+ * Clock buffers age like any other cell; because clock gating parks some
+ * subtrees at logic 0, their buffers accumulate more NBTI stress and their
+ * insertion delay grows faster. The resulting phase shift between launch
+ * and capture clock pins is what turns short paths into hold violations.
+ */
+#pragma once
+
+#include <vector>
+
+#include "aging/timing_library.h"
+#include "rtl/clock_tree.h"
+
+namespace vega::sta {
+
+/** Aged clock arrival time per clock-tree buffer. */
+struct ClockTiming
+{
+    std::vector<double> arrival_max; ///< ps, late corner
+    std::vector<double> arrival_min; ///< ps, early corner
+};
+
+/**
+ * Accumulate aged insertion delay from the root to every buffer.
+ *
+ * Buffers age per the BUF entry of the aging library at their individual
+ * SP (gated regions carry SP = duty/2 set by ClockTree::set_gated_region).
+ */
+ClockTiming analyze_clock_tree(const ClockTree &tree,
+                               const aging::AgingTimingLibrary &lib,
+                               double years);
+
+/**
+ * Worst aged skew (max over pairs of |arrival(a) − arrival(b)|), ps.
+ * Reported by benches as an ablation metric.
+ */
+double worst_skew(const ClockTiming &timing);
+
+} // namespace vega::sta

@@ -1,0 +1,344 @@
+#include "sta/sta.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <tuple>
+
+#include "common/logging.h"
+#include "sta/clock_analysis.h"
+
+namespace vega::sta {
+
+AgedTiming
+compute_aged_timing(const HwModule &module, const SpProfile &profile,
+                    const aging::AgingTimingLibrary &lib, double years,
+                    const IrDropParams &ir_drop)
+{
+    const Netlist &nl = module.netlist;
+    AgedTiming t;
+    t.years = years;
+    size_t n = nl.num_cells();
+    t.delay_max.resize(n);
+    t.delay_min.resize(n);
+    t.setup.assign(n, 0.0);
+    t.hold.assign(n, 0.0);
+    t.clk_to_q_max.assign(n, 0.0);
+    t.clk_to_q_min.assign(n, 0.0);
+
+    double scale = nl.timing_scale();
+    for (CellId c = 0; c < n; ++c) {
+        const Cell &cell = nl.cell(c);
+        const CellTiming &fresh = cell_timing(cell.type);
+        double sp = c < profile.num_cells() ? profile.sp(c) : 0.5;
+        double fmax = lib.delay_factor_max(cell.type, sp, years);
+        double fmin = lib.delay_factor_min(cell.type, sp, years);
+        if (ir_drop.enable && c < profile.num_cells()) {
+            // Heavy local switching droops the supply; the alpha-power
+            // law turns that into a proportional max-arc slowdown.
+            fmax *= 1.0 + ir_drop.sensitivity * profile.activity(c);
+        }
+        if (cell.type == CellType::Dff) {
+            t.clk_to_q_max[c] = fresh.delay_max * scale * fmax;
+            t.clk_to_q_min[c] = fresh.delay_min * scale * fmin;
+            // Setup/hold windows widen slightly as the input stage ages.
+            t.setup[c] = fresh.setup * scale * fmax;
+            t.hold[c] = fresh.hold * scale;
+            t.delay_max[c] = 0.0;
+            t.delay_min[c] = 0.0;
+        } else {
+            t.delay_max[c] = fresh.delay_max * scale * fmax;
+            t.delay_min[c] = fresh.delay_min * scale * fmin;
+        }
+    }
+
+    ClockTiming ct = analyze_clock_tree(module.clock, lib, years);
+    t.clk_arrival_max = std::move(ct.arrival_max);
+    t.clk_arrival_min = std::move(ct.arrival_min);
+    return t;
+}
+
+namespace {
+
+/** Forward arrival times at every net under one launch-clock assumption. */
+struct Arrivals
+{
+    std::vector<double> max_at; ///< latest data arrival per net, ps
+    std::vector<double> min_at; ///< earliest data arrival per net, ps
+};
+
+Arrivals
+propagate(const Netlist &nl, const AgedTiming &t)
+{
+    Arrivals a;
+    a.max_at.assign(nl.num_nets(), -1e30);
+    a.min_at.assign(nl.num_nets(), 1e30);
+
+    // Sources: primary inputs arrive at the edge (t = 0) for setup
+    // purposes; they are exempt from hold analysis (their min arrival
+    // stays at +inf), since module inputs are driven by upstream
+    // registers whose clk-to-Q keeps them stable through the hold
+    // window — the hold exposure inside the module is register-to-
+    // register, which is what the paper's clock-skew analysis targets.
+    for (NetId nid = 0; nid < nl.num_nets(); ++nid) {
+        const Net &net = nl.net(nid);
+        if (net.is_primary_input)
+            a.max_at[nid] = 0.0;
+    }
+    for (CellId c : nl.dffs()) {
+        const Cell &cell = nl.cell(c);
+        double launch_max = t.clk_arrival_max[cell.clock_leaf];
+        double launch_min = t.clk_arrival_min[cell.clock_leaf];
+        a.max_at[cell.out] = launch_max + t.clk_to_q_max[c];
+        a.min_at[cell.out] = launch_min + t.clk_to_q_min[c];
+    }
+
+    for (CellId c : nl.topo_order()) {
+        const Cell &cell = nl.cell(c);
+        if (cell.num_inputs() == 0) {
+            // Constants never transition: no setup pressure, no hold risk.
+            a.max_at[cell.out] = 0.0;
+            continue;
+        }
+        double in_max = -1e30, in_min = 1e30;
+        for (int i = 0; i < cell.num_inputs(); ++i) {
+            in_max = std::max(in_max, a.max_at[cell.in[i]]);
+            in_min = std::min(in_min, a.min_at[cell.in[i]]);
+        }
+        a.max_at[cell.out] = in_max + t.delay_max[c];
+        a.min_at[cell.out] = in_min + t.delay_min[c];
+    }
+    return a;
+}
+
+/**
+ * Enumerate violating paths ending at DFF @p capture by walking backwards
+ * from its D net. For setup, a prefix continues only if the worst arrival
+ * through it can still violate; this prunes exactly and counts each
+ * distinct combinational path once.
+ */
+struct PathEnumerator
+{
+    const Netlist &nl;
+    const AgedTiming &t;
+    const Arrivals &arr;
+    CellId capture;
+    bool is_setup;
+    double limit;   ///< data arrival beyond (setup) / below (hold) violates
+    size_t cap;
+    bool truncated = false;
+
+    std::map<std::tuple<CellId, CellId, bool>, EndpointPair> *pairs;
+    size_t *total;
+    double *wns;
+
+    std::vector<CellId> stack;
+
+    void
+    record(NetId start_net, double delay)
+    {
+        const Net &net = nl.net(start_net);
+        CellId launch = net.is_primary_input ? kInvalidId : net.driver;
+        double slack = is_setup ? (limit - delay) : (delay - limit);
+
+        auto key = std::make_tuple(launch, capture, is_setup);
+        auto &pair = (*pairs)[key];
+        if (pair.path_count == 0) {
+            pair.launch = launch;
+            pair.capture = capture;
+            pair.is_setup = is_setup;
+            pair.worst.slack = 1e30;
+        }
+        ++pair.path_count;
+        ++*total;
+        *wns = std::min(*wns, slack);
+        if (slack < pair.worst.slack) {
+            TimingPath p;
+            p.launch = launch;
+            p.launch_net = start_net;
+            p.capture = capture;
+            p.cells.assign(stack.rbegin(), stack.rend());
+            p.delay = delay;
+            p.slack = slack;
+            p.is_setup = is_setup;
+            pair.worst = std::move(p);
+        }
+    }
+
+    /** @p suffix is the accumulated delay from @p net to the D pin. */
+    void
+    walk(NetId net, double suffix)
+    {
+        if (*total >= cap) {
+            truncated = true;
+            return;
+        }
+        const Net &n = nl.net(net);
+        bool at_source = n.is_primary_input ||
+                         (n.driver != kInvalidId &&
+                          nl.cell(n.driver).type == CellType::Dff);
+        if (at_source) {
+            double source_at =
+                is_setup ? arr.max_at[net] : arr.min_at[net];
+            double total_delay = source_at + suffix;
+            bool violates = is_setup ? total_delay > limit
+                                     : total_delay < limit;
+            if (violates)
+                record(net, total_delay);
+            return;
+        }
+        if (n.driver == kInvalidId)
+            return; // disconnected constant
+        CellId c = n.driver;
+        const Cell &cell = nl.cell(c);
+        if (cell.num_inputs() == 0)
+            return; // constants never launch paths
+        double d = is_setup ? t.delay_max[c] : t.delay_min[c];
+        stack.push_back(c);
+        for (int i = 0; i < cell.num_inputs(); ++i) {
+            NetId in = cell.in[i];
+            double reach = is_setup ? arr.max_at[in] : arr.min_at[in];
+            double best = reach + d + suffix;
+            bool can_violate = is_setup ? best > limit : best < limit;
+            if (can_violate)
+                walk(in, suffix + d);
+        }
+        stack.pop_back();
+    }
+};
+
+} // namespace
+
+StaResult
+run_sta(const HwModule &module, const AgedTiming &t,
+        size_t max_paths_per_endpoint)
+{
+    const Netlist &nl = module.netlist;
+    Arrivals arr = propagate(nl, t);
+
+    StaResult result;
+    std::map<std::tuple<CellId, CellId, bool>, EndpointPair> pairs;
+    double period = nl.clock_period_ps();
+
+    // Small epsilon so exact-equality boundaries don't flap.
+    constexpr double kEps = 1e-9;
+
+    for (CellId capture : nl.dffs()) {
+        const Cell &cell = nl.cell(capture);
+        NetId d = cell.in[0];
+        double cap_min = t.clk_arrival_min[cell.clock_leaf];
+        double cap_max = t.clk_arrival_max[cell.clock_leaf];
+
+        // Setup: data must arrive before the *next* capture edge minus
+        // setup; pessimistic capture uses the early clock arrival.
+        double setup_limit = period + cap_min - t.setup[capture];
+        double setup_slack = setup_limit - arr.max_at[d];
+        result.wns_setup = std::min(result.wns_setup, setup_slack);
+        if (setup_slack < -kEps) {
+            size_t local = 0;
+            PathEnumerator e{nl, t, arr, capture, true, setup_limit,
+                             max_paths_per_endpoint, false, &pairs,
+                             &local, &result.wns_setup, {}};
+            e.walk(d, 0.0);
+            result.num_setup_violations += local;
+            result.truncated |= e.truncated;
+        }
+
+        // Hold: data launched by this edge must not overwrite the value
+        // being captured; pessimistic capture uses the late clock arrival.
+        double hold_limit = cap_max + t.hold[capture];
+        double hold_slack = arr.min_at[d] - hold_limit;
+        result.wns_hold = std::min(result.wns_hold, hold_slack);
+        if (hold_slack < -kEps) {
+            size_t local = 0;
+            PathEnumerator e{nl, t, arr, capture, false, hold_limit,
+                             max_paths_per_endpoint, false, &pairs,
+                             &local, &result.wns_hold, {}};
+            e.walk(d, 0.0);
+            result.num_hold_violations += local;
+            result.truncated |= e.truncated;
+        }
+    }
+
+    result.pairs.reserve(pairs.size());
+    for (auto &kv : pairs)
+        result.pairs.push_back(std::move(kv.second));
+    std::sort(result.pairs.begin(), result.pairs.end(),
+              [](const EndpointPair &a, const EndpointPair &b) {
+                  return a.worst.slack < b.worst.slack;
+              });
+    return result;
+}
+
+std::vector<EndpointSlack>
+endpoint_slacks(const HwModule &module, const AgedTiming &t)
+{
+    const Netlist &nl = module.netlist;
+    Arrivals arr = propagate(nl, t);
+    double period = nl.clock_period_ps();
+    std::vector<EndpointSlack> out;
+    for (CellId capture : nl.dffs()) {
+        const Cell &cell = nl.cell(capture);
+        NetId d = cell.in[0];
+        EndpointSlack s;
+        s.capture = capture;
+        s.setup_slack = period + t.clk_arrival_min[cell.clock_leaf] -
+                        t.setup[capture] - arr.max_at[d];
+        s.hold_slack = arr.min_at[d] -
+                       (t.clk_arrival_max[cell.clock_leaf] +
+                        t.hold[capture]);
+        out.push_back(s);
+    }
+    return out;
+}
+
+double
+critical_path_delay(const HwModule &module, const AgedTiming &t)
+{
+    const Netlist &nl = module.netlist;
+    Arrivals arr = propagate(nl, t);
+    double worst = 0.0;
+    for (CellId capture : nl.dffs()) {
+        NetId d = nl.cell(capture).in[0];
+        worst = std::max(worst, arr.max_at[d] + t.setup[capture]);
+    }
+    for (NetId out : nl.primary_outputs())
+        worst = std::max(worst, arr.max_at[out]);
+    return worst;
+}
+
+void
+calibrate_timing_scale(HwModule &module, const aging::AgingTimingLibrary &lib,
+                       double utilization)
+{
+    VEGA_CHECK(utilization > 0.0 && utilization < 1.0, "utilization range");
+    SpProfile neutral(module.netlist.num_cells());
+
+    // Synthesis closes timing on *slack*, where launch/capture clock
+    // insertion cancels; the worst setup slack is affine decreasing in
+    // the cell scale, so two probes pin the line. Iterate in case the
+    // worst path changes with the scale.
+    auto wns_at = [&](double s) {
+        module.netlist.set_timing_scale(s);
+        AgedTiming fresh = compute_aged_timing(module, neutral, lib, 0.0);
+        return run_sta(module, fresh, 1).wns_setup;
+    };
+    // Target: the fresh design just meets timing with a small margin.
+    double target =
+        module.netlist.clock_period_ps() * (1.0 - utilization);
+    double scale = 1.0;
+    for (int iter = 0; iter < 8; ++iter) {
+        double w1 = wns_at(scale);
+        if (std::abs(w1 - target) < 1e-9)
+            break;
+        double w2 = wns_at(scale * 1.25);
+        double per_scale = (w1 - w2) / (0.25 * scale); // slope magnitude
+        VEGA_CHECK(per_scale > 0.0, "empty module");
+        // w(scale') = w1 - per_scale * (scale' - scale) = target
+        scale = scale + (w1 - target) / per_scale;
+        VEGA_CHECK(scale > 0.0, "period too small for this netlist");
+    }
+    module.netlist.set_timing_scale(scale);
+}
+
+} // namespace vega::sta

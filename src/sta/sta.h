@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Aging-aware static timing analysis (§3.2.2).
+ *
+ * Consumes a hardware module, its SP profile, and the precomputed aging
+ * timing library; produces the set of signal propagation paths that violate
+ * setup or hold constraints after a given number of years of BTI aging —
+ * the inputs to Error Lifting. Assumes the worst-case corner throughout,
+ * like the paper: late launch clock for setup, early launch clock for hold,
+ * derated min arcs, and pessimistic capture-clock arrivals.
+ */
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "aging/timing_library.h"
+#include "rtl/module.h"
+#include "sim/sp_profiler.h"
+
+namespace vega::sta {
+
+/** Aged timing annotations for one module at one point in its lifetime. */
+struct AgedTiming
+{
+    double years = 0.0;
+    /** Per-cell max/min propagation delays, ps (timing_scale applied). */
+    std::vector<double> delay_max;
+    std::vector<double> delay_min;
+    /** Per-cell DFF constraints (zero for combinational cells). */
+    std::vector<double> setup;
+    std::vector<double> hold;
+    std::vector<double> clk_to_q_max;
+    std::vector<double> clk_to_q_min;
+    /** Clock arrival at each clock-tree buffer, ps, after aging. */
+    std::vector<double> clk_arrival_max;
+    std::vector<double> clk_arrival_min;
+};
+
+/**
+ * Dynamic IR-drop extension (§6.3): cells in heavily-switching regions
+ * see a drooped local supply and slow down proportionally to their
+ * observed activity. Off by default (the paper's baseline analysis).
+ */
+struct IrDropParams
+{
+    bool enable = false;
+    /** Max-arc fractional slowdown at activity 1.0. */
+    double sensitivity = 0.03;
+};
+
+/**
+ * Compute aged timing for @p module after @p years, using @p profile for
+ * per-cell SP (cells beyond the profile default to SP 0.5) and @p lib for
+ * the degradation lookups. Pass years = 0 for fresh timing.
+ */
+AgedTiming compute_aged_timing(const HwModule &module,
+                               const SpProfile &profile,
+                               const aging::AgingTimingLibrary &lib,
+                               double years,
+                               const IrDropParams &ir_drop = {});
+
+/** A timed register-to-register signal propagation path. */
+struct TimingPath
+{
+    /** Launching DFF; kInvalidId when the path starts at a primary input. */
+    CellId launch = kInvalidId;
+    /** The net the path starts from (launch Q or the primary input). */
+    NetId launch_net = kInvalidId;
+    /** Capturing DFF. */
+    CellId capture = kInvalidId;
+    /** Combinational cells along the path, launch side first. */
+    std::vector<CellId> cells;
+    /** Data path delay, ps (includes clk-to-Q for DFF launches). */
+    double delay = 0.0;
+    /** Slack, ps; negative means violating. */
+    double slack = 0.0;
+    bool is_setup = true;
+};
+
+/** A deduplicated (launch, capture) endpoint pair (§5.2.1). */
+struct EndpointPair
+{
+    CellId launch = kInvalidId;
+    CellId capture = kInvalidId;
+    bool is_setup = true;
+    /** Number of violating paths sharing these endpoints. */
+    size_t path_count = 0;
+    /** Worst (most negative slack) representative path. */
+    TimingPath worst;
+};
+
+struct StaResult
+{
+    /** Worst slack over all setup checks (ps, positive if clean). */
+    double wns_setup = std::numeric_limits<double>::infinity();
+    double wns_hold = std::numeric_limits<double>::infinity();
+    /** Total violating path counts (Table 3). */
+    size_t num_setup_violations = 0;
+    size_t num_hold_violations = 0;
+    /** Unique violating endpoint pairs, worst first. */
+    std::vector<EndpointPair> pairs;
+    /** True if the per-endpoint path enumeration hit its cap. */
+    bool truncated = false;
+};
+
+/** Full aging-aware STA over @p module with timing @p timing. */
+StaResult run_sta(const HwModule &module, const AgedTiming &timing,
+                  size_t max_paths_per_endpoint = 200000);
+
+/** Fresh critical path delay, ps (for calibration / reporting). */
+double critical_path_delay(const HwModule &module, const AgedTiming &timing);
+
+/** Per-capture-DFF setup and hold slack (diagnostics / ablations). */
+struct EndpointSlack
+{
+    CellId capture = kInvalidId;
+    double setup_slack = 0.0;
+    double hold_slack = 0.0;
+};
+std::vector<EndpointSlack> endpoint_slacks(const HwModule &module,
+                                           const AgedTiming &timing);
+
+/**
+ * Set the module's timing_scale so its fresh critical path consumes the
+ * fraction @p utilization of the clock period (minus setup), emulating a
+ * synthesis flow that optimizes the design just inside timing closure.
+ */
+void calibrate_timing_scale(HwModule &module,
+                            const aging::AgingTimingLibrary &lib,
+                            double utilization);
+
+} // namespace vega::sta

@@ -1,0 +1,108 @@
+#include "vega/aging_analysis.h"
+
+#include "common/logging.h"
+#include "sim/simulator.h"
+
+namespace vega {
+
+std::vector<sta::EndpointPair>
+AgingAnalysisResult::liftable_pairs() const
+{
+    std::vector<sta::EndpointPair> out;
+    for (const sta::EndpointPair &p : sta.pairs)
+        if (p.launch != kInvalidId)
+            out.push_back(p);
+    return out;
+}
+
+std::vector<cpu::FuTraceEntry>
+record_workload_trace(const std::vector<std::vector<cpu::Instr>> &programs)
+{
+    std::vector<cpu::FuTraceEntry> trace;
+    for (const auto &prog : programs) {
+        cpu::IssConfig cfg;
+        cfg.record_fu_trace = true;
+        cpu::Iss iss(prog, cfg);
+        auto status = iss.run();
+        VEGA_CHECK(status == cpu::Iss::Status::Halted,
+                   "workload did not halt");
+        trace.insert(trace.end(), iss.fu_trace().begin(),
+                     iss.fu_trace().end());
+    }
+    return trace;
+}
+
+namespace {
+
+/** Opcode-bus width of a module's interface. */
+size_t
+op_width(ModuleKind kind)
+{
+    switch (kind) {
+      case ModuleKind::Alu32: return 4;
+      case ModuleKind::Fpu32: return 3;
+      case ModuleKind::Mdu32: return 2;
+      default: return 0;
+    }
+}
+
+/** Drive one trace entry (or an idle cycle) into the module. */
+void
+apply_entry(Simulator &sim, ModuleKind kind, const cpu::FuTraceEntry *e)
+{
+    bool is_fpu_module = kind == ModuleKind::Fpu32;
+    if (e) {
+        sim.set_bus("a", BitVec(32, e->a));
+        sim.set_bus("b", BitVec(32, e->b));
+        sim.set_bus("op", BitVec(op_width(kind), e->op));
+        if (is_fpu_module) {
+            sim.set_bus("valid", BitVec(1, 1));
+            sim.set_bus("clear", BitVec(1, 0));
+        }
+    } else if (is_fpu_module) {
+        sim.set_bus("valid", BitVec(1, 0));
+        sim.set_bus("clear", BitVec(1, 0));
+    }
+}
+
+} // namespace
+
+AgingAnalysisResult
+run_aging_analysis(HwModule &module, const aging::AgingTimingLibrary &lib,
+                   const std::vector<cpu::FuTraceEntry> &trace,
+                   const AgingAnalysisConfig &config)
+{
+    // "Synthesis": close timing to the configured utilization.
+    sta::calibrate_timing_scale(module, lib, config.utilization);
+
+    // Signal Probability Simulation: replay the workload; ops for the
+    // other functional unit appear as idle cycles, preserving realistic
+    // activity ratios.
+    Simulator sim(module.netlist);
+    SpProfile profile(module.netlist.num_cells());
+    size_t limit = config.max_trace == 0
+                       ? trace.size()
+                       : std::min(trace.size(), config.max_trace);
+    for (size_t i = 0; i < limit; ++i) {
+        const cpu::FuTraceEntry &e = trace[i];
+        bool matches = e.unit == module.kind;
+        apply_entry(sim, module.kind, matches ? &e : nullptr);
+        sim.eval();
+        profile.sample(sim);
+        sim.step();
+    }
+
+    AgingAnalysisResult result;
+    result.profile = std::move(profile);
+    result.fresh =
+        sta::compute_aged_timing(module, result.profile, lib, 0.0);
+    result.aged = sta::compute_aged_timing(module, result.profile, lib,
+                                           config.years);
+    result.fresh_sta =
+        sta::run_sta(module, result.fresh, config.max_paths_per_endpoint);
+    result.sta =
+        sta::run_sta(module, result.aged, config.max_paths_per_endpoint);
+    return result;
+}
+
+} // namespace vega

@@ -1,0 +1,26 @@
+#include "vega/workflow.h"
+
+namespace vega {
+
+const std::vector<cpu::FuTraceEntry> &
+minver_trace()
+{
+    static const std::vector<cpu::FuTraceEntry> trace =
+        record_workload_trace({workloads::make_minver().program});
+    return trace;
+}
+
+WorkflowResult
+run_workflow(HwModule &module, const aging::AgingTimingLibrary &lib,
+             const std::vector<cpu::FuTraceEntry> &trace,
+             const WorkflowConfig &config)
+{
+    WorkflowResult result;
+    result.aging = run_aging_analysis(module, lib, trace, config.aging);
+    result.lift = lift::run_error_lifting(
+        module, result.aging.liftable_pairs(), config.lift);
+    result.suite = result.lift.suite();
+    return result;
+}
+
+} // namespace vega

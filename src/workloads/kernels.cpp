@@ -1,0 +1,676 @@
+#include "workloads/kernels.h"
+
+#include <cstring>
+
+#include "cpu/assembler.h"
+#include "cpu/softfp.h"
+
+namespace vega::workloads {
+
+using cpu::Asm;
+using cpu::FReg;
+using cpu::Reg;
+
+namespace {
+
+uint32_t
+f2u(float f)
+{
+    uint32_t u;
+    std::memcpy(&u, &f, sizeof(u));
+    return u;
+}
+
+/** Software-reciprocal constant (Newton seed): r0 = magic - bits(d). */
+constexpr uint32_t kRecipMagic = 0x7ef311c3u;
+
+/** Mirror of the in-kernel Newton reciprocal, bit-exact via softfp. */
+uint32_t
+mirror_recip(uint32_t d_bits)
+{
+    uint32_t r = kRecipMagic - d_bits;
+    uint32_t two = f2u(2.0f);
+    for (int it = 0; it < 3; ++it) {
+        uint32_t dr = fp::fmul(d_bits, r).bits;
+        uint32_t corr = fp::fsub(two, dr).bits;
+        r = fp::fmul(r, corr).bits;
+    }
+    return r;
+}
+
+} // namespace
+
+Kernel
+make_minver()
+{
+    // Invert [a b; c d] repeatedly (10 rounds), xor-accumulating the
+    // element bit patterns. Division is a 3-step Newton reciprocal, so
+    // the whole kernel exercises fmul/fsub heavily — the FPU workload
+    // the paper profiles with.
+    const uint32_t a = f2u(4.0f), b = f2u(7.0f), c = f2u(2.0f),
+                   d = f2u(6.0f);
+
+    Asm s;
+    s.li(5, a);
+    s.fmv_w_x(1, 5);
+    s.li(5, b);
+    s.fmv_w_x(2, 5);
+    s.li(5, c);
+    s.fmv_w_x(3, 5);
+    s.li(5, d);
+    s.fmv_w_x(4, 5);
+    s.li(5, f2u(2.0f));
+    s.fmv_w_x(9, 5); // constant 2.0 for Newton
+    s.li(26, 40); // outer repeats (embench-style iteration)
+    s.li(27, 0);  // accumulated checksum
+    s.label("vouter");
+    s.li(20, 0);     // checksum
+    s.li(21, 60);    // round counter
+
+    s.label("round");
+    // det = a*d - b*c
+    s.fmul_s(5, 1, 4);
+    s.fmul_s(6, 2, 3);
+    s.fsub_s(5, 5, 6);
+    // r = recip(det): seed then 3 Newton steps
+    s.fmv_x_w(6, 5);
+    s.li(7, kRecipMagic);
+    s.sub(6, 7, 6);
+    s.fmv_w_x(6, 6);
+    for (int it = 0; it < 3; ++it) {
+        s.fmul_s(7, 5, 6);  // d*r
+        s.fsub_s(7, 9, 7);  // 2 - d*r
+        s.fmul_s(6, 6, 7);  // r *= ...
+    }
+    // inverse elements: [d -b; -c a] * r   (f0 stays +0.0)
+    s.fmul_s(10, 4, 6);
+    s.fsub_s(11, 0, 2);
+    s.fmul_s(11, 11, 6);
+    s.fsub_s(12, 0, 3);
+    s.fmul_s(12, 12, 6);
+    s.fmul_s(13, 1, 6);
+    for (int r = 10; r <= 13; ++r) {
+        s.fmv_x_w(6, FReg(r));
+        s.add(20, 20, 6);
+    }
+    s.addi(21, 21, -1);
+    s.bne(21, 0, "round");
+    s.li(25, 5);
+    s.mul(27, 27, 25);
+    s.add(27, 27, 20);
+    s.addi(26, 26, -1);
+    s.bne(26, 0, "vouter");
+
+    s.li(5, kChecksumAddr);
+    s.sw(27, 5, 0);
+    s.halt();
+
+    Kernel k;
+    k.name = "minver";
+    k.program = s.finish();
+
+    // Bit-exact mirror.
+    uint32_t outer = 0;
+    for (int rep = 0; rep < 40; ++rep) {
+        uint32_t checksum = 0;
+        for (int round = 0; round < 60; ++round) {
+            uint32_t det =
+                fp::fsub(fp::fmul(a, d).bits, fp::fmul(b, c).bits).bits;
+            uint32_t r = mirror_recip(det);
+            uint32_t i00 = fp::fmul(d, r).bits;
+            uint32_t i01 = fp::fmul(fp::fsub(0, b).bits, r).bits;
+            uint32_t i10 = fp::fmul(fp::fsub(0, c).bits, r).bits;
+            uint32_t i11 = fp::fmul(a, r).bits;
+            checksum += i00 + i01 + i10 + i11;
+        }
+        outer = outer * 5 + checksum;
+    }
+    k.expected_checksum = outer;
+    return k;
+}
+
+Kernel
+make_crc32()
+{
+    constexpr int kLen = 64;
+    constexpr int kRounds = 10;
+    Asm s;
+    s.li(26, kRounds);
+    s.li(27, 0);
+    s.label("vouter");
+    // Fill the buffer: byte i = (11 + 37*i) & 0xff, built additively.
+    s.li(5, kDataBase);
+    s.li(6, 11);
+    s.li(7, kLen);
+    s.label("fill");
+    s.sb(6, 5, 0);
+    s.addi(6, 6, 37);
+    s.andi(6, 6, 0xff);
+    s.addi(5, 5, 1);
+    s.addi(7, 7, -1);
+    s.bne(7, 0, "fill");
+
+    // CRC-32 (reflected polynomial 0xEDB88320).
+    s.li(5, kDataBase);
+    s.li(7, kLen);
+    s.li(8, 0xffffffffu); // crc
+    s.li(9, 0xedb88320u);
+    s.label("byte");
+    s.lbu(10, 5, 0);
+    s.xor_(8, 8, 10);
+    s.li(11, 8); // bit counter
+    s.label("bit");
+    s.andi(12, 8, 1);
+    s.srli(8, 8, 1);
+    s.beq(12, 0, "nopoly");
+    s.xor_(8, 8, 9);
+    s.label("nopoly");
+    s.addi(11, 11, -1);
+    s.bne(11, 0, "bit");
+    s.addi(5, 5, 1);
+    s.addi(7, 7, -1);
+    s.bne(7, 0, "byte");
+
+    s.li(9, 0xffffffffu);
+    s.xor_(8, 8, 9);
+    s.li(25, 5);
+    s.mul(27, 27, 25);
+    s.add(27, 27, 8);
+    s.addi(26, 26, -1);
+    s.bne(26, 0, "vouter");
+    s.li(5, kChecksumAddr);
+    s.sw(27, 5, 0);
+    s.halt();
+
+    Kernel k;
+    k.name = "crc32";
+    k.program = s.finish();
+
+    uint32_t outer = 0;
+    for (int rep = 0; rep < kRounds; ++rep) {
+        uint32_t crc = 0xffffffffu;
+        uint32_t v = 11;
+        for (int i = 0; i < kLen; ++i) {
+            crc ^= v;
+            for (int bit = 0; bit < 8; ++bit) {
+                bool lsb = crc & 1;
+                crc >>= 1;
+                if (lsb)
+                    crc ^= 0xedb88320u;
+            }
+            v = (v + 37) & 0xff;
+        }
+        outer = outer * 5 + (crc ^ 0xffffffffu);
+    }
+    k.expected_checksum = outer;
+    return k;
+}
+
+Kernel
+make_matmult()
+{
+    constexpr int N = 10;
+    constexpr uint32_t kA = kDataBase;
+    constexpr uint32_t kB = kDataBase + 1024;
+    constexpr uint32_t kC = kDataBase + 2048;
+
+    constexpr int kRounds = 8;
+    Asm s;
+    s.li(26, kRounds);
+    s.li(27, 0);
+    s.label("vouter");
+    // A[i] = (3*i + 1) & 63 ; B[i] = (5*i + 2) & 63 (flat index).
+    s.li(5, kA);
+    s.li(6, kB);
+    s.li(7, N * N);
+    s.li(8, 1);
+    s.li(9, 2);
+    s.label("init");
+    s.sw(8, 5, 0);
+    s.sw(9, 6, 0);
+    s.addi(8, 8, 3);
+    s.andi(8, 8, 63);
+    s.addi(9, 9, 5);
+    s.andi(9, 9, 63);
+    s.addi(5, 5, 4);
+    s.addi(6, 6, 4);
+    s.addi(7, 7, -1);
+    s.bne(7, 0, "init");
+
+    // C = A x B, then checksum = sum of C.
+    s.li(20, 0); // checksum
+    s.li(10, 0); // i
+    s.label("iloop");
+    s.li(11, 0); // j
+    s.label("jloop");
+    s.li(12, 0); // k
+    s.li(13, 0); // acc
+    s.label("kloop");
+    // A[i][k]
+    s.li(14, N);
+    s.mul(15, 10, 14);
+    s.add(15, 15, 12);
+    s.slli(15, 15, 2);
+    s.li(16, kA);
+    s.add(15, 15, 16);
+    s.lw(17, 15, 0);
+    // B[k][j]
+    s.mul(15, 12, 14);
+    s.add(15, 15, 11);
+    s.slli(15, 15, 2);
+    s.li(16, kB);
+    s.add(15, 15, 16);
+    s.lw(18, 15, 0);
+    s.mul(17, 17, 18);
+    s.add(13, 13, 17);
+    s.addi(12, 12, 1);
+    s.li(14, N);
+    s.blt(12, 14, "kloop");
+    // store C[i][j], accumulate checksum
+    s.li(14, N);
+    s.mul(15, 10, 14);
+    s.add(15, 15, 11);
+    s.slli(15, 15, 2);
+    s.li(16, kC);
+    s.add(15, 15, 16);
+    s.sw(13, 15, 0);
+    s.add(20, 20, 13);
+    s.addi(11, 11, 1);
+    s.blt(11, 14, "jloop");
+    s.addi(10, 10, 1);
+    s.blt(10, 14, "iloop");
+    s.li(25, 5);
+    s.mul(27, 27, 25);
+    s.add(27, 27, 20);
+    s.addi(26, 26, -1);
+    s.bne(26, 0, "vouter");
+
+    s.li(5, kChecksumAddr);
+    s.sw(27, 5, 0);
+    s.halt();
+
+    Kernel k;
+    k.name = "matmult";
+    k.program = s.finish();
+
+    uint32_t A[N * N], B[N * N];
+    uint32_t va = 1, vb = 2;
+    for (int i = 0; i < N * N; ++i) {
+        A[i] = va;
+        B[i] = vb;
+        va = (va + 3) & 63;
+        vb = (vb + 5) & 63;
+    }
+    uint32_t checksum = 0;
+    for (int i = 0; i < N; ++i)
+        for (int j = 0; j < N; ++j) {
+            uint32_t acc = 0;
+            for (int kk = 0; kk < N; ++kk)
+                acc += A[i * N + kk] * B[kk * N + j];
+            checksum += acc;
+        }
+    uint32_t outer = 0;
+    for (int rep = 0; rep < kRounds; ++rep)
+        outer = outer * 5 + checksum;
+    k.expected_checksum = outer;
+    return k;
+}
+
+Kernel
+make_edn()
+{
+    constexpr int kTaps = 8, kSamples = 256;
+    constexpr uint32_t kX = kDataBase;
+    constexpr uint32_t kH = kDataBase + 2048;
+
+    constexpr int kRounds = 6;
+    Asm s;
+    s.li(26, kRounds);
+    s.li(27, 0);
+    s.label("vouter");
+    // x[i] = (7 + 13*i) & 0xff ; h[j] = j + 1.
+    s.li(5, kX);
+    s.li(6, 7);
+    s.li(7, kSamples);
+    s.label("initx");
+    s.sw(6, 5, 0);
+    s.addi(6, 6, 13);
+    s.andi(6, 6, 0xff);
+    s.addi(5, 5, 4);
+    s.addi(7, 7, -1);
+    s.bne(7, 0, "initx");
+    s.li(5, kH);
+    s.li(6, 1);
+    s.li(7, kTaps);
+    s.label("inith");
+    s.sw(6, 5, 0);
+    s.addi(6, 6, 1);
+    s.addi(5, 5, 4);
+    s.addi(7, 7, -1);
+    s.bne(7, 0, "inith");
+
+    // checksum += sum_j h[j] * x[i-j] for i in [7, 63]
+    s.li(20, 0);
+    s.li(10, kTaps - 1); // i
+    s.label("iloop");
+    s.li(11, 0);  // j
+    s.li(13, 0);  // acc
+    s.label("jloop");
+    s.slli(15, 11, 2);
+    s.li(16, kH);
+    s.add(15, 15, 16);
+    s.lw(17, 15, 0);
+    s.sub(15, 10, 11);
+    s.slli(15, 15, 2);
+    s.li(16, kX);
+    s.add(15, 15, 16);
+    s.lw(18, 15, 0);
+    s.mul(17, 17, 18);
+    s.add(13, 13, 17);
+    s.addi(11, 11, 1);
+    s.li(14, kTaps);
+    s.blt(11, 14, "jloop");
+    s.add(20, 20, 13);
+    s.addi(10, 10, 1);
+    s.li(14, kSamples);
+    s.blt(10, 14, "iloop");
+    s.li(25, 5);
+    s.mul(27, 27, 25);
+    s.add(27, 27, 20);
+    s.addi(26, 26, -1);
+    s.bne(26, 0, "vouter");
+
+    s.li(5, kChecksumAddr);
+    s.sw(27, 5, 0);
+    s.halt();
+
+    Kernel k;
+    k.name = "edn";
+    k.program = s.finish();
+
+    uint32_t x[kSamples], h[kTaps];
+    uint32_t v = 7;
+    for (int i = 0; i < kSamples; ++i) {
+        x[i] = v;
+        v = (v + 13) & 0xff;
+    }
+    for (int j = 0; j < kTaps; ++j)
+        h[j] = uint32_t(j + 1);
+    uint32_t checksum = 0;
+    for (int i = kTaps - 1; i < kSamples; ++i) {
+        uint32_t acc = 0;
+        for (int j = 0; j < kTaps; ++j)
+            acc += h[j] * x[i - j];
+        checksum += acc;
+    }
+    uint32_t outer = 0;
+    for (int rep = 0; rep < kRounds; ++rep)
+        outer = outer * 5 + checksum;
+    k.expected_checksum = outer;
+    return k;
+}
+
+Kernel
+make_ud()
+{
+    constexpr int kRounds = 50;
+    Asm s;
+    s.li(26, kRounds);
+    s.li(27, 0);
+    s.label("vouter");
+    s.li(20, 0);      // checksum
+    s.li(10, 1);      // i
+    s.li(11, 100000); // dividend
+    s.li(12, 201);    // bound
+    s.label("loop");
+    s.divu(13, 11, 10);
+    s.remu(14, 11, 10);
+    s.li(15, 31);
+    s.mul(20, 20, 15);
+    s.add(20, 20, 13);
+    s.add(20, 20, 14);
+    s.addi(10, 10, 1);
+    s.blt(10, 12, "loop");
+    s.li(25, 5);
+    s.mul(27, 27, 25);
+    s.add(27, 27, 20);
+    s.addi(26, 26, -1);
+    s.bne(26, 0, "vouter");
+    s.li(5, kChecksumAddr);
+    s.sw(27, 5, 0);
+    s.halt();
+
+    Kernel k;
+    k.name = "ud";
+    k.program = s.finish();
+
+    uint32_t checksum = 0;
+    for (uint32_t i = 1; i < 201; ++i)
+        checksum = checksum * 31 + 100000u / i + 100000u % i;
+    uint32_t outer = 0;
+    for (int rep = 0; rep < kRounds; ++rep)
+        outer = outer * 5 + checksum;
+    k.expected_checksum = outer;
+    return k;
+}
+
+Kernel
+make_prime()
+{
+    constexpr int kRounds = 8;
+    Asm s;
+    s.li(26, kRounds);
+    s.li(27, 0);
+    s.label("vouter");
+    s.li(20, 0);  // count
+    s.li(10, 2);  // n
+    s.li(11, 400);
+    s.label("nloop");
+    s.li(12, 2); // divisor
+    s.label("dloop");
+    s.mul(13, 12, 12);
+    s.blt(11, 13, "isprime_check"); // d*d > limit shortcut bound
+    s.blt(10, 13, "isprime");      // d*d > n: no divisor found
+    s.label("isprime_check");
+    s.blt(10, 13, "isprime");
+    s.remu(13, 10, 12);
+    s.beq(13, 0, "notprime");
+    s.addi(12, 12, 1);
+    s.j("dloop");
+    s.label("isprime");
+    s.addi(20, 20, 1);
+    s.label("notprime");
+    s.addi(10, 10, 1);
+    s.blt(10, 11, "nloop");
+    s.li(25, 5);
+    s.mul(27, 27, 25);
+    s.add(27, 27, 20);
+    s.addi(26, 26, -1);
+    s.bne(26, 0, "vouter");
+    s.li(5, kChecksumAddr);
+    s.sw(27, 5, 0);
+    s.halt();
+
+    Kernel k;
+    k.name = "prime";
+    k.program = s.finish();
+
+    uint32_t count = 0;
+    for (uint32_t n = 2; n < 400; ++n) {
+        bool prime = true;
+        for (uint32_t d = 2; d * d <= n; ++d)
+            if (n % d == 0) {
+                prime = false;
+                break;
+            }
+        if (prime)
+            ++count;
+    }
+    uint32_t outer = 0;
+    for (int rep = 0; rep < kRounds; ++rep)
+        outer = outer * 5 + count;
+    k.expected_checksum = outer;
+    return k;
+}
+
+Kernel
+make_nbody()
+{
+    constexpr int kBodies = 16;
+    Asm s;
+    // positions p[i] = i + 0.5 stored to memory, then pairwise products.
+    for (int i = 0; i < kBodies; ++i) {
+        s.li(5, f2u(float(i) + 0.5f));
+        s.li(6, int32_t(kDataBase + 4 * i));
+        s.sw(5, 6, 0);
+    }
+    constexpr int kRounds = 40;
+    s.li(26, kRounds);
+    s.li(27, 0);
+    s.label("vouter");
+    s.li(5, f2u(0.0f));
+    s.fmv_w_x(10, 5); // acc
+
+    s.li(10, 0); // i
+    s.label("iloop");
+    s.addi(11, 10, 1); // j
+    s.label("jloop");
+    s.slli(15, 10, 2);
+    s.li(16, kDataBase);
+    s.add(15, 15, 16);
+    s.flw(1, 15, 0);
+    s.slli(15, 11, 2);
+    s.add(15, 15, 16);
+    s.flw(2, 15, 0);
+    s.fmul_s(3, 1, 2);
+    s.fadd_s(10, 10, 3);
+    s.addi(11, 11, 1);
+    s.li(14, kBodies);
+    s.blt(11, 14, "jloop");
+    s.addi(10, 10, 1);
+    s.li(14, kBodies - 1);
+    s.blt(10, 14, "iloop");
+
+    s.fmv_x_w(20, 10);
+    s.li(25, 5);
+    s.mul(27, 27, 25);
+    s.add(27, 27, 20);
+    s.addi(26, 26, -1);
+    s.bne(26, 0, "vouter");
+    s.li(5, kChecksumAddr);
+    s.sw(27, 5, 0);
+    s.halt();
+
+    Kernel k;
+    k.name = "nbody";
+    k.program = s.finish();
+
+    uint32_t acc = 0; // +0.0
+    for (int i = 0; i < kBodies - 1; ++i)
+        for (int j = i + 1; j < kBodies; ++j) {
+            uint32_t pi = f2u(float(i) + 0.5f);
+            uint32_t pj = f2u(float(j) + 0.5f);
+            acc = fp::fadd(acc, fp::fmul(pi, pj).bits).bits;
+        }
+    uint32_t outer = 0;
+    for (int rep = 0; rep < kRounds; ++rep)
+        outer = outer * 5 + acc;
+    k.expected_checksum = outer;
+    return k;
+}
+
+Kernel
+make_st()
+{
+    constexpr int kN = 128;
+    Asm s;
+    // v[i] = (i % 7) + 0.25 ; all exact in FP32.
+    for (int i = 0; i < kN; ++i) {
+        s.li(5, f2u(float(i % 7) + 0.25f));
+        s.li(6, int32_t(kDataBase + 4 * i));
+        s.sw(5, 6, 0);
+    }
+    s.li(5, f2u(1.0f / 128.0f));
+    s.fmv_w_x(9, 5); // exact reciprocal of N
+    constexpr int kRounds = 30;
+    s.li(26, kRounds);
+    s.li(27, 0);
+    s.label("vouter");
+
+    // mean = (sum v) / N
+    s.li(5, 0);
+    s.fmv_w_x(10, 5); // sum
+    s.li(10, 0);
+    s.label("sumloop");
+    s.slli(15, 10, 2);
+    s.li(16, kDataBase);
+    s.add(15, 15, 16);
+    s.flw(1, 15, 0);
+    s.fadd_s(10, 10, 1);
+    s.addi(10, 10, 1);
+    s.li(14, kN);
+    s.blt(10, 14, "sumloop");
+    s.fmul_s(11, 10, 9); // mean in f11
+
+    // var = (sum (v - mean)^2) / N
+    s.li(5, 0);
+    s.fmv_w_x(12, 5);
+    s.li(10, 0);
+    s.label("varloop");
+    s.slli(15, 10, 2);
+    s.li(16, kDataBase);
+    s.add(15, 15, 16);
+    s.flw(1, 15, 0);
+    s.fsub_s(2, 1, 11);
+    s.fmul_s(2, 2, 2);
+    s.fadd_s(12, 12, 2);
+    s.addi(10, 10, 1);
+    s.li(14, kN);
+    s.blt(10, 14, "varloop");
+    s.fmul_s(12, 12, 9);
+
+    s.fmv_x_w(20, 11);
+    s.fmv_x_w(21, 12);
+    s.xor_(20, 20, 21);
+    s.li(25, 5);
+    s.mul(27, 27, 25);
+    s.add(27, 27, 20);
+    s.addi(26, 26, -1);
+    s.bne(26, 0, "vouter");
+    s.li(5, kChecksumAddr);
+    s.sw(27, 5, 0);
+    s.halt();
+
+    Kernel k;
+    k.name = "st";
+    k.program = s.finish();
+
+    uint32_t sum = 0;
+    for (int i = 0; i < kN; ++i)
+        sum = fp::fadd(sum, f2u(float(i % 7) + 0.25f)).bits;
+    uint32_t inv_n = f2u(1.0f / 128.0f);
+    uint32_t mean = fp::fmul(sum, inv_n).bits;
+    uint32_t var_sum = 0;
+    for (int i = 0; i < kN; ++i) {
+        uint32_t d = fp::fsub(f2u(float(i % 7) + 0.25f), mean).bits;
+        var_sum = fp::fadd(var_sum, fp::fmul(d, d).bits).bits;
+    }
+    uint32_t var = fp::fmul(var_sum, inv_n).bits;
+    uint32_t outer = 0;
+    for (int rep = 0; rep < kRounds; ++rep)
+        outer = outer * 5 + (mean ^ var);
+    k.expected_checksum = outer;
+    return k;
+}
+
+const std::vector<Kernel> &
+embench_suite()
+{
+    static const std::vector<Kernel> suite = {
+        make_minver(), make_crc32(), make_matmult(), make_edn(),
+        make_ud(),     make_prime(), make_nbody(),   make_st(),
+    };
+    return suite;
+}
+
+} // namespace vega::workloads

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * embench-like benchmark kernels for the evaluation CPU.
+ *
+ * The paper uses embench both as the representative workload for Signal
+ * Probability Simulation (§3.2.1, "minver") and as the benchmark
+ * population for the Figure 9 overhead study. These kernels mirror
+ * embench's roles on our ISS: a floating-point matrix inversion
+ * (minver), integer compute kernels (crc32, matmult, edn, ud, prime),
+ * and further FP kernels (nbody, st).
+ *
+ * Every kernel is self-checking: it computes a checksum, stores it at
+ * kChecksumAddr, and halts. The expected value is computed by a bit-
+ * exact C++ mirror (integer ops, and vega::fp softfloat for FP), so a
+ * corrupted functional unit changes the stored checksum.
+ *
+ * Data lives at/above kDataBase; addresses below 4096 are reserved for
+ * the profile-guided integration runtime (see integrate/integrator.h).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpu/isa.h"
+
+namespace vega::workloads {
+
+constexpr uint32_t kDataBase = 4096;
+constexpr uint32_t kChecksumAddr = 8192;
+
+struct Kernel
+{
+    std::string name;
+    std::vector<cpu::Instr> program;
+    /** Checksum the golden machine must produce at kChecksumAddr. */
+    uint32_t expected_checksum = 0;
+};
+
+Kernel make_minver();   ///< 2x2 FP32 inversion w/ Newton reciprocal
+Kernel make_crc32();    ///< bitwise CRC-32 over a generated buffer
+Kernel make_matmult();  ///< 6x6 integer matrix multiply
+Kernel make_edn();      ///< 8-tap integer FIR over 64 samples
+Kernel make_ud();       ///< integer divide/remainder chains
+Kernel make_prime();    ///< trial-division prime counting
+Kernel make_nbody();    ///< pairwise FP32 interaction sums
+Kernel make_st();       ///< FP32 mean/variance statistics
+
+/** All kernels, in a stable order (minver first, as the SP workload). */
+const std::vector<Kernel> &embench_suite();
+
+} // namespace vega::workloads

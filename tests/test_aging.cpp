@@ -1,0 +1,141 @@
+#include "aging/rd_model.h"
+
+#include <gtest/gtest.h>
+
+#include "aging/timing_library.h"
+
+namespace vega::aging {
+namespace {
+
+TEST(RdModel, NoAgingAtTimeZero)
+{
+    RdModelParams p;
+    EXPECT_DOUBLE_EQ(delta_vth(p, p.a_pmos, 1.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(delay_degradation(p, CellType::Xor2, 0.0, 0.0), 0.0);
+}
+
+TEST(RdModel, DegradationMonotonicInTime)
+{
+    RdModelParams p;
+    double prev = 0.0;
+    for (double y : {0.5, 1.0, 2.0, 5.0, 10.0}) {
+        double d = delay_degradation(p, CellType::Not, 0.2, y);
+        EXPECT_GT(d, prev);
+        prev = d;
+    }
+}
+
+TEST(RdModel, SubOneYearDominatesDecade)
+{
+    // Reaction-diffusion t^(1/6): ~70% of the 10-year Vth shift lands in
+    // the first year (the paper's §2.3.3 claim).
+    RdModelParams p;
+    double y1 = delta_vth(p, p.a_pmos, 1.0, 1.0);
+    double y10 = delta_vth(p, p.a_pmos, 1.0, 10.0);
+    EXPECT_NEAR(y1 / y10, 0.68, 0.02);
+}
+
+TEST(RdModel, CellsParkedAtZeroAgeFastest)
+{
+    // §2.3.1: gates idling at "0" age faster than gates idling at "1",
+    // which age faster than... well, everything is worst at the parked-0
+    // extreme for PMOS-dominated NBTI.
+    RdModelParams p;
+    double at0 = delay_degradation(p, CellType::Not, 0.0, 10.0);
+    double atmid = delay_degradation(p, CellType::Not, 0.5, 10.0);
+    double at1 = delay_degradation(p, CellType::Not, 1.0, 10.0);
+    EXPECT_GT(at0, atmid);
+    EXPECT_GT(atmid, at1);
+}
+
+TEST(RdModel, TenYearRangeMatchesFigure8)
+{
+    // Figure 8 reports cell delay increases between ~1.9% and ~6%.
+    RdModelParams p;
+    double worst = delay_degradation(p, CellType::Not, 0.0, 10.0);
+    double best = delay_degradation(p, CellType::Not, 1.0, 10.0);
+    EXPECT_NEAR(worst, 0.06, 0.006);
+    EXPECT_NEAR(best, 0.019, 0.003);
+}
+
+TEST(RdModel, HigherTemperatureAgesFaster)
+{
+    RdModelParams hot;
+    hot.temp_k = 398.15;
+    RdModelParams cold = hot;
+    cold.temp_k = 348.15;
+    EXPECT_GT(delay_degradation(hot, CellType::Not, 0.0, 10.0),
+              delay_degradation(cold, CellType::Not, 0.0, 10.0));
+}
+
+TEST(RdModel, MinArcDerate)
+{
+    RdModelParams p;
+    double dmax = delay_degradation(p, CellType::And2, 0.1, 10.0);
+    double dmin = delay_degradation_min(p, CellType::And2, 0.1, 10.0);
+    EXPECT_NEAR(dmin, p.min_arc_derate * dmax, 1e-12);
+}
+
+TEST(RdModel, SensitivityOrdering)
+{
+    // NOR (stacked PMOS) ages faster than NAND at equal stress.
+    RdModelParams p;
+    EXPECT_GT(delay_degradation(p, CellType::Nor2, 0.0, 10.0),
+              delay_degradation(p, CellType::Nand2, 0.0, 10.0));
+}
+
+TEST(TimingLibrary, FactorsAtLeastOne)
+{
+    auto lib = AgingTimingLibrary::build(RdModelParams{});
+    for (double sp : {0.0, 0.25, 0.5, 0.75, 1.0})
+        for (double y : {0.0, 1.0, 5.0, 10.0}) {
+            EXPECT_GE(lib.delay_factor_max(CellType::Xor2, sp, y), 1.0);
+            EXPECT_GE(lib.delay_factor_min(CellType::Xor2, sp, y), 1.0);
+        }
+}
+
+TEST(TimingLibrary, InterpolatesCloseToModel)
+{
+    RdModelParams p;
+    auto lib = AgingTimingLibrary::build(p, 41, 12.0, 49);
+    for (double sp : {0.03, 0.37, 0.5, 0.81, 0.99}) {
+        for (double y : {0.7, 3.3, 9.9}) {
+            double want = 1.0 + delay_degradation(p, CellType::And2, sp, y);
+            double got = lib.delay_factor_max(CellType::And2, sp, y);
+            // 5e-3 tolerance: the model takes the max of the NBTI and
+            // PBTI arcs, and bilinear interpolation smooths that kink
+            // (worst near sp ~ 1 where the curves cross).
+            EXPECT_NEAR(got, want, 5e-3) << "sp=" << sp << " y=" << y;
+        }
+    }
+}
+
+TEST(TimingLibrary, ClampsOutOfRangeQueries)
+{
+    auto lib = AgingTimingLibrary::build(RdModelParams{}, 21, 12.0, 25);
+    EXPECT_GE(lib.delay_factor_max(CellType::Not, -0.5, 20.0), 1.0);
+    double at_max = lib.delay_factor_max(CellType::Not, 0.0, 12.0);
+    double beyond = lib.delay_factor_max(CellType::Not, 0.0, 50.0);
+    EXPECT_DOUBLE_EQ(at_max, beyond);
+}
+
+TEST(TimingLibrary, Figure4ShapeXorCell)
+{
+    // Fig. 4: degradation grows with time, stratified by SP (lower SP =
+    // more NBTI stress = larger degradation).
+    auto lib = AgingTimingLibrary::build(RdModelParams{});
+    double prev_curve_end = 1.0;
+    for (double sp : {1.0, 0.75, 0.5, 0.25, 0.0}) {
+        double prev = 1.0;
+        for (double y = 1.0; y <= 10.0; y += 1.0) {
+            double f = lib.delay_factor_max(CellType::Xor2, sp, y);
+            EXPECT_GE(f, prev);
+            prev = f;
+        }
+        EXPECT_GE(prev, prev_curve_end);
+        prev_curve_end = prev;
+    }
+}
+
+} // namespace
+} // namespace vega::aging

@@ -1,0 +1,90 @@
+#include "common/bitvec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace vega {
+namespace {
+
+TEST(BitVec, DefaultIsZero)
+{
+    BitVec v(70);
+    EXPECT_EQ(v.width(), 70u);
+    for (size_t i = 0; i < 70; ++i)
+        EXPECT_FALSE(v.get(i));
+    EXPECT_EQ(v.popcount(), 0u);
+}
+
+TEST(BitVec, FromValueMasksToWidth)
+{
+    BitVec v(4, 0xff);
+    EXPECT_EQ(v.to_u64(), 0xfu);
+    EXPECT_EQ(v.popcount(), 4u);
+}
+
+TEST(BitVec, SetGetRoundTrip)
+{
+    BitVec v(130);
+    v.set(0, true);
+    v.set(64, true);
+    v.set(129, true);
+    EXPECT_TRUE(v.get(0));
+    EXPECT_TRUE(v.get(64));
+    EXPECT_TRUE(v.get(129));
+    EXPECT_FALSE(v.get(63));
+    EXPECT_EQ(v.popcount(), 3u);
+    v.set(64, false);
+    EXPECT_FALSE(v.get(64));
+}
+
+TEST(BitVec, BinaryStringRoundTrip)
+{
+    BitVec v = BitVec::from_binary("0b1011");
+    EXPECT_EQ(v.width(), 4u);
+    EXPECT_EQ(v.to_u64(), 0xbu);
+    EXPECT_EQ(v.to_binary(), "1011");
+
+    BitVec w = BitVec::from_binary("01");
+    EXPECT_EQ(w.to_u64(), 1u);
+}
+
+TEST(BitVec, FromBinaryRejectsBadDigit)
+{
+    EXPECT_THROW(BitVec::from_binary("10x1"), std::invalid_argument);
+}
+
+TEST(BitVec, SliceAndSplice)
+{
+    BitVec v(16, 0xabcd);
+    BitVec lo = v.slice(0, 8);
+    BitVec hi = v.slice(8, 8);
+    EXPECT_EQ(lo.to_u64(), 0xcdu);
+    EXPECT_EQ(hi.to_u64(), 0xabu);
+
+    BitVec w(16);
+    w.splice(0, hi);
+    w.splice(8, lo);
+    EXPECT_EQ(w.to_u64(), 0xcdabu);
+}
+
+TEST(BitVec, EqualityIncludesWidth)
+{
+    EXPECT_EQ(BitVec(8, 5), BitVec(8, 5));
+    EXPECT_NE(BitVec(8, 5), BitVec(9, 5));
+    EXPECT_NE(BitVec(8, 5), BitVec(8, 6));
+}
+
+TEST(BitVec, SliceAcrossWordBoundary)
+{
+    Rng rng(7);
+    BitVec v(128);
+    for (size_t i = 0; i < 128; ++i)
+        v.set(i, rng.chance(0.5));
+    BitVec s = v.slice(60, 10);
+    for (size_t i = 0; i < 10; ++i)
+        EXPECT_EQ(s.get(i), v.get(60 + i));
+}
+
+} // namespace
+} // namespace vega

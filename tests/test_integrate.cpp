@@ -1,0 +1,161 @@
+#include "integrate/integrator.h"
+
+#include <gtest/gtest.h>
+
+#include "cpu/alu_ops.h"
+#include "cpu/iss.h"
+#include "workloads/kernels.h"
+
+namespace vega::integrate {
+namespace {
+
+using workloads::Kernel;
+
+runtime::TestCase
+tiny_test(const char *name, AluOp op, uint32_t a, uint32_t b)
+{
+    runtime::TestCase tc;
+    tc.name = name;
+    tc.module = ModuleKind::Alu32;
+    tc.stimulus = {runtime::ModuleStep{a, b, uint32_t(op), true, false}};
+    tc.checks = {{0, alu_compute(op, a, b), false}};
+    runtime::finalize_test_case(tc);
+    return tc;
+}
+
+std::vector<runtime::TestCase>
+suite()
+{
+    return {tiny_test("s0", AluOp::Add, 3, 4),
+            tiny_test("s1", AluOp::Srl, 0x80000000u, 7)};
+}
+
+TEST(Profile, FindsBasicBlocks)
+{
+    Kernel k = workloads::make_crc32();
+    auto blocks = find_basic_blocks(k.program);
+    ASSERT_GT(blocks.size(), 3u);
+    // Blocks tile the program exactly.
+    size_t covered = 0;
+    for (const auto &b : blocks) {
+        EXPECT_EQ(b.first, covered);
+        covered = b.last + 1;
+    }
+    EXPECT_EQ(covered, k.program.size());
+}
+
+TEST(Profile, CountsMatchExecution)
+{
+    Kernel k = workloads::make_crc32();
+    Profile p = profile_program(k.program);
+    EXPECT_GT(p.total_instructions, 0u);
+    EXPECT_GT(p.total_cycles, 0u);
+    // The bit loop runs 10 rounds * 64 bytes * 8 bits = 5120 times.
+    bool found_hot = false;
+    for (const auto &b : p.blocks)
+        if (b.count == 5120)
+            found_hot = true;
+    EXPECT_TRUE(found_hot);
+    // Entry block runs exactly once.
+    EXPECT_EQ(p.blocks.front().count, 1u);
+}
+
+class IntegrateKernel : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(IntegrateKernel, InstrumentedProgramStillComputesCorrectly)
+{
+    const Kernel &k = workloads::embench_suite()[GetParam()];
+    Profile p = profile_program(k.program);
+    IntegrationResult r = integrate_tests(k.program, p, suite());
+
+    cpu::Iss iss(r.program);
+    ASSERT_EQ(iss.run(), cpu::Iss::Status::Halted) << k.name;
+    EXPECT_EQ(iss.read_u32(workloads::kChecksumAddr), k.expected_checksum)
+        << k.name;
+    // Healthy hardware: the fault sentinel must stay clear.
+    EXPECT_NE(iss.read_u32(kFaultSentinelAddr), kFaultSentinelValue);
+}
+
+TEST_P(IntegrateKernel, OverheadIsBounded)
+{
+    const Kernel &k = workloads::embench_suite()[GetParam()];
+    Profile p = profile_program(k.program);
+    IntegrationConfig cfg;
+    cfg.overhead_threshold = 0.02;
+    IntegrationResult r = integrate_tests(k.program, p, suite(), cfg);
+
+    cpu::Iss base(k.program);
+    base.run();
+    cpu::Iss inst(r.program);
+    inst.run();
+    double overhead =
+        double(inst.cycles()) / double(base.cycles()) - 1.0;
+    // Generous bound: gate + throttled dispatch. The Figure 9 bench
+    // reports the precise per-kernel numbers.
+    EXPECT_LT(overhead, 0.25) << k.name;
+    EXPECT_GE(inst.cycles(), base.cycles()) << k.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, IntegrateKernel, ::testing::Range(size_t(0), size_t(8)),
+    [](const ::testing::TestParamInfo<size_t> &info) {
+        return workloads::embench_suite()[info.param].name;
+    });
+
+TEST(Integrator, ThrottlesWhenEstimateExceedsThreshold)
+{
+    const Kernel k = workloads::make_matmult();
+    Profile p = profile_program(k.program);
+    IntegrationConfig tight;
+    tight.overhead_threshold = 1e-5;
+    IntegrationResult r = integrate_tests(k.program, p, suite(), tight);
+    if (r.estimated_overhead > tight.overhead_threshold) {
+        EXPECT_LT(r.probability, 1.0);
+    }
+
+    IntegrationConfig loose;
+    loose.overhead_threshold = 100.0;
+    IntegrationResult r2 = integrate_tests(k.program, p, suite(), loose);
+    EXPECT_DOUBLE_EQ(r2.probability, 1.0);
+}
+
+TEST(Integrator, PicksRoutineButCoolBlock)
+{
+    const Kernel k = workloads::make_crc32();
+    Profile p = profile_program(k.program);
+    IntegrationResult r = integrate_tests(k.program, p, suite());
+    // The chosen block runs more than once (routine) but is not the
+    // hottest block.
+    uint64_t hottest = 0;
+    for (const auto &b : p.blocks)
+        hottest = std::max(hottest, b.count);
+    EXPECT_GE(r.block_count, 2u);
+    EXPECT_LT(r.block_count, hottest);
+}
+
+TEST(Integrator, FaultSentinelFiresWhenATestFails)
+{
+    // Integrate a deliberately wrong test: its compare fails even on
+    // healthy hardware, so the integrated program must abort with the
+    // sentinel. finalize_test_case would reject such a block, so build a
+    // valid one and corrupt the loaded expectation afterwards.
+    runtime::TestCase good = tiny_test("good", AluOp::Add, 1, 1);
+    runtime::TestCase bad2 = tiny_test("bad2", AluOp::Add, 3, 4);
+    for (auto &ins : bad2.program) {
+        // Patch the loaded expected constant (7) to a wrong value.
+        if (ins.op == cpu::Op::Addi && ins.imm == 7 && ins.rd == 28)
+            ins.imm = 8;
+    }
+
+    const Kernel k = workloads::make_prime();
+    Profile p = profile_program(k.program);
+    IntegrationResult r = integrate_tests(k.program, p, {bad2, good});
+    cpu::Iss iss(r.program);
+    ASSERT_EQ(iss.run(), cpu::Iss::Status::Halted);
+    EXPECT_EQ(iss.read_u32(kFaultSentinelAddr), kFaultSentinelValue);
+}
+
+} // namespace
+} // namespace vega::integrate

@@ -1,0 +1,148 @@
+#include "cpu/machine_code.h"
+
+#include <gtest/gtest.h>
+
+#include "cpu/assembler.h"
+#include "workloads/kernels.h"
+
+namespace vega::cpu {
+namespace {
+
+bool
+same(const Instr &a, const Instr &b)
+{
+    return a.op == b.op && a.rd == b.rd && a.rs1 == b.rs1 &&
+           a.rs2 == b.rs2 && a.imm == b.imm;
+}
+
+void
+round_trip(const std::vector<Instr> &program)
+{
+    auto words = encode_program(program);
+    ASSERT_EQ(words.size(), program.size());
+    for (size_t i = 0; i < program.size(); ++i) {
+        auto back = decode(words[i], i);
+        ASSERT_TRUE(back.has_value())
+            << "index " << i << ": " << render_asm(program[i]);
+        EXPECT_TRUE(same(*back, program[i]))
+            << "index " << i << ": " << render_asm(program[i]) << " vs "
+            << render_asm(*back);
+    }
+}
+
+TEST(MachineCode, KnownEncodings)
+{
+    // Golden words checked against the RISC-V spec.
+    EXPECT_EQ(encode({Op::Addi, 0, 0, 0, 0}, 0), 0x00000013u); // nop
+    EXPECT_EQ(encode({Op::Halt, 0, 0, 0, 0}, 0), 0x00100073u); // ebreak
+    EXPECT_EQ(encode({Op::Add, 1, 2, 3, 0}, 0), 0x003100b3u);
+    EXPECT_EQ(encode({Op::Sub, 1, 2, 3, 0}, 0), 0x403100b3u);
+    EXPECT_EQ(encode({Op::Lui, 5, 0, 0, int32_t(0xdeadb000)}, 0),
+              0xdeadb2b7u);
+    EXPECT_EQ(encode({Op::Lw, 7, 6, 0, 16}, 0), 0x01032383u);
+    EXPECT_EQ(encode({Op::Sw, 0, 6, 5, 16}, 0), 0x00532823u);
+    EXPECT_EQ(encode({Op::Mul, 7, 5, 6, 0}, 0), 0x026283b3u);
+    EXPECT_EQ(encode({Op::FaddS, 3, 1, 2, 0}, 0), 0x0020f1d3u); // rm=dyn
+    // beq x1, x2, self-loop: offset 0.
+    EXPECT_EQ(encode({Op::Beq, 0, 1, 2, 5}, 5), 0x00208063u);
+}
+
+TEST(MachineCode, BranchOffsetsAreInstructionRelative)
+{
+    Asm a;
+    a.label("top");
+    a.addi(5, 5, 1);
+    a.bne(5, 6, "top"); // backward
+    a.beq(5, 6, "end"); // forward
+    a.addi(6, 6, 1);
+    a.label("end");
+    a.halt();
+    round_trip(a.finish());
+}
+
+TEST(MachineCode, EveryOpcodeRoundTrips)
+{
+    Asm a;
+    a.add(1, 2, 3);
+    a.sub(4, 5, 6);
+    a.sll(7, 8, 9);
+    a.slt(10, 11, 12);
+    a.sltu(13, 14, 15);
+    a.xor_(1, 2, 3);
+    a.srl(4, 5, 6);
+    a.sra(7, 8, 9);
+    a.or_(10, 11, 12);
+    a.and_(13, 14, 15);
+    a.addi(1, 2, -7);
+    a.slti(3, 4, 100);
+    a.sltiu(5, 6, 200);
+    a.xori(7, 8, -1);
+    a.ori(9, 10, 0x7f);
+    a.andi(11, 12, 0xff);
+    a.slli(13, 14, 5);
+    a.srli(15, 16, 9);
+    a.srai(17, 18, 31);
+    a.lui(19, 0xabcde000);
+    a.mul(20, 21, 22);
+    a.mulh(23, 24, 25);
+    a.mulhu(26, 27, 28);
+    a.div(29, 30, 31);
+    a.divu(1, 2, 3);
+    a.rem(4, 5, 6);
+    a.remu(7, 8, 9);
+    a.lw(10, 11, 64);
+    a.sw(12, 13, -32);
+    a.lb(14, 15, 3);
+    a.lbu(16, 17, 1);
+    a.sb(18, 19, -1);
+    a.jalr(1, 2, 8);
+    a.fadd_s(1, 2, 3);
+    a.fsub_s(4, 5, 6);
+    a.fmul_s(7, 8, 9);
+    a.fmin_s(10, 11, 12);
+    a.fmax_s(13, 14, 15);
+    a.feq_s(16, 17, 18);
+    a.flt_s(19, 20, 21);
+    a.fle_s(22, 23, 24);
+    a.fmv_w_x(25, 26);
+    a.fmv_x_w(27, 28);
+    a.flw(29, 30, 12);
+    a.fsw(31, 1, -8);
+    a.csrr_fflags(2);
+    a.csrw_fflags(3);
+    a.label("self");
+    a.j("self");
+    a.halt();
+    round_trip(a.finish());
+}
+
+class KernelEncoding : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(KernelEncoding, WholeKernelRoundTrips)
+{
+    round_trip(workloads::embench_suite()[GetParam()].program);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, KernelEncoding, ::testing::Range(size_t(0), size_t(8)),
+    [](const ::testing::TestParamInfo<size_t> &info) {
+        return workloads::embench_suite()[info.param].name;
+    });
+
+TEST(MachineCode, RejectsUnsupportedWords)
+{
+    EXPECT_FALSE(decode(0xffffffffu, 0).has_value());
+    EXPECT_FALSE(decode(0x00000000u, 0).has_value()); // illegal
+    // mulhsu: supported encoding space, unsupported op.
+    EXPECT_FALSE(decode(0x022120b3u, 0).has_value());
+}
+
+TEST(MachineCode, ImmediateRangeChecked)
+{
+    EXPECT_DEATH(encode({Op::Addi, 1, 1, 0, 5000}, 0), "out of range");
+}
+
+} // namespace
+} // namespace vega::cpu

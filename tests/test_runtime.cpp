@@ -1,0 +1,167 @@
+#include "runtime/aging_library.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cpu/alu_ops.h"
+#include "runtime/c_api.h"
+
+namespace vega::runtime {
+namespace {
+
+TestCase
+simple_alu_test(const char *name, AluOp op, uint32_t a, uint32_t b)
+{
+    TestCase tc;
+    tc.name = name;
+    tc.module = ModuleKind::Alu32;
+    tc.stimulus = {ModuleStep{a, b, uint32_t(op), true, false}};
+    tc.checks = {{0, alu_compute(op, a, b), false}};
+    finalize_test_case(tc);
+    return tc;
+}
+
+std::vector<TestCase>
+small_suite()
+{
+    return {simple_alu_test("t0", AluOp::Add, 1, 2),
+            simple_alu_test("t1", AluOp::Sub, 9, 4),
+            simple_alu_test("t2", AluOp::Xor, 0xff, 0x0f),
+            simple_alu_test("t3", AluOp::And, 0xff, 0x3c)};
+}
+
+TEST(Scheduler, SequentialRoundRobin)
+{
+    Scheduler s(3, SchedulePolicy::Sequential);
+    std::vector<size_t> seen;
+    for (int i = 0; i < 7; ++i)
+        seen.push_back(*s.next());
+    EXPECT_EQ(seen, (std::vector<size_t>{0, 1, 2, 0, 1, 2, 0}));
+    EXPECT_EQ(s.dispatched(), 7u);
+}
+
+TEST(Scheduler, RandomCoversEveryTestEachEpoch)
+{
+    Scheduler s(5, SchedulePolicy::Random, 1.0, 42);
+    for (int epoch = 0; epoch < 4; ++epoch) {
+        std::set<size_t> seen;
+        for (int i = 0; i < 5; ++i)
+            seen.insert(*s.next());
+        EXPECT_EQ(seen.size(), 5u) << "epoch " << epoch;
+    }
+}
+
+TEST(Scheduler, ProbabilisticHitsRoughlyTargetRate)
+{
+    Scheduler s(4, SchedulePolicy::Probabilistic, 0.25, 7);
+    int fired = 0;
+    const int slots = 4000;
+    for (int i = 0; i < slots; ++i)
+        if (s.next())
+            ++fired;
+    EXPECT_NEAR(double(fired) / slots, 0.25, 0.03);
+    EXPECT_EQ(s.slots(), uint64_t(slots));
+}
+
+TEST(Scheduler, ProbabilityOneNeverSkips)
+{
+    Scheduler s(2, SchedulePolicy::Probabilistic, 1.0, 3);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(s.next().has_value());
+}
+
+TEST(AgingLibrary, RunAllPassesOnGoldenEngine)
+{
+    AgingLibrary lib(small_suite(), {});
+    GoldenEngine engine;
+    EXPECT_EQ(lib.run_all(engine), Detection::None);
+    EXPECT_EQ(lib.runs(), 4u);
+    EXPECT_EQ(lib.detections(), 0u);
+    EXPECT_GT(lib.suite_cycles(), 0u);
+}
+
+TEST(AgingLibrary, RunNextFollowsScheduler)
+{
+    AgingLibraryOptions opt;
+    opt.policy = SchedulePolicy::Sequential;
+    AgingLibrary lib(small_suite(), opt);
+    GoldenEngine engine;
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(lib.run_next(engine), Detection::None);
+    EXPECT_EQ(lib.runs(), 8u);
+}
+
+/** Engine that reports a fault for one specific test. */
+class FaultyEngine : public Engine
+{
+  public:
+    explicit FaultyEngine(std::string victim) : victim_(std::move(victim)) {}
+    Detection
+    run(const TestCase &tc) override
+    {
+        return tc.name == victim_ ? Detection::Mismatch : Detection::None;
+    }
+
+  private:
+    std::string victim_;
+};
+
+TEST(AgingLibrary, DetectionsAreCounted)
+{
+    AgingLibrary lib(small_suite(), {});
+    FaultyEngine engine("t2");
+    EXPECT_EQ(lib.run_all(engine), Detection::Mismatch);
+    EXPECT_EQ(lib.detections(), 1u);
+}
+
+TEST(AgingLibrary, ExceptionPolicyThrows)
+{
+    AgingLibraryOptions opt;
+    opt.throw_on_detect = true;
+    AgingLibrary lib(small_suite(), opt);
+    FaultyEngine engine("t1");
+    try {
+        lib.run_all(engine);
+        FAIL() << "expected HardwareFaultError";
+    } catch (const HardwareFaultError &e) {
+        EXPECT_EQ(e.test_name(), "t1");
+        EXPECT_EQ(e.detection(), Detection::Mismatch);
+    }
+}
+
+TEST(AgingLibrary, GeneratedCSourceContainsTests)
+{
+    AgingLibrary lib(small_suite(), {});
+    std::string src = lib.generate_c_source();
+    EXPECT_NE(src.find("static int vega_test_0(void)"), std::string::npos);
+    EXPECT_NE(src.find("static int vega_test_3(void)"), std::string::npos);
+    EXPECT_NE(src.find("__asm__ volatile"), std::string::npos);
+    EXPECT_NE(src.find("int vega_run_all(void)"), std::string::npos);
+    // The blocks embed real instructions.
+    EXPECT_NE(src.find("xor"), std::string::npos);
+}
+
+TEST(CApi, DemoLibraryLifecycle)
+{
+    vega_library *lib = vega_library_create_demo(VEGA_SEQUENTIAL, 1.0, 1);
+    ASSERT_NE(lib, nullptr);
+    EXPECT_EQ(vega_library_num_tests(lib), 4u);
+    EXPECT_GT(vega_library_suite_cycles(lib), 0u);
+    EXPECT_EQ(vega_library_run_all(lib), VEGA_OK);
+    for (int i = 0; i < 6; ++i)
+        EXPECT_EQ(vega_library_run_next(lib), VEGA_OK);
+    vega_library_destroy(lib);
+}
+
+TEST(CApi, RejectsBadArguments)
+{
+    EXPECT_EQ(vega_library_create_demo(99, 1.0, 1), nullptr);
+    EXPECT_EQ(vega_library_create_demo(VEGA_RANDOM, 0.0, 1), nullptr);
+    EXPECT_EQ(vega_library_num_tests(nullptr), 0u);
+    EXPECT_EQ(vega_library_run_all(nullptr), VEGA_MISMATCH);
+    vega_library_destroy(nullptr); // must be safe
+}
+
+} // namespace
+} // namespace vega::runtime

@@ -1,0 +1,164 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/builder.h"
+#include "sim/sp_profiler.h"
+
+namespace vega {
+namespace {
+
+TEST(Simulator, CombinationalEval)
+{
+    Netlist nl("t");
+    Builder b(nl);
+    auto a = nl.add_input_bus("a", 2);
+    NetId y = b.xor_(a[0], a[1]);
+    nl.add_output_bus("y", {y});
+
+    Simulator sim(nl);
+    for (int va = 0; va < 2; ++va) {
+        for (int vb = 0; vb < 2; ++vb) {
+            sim.set_input(a[0], va);
+            sim.set_input(a[1], vb);
+            EXPECT_EQ(sim.value(y), va != vb);
+        }
+    }
+}
+
+TEST(Simulator, DffDelaysOneCycle)
+{
+    Netlist nl("t");
+    Builder b(nl);
+    auto d = nl.add_input_bus("d", 1);
+    NetId q = b.dff(d[0], false);
+    nl.add_output_bus("q", {q});
+
+    Simulator sim(nl);
+    EXPECT_FALSE(sim.value(q)); // init value
+    sim.set_input(d[0], true);
+    EXPECT_FALSE(sim.value(q)); // not clocked yet
+    sim.step();
+    EXPECT_TRUE(sim.value(q));
+    sim.set_input(d[0], false);
+    sim.step();
+    EXPECT_FALSE(sim.value(q));
+}
+
+TEST(Simulator, DffInitValueAppliesAtReset)
+{
+    Netlist nl("t");
+    Builder b(nl);
+    auto d = nl.add_input_bus("d", 1);
+    NetId q = b.dff(d[0], true);
+    nl.add_output_bus("q", {q});
+
+    Simulator sim(nl);
+    EXPECT_TRUE(sim.value(q));
+    sim.step(); // d = 0 -> q drops
+    EXPECT_FALSE(sim.value(q));
+    sim.reset();
+    EXPECT_TRUE(sim.value(q));
+    EXPECT_EQ(sim.cycle(), 0u);
+}
+
+TEST(Simulator, ToggleCounterChain)
+{
+    // q <= !q : a 1-bit divider.
+    Netlist nl("t");
+    Builder b(nl);
+    NetId q = nl.new_net("q");
+    NetId d = nl.new_net("d");
+    nl.add_cell(CellType::Not, "inv", {q}, d);
+    nl.add_dff("ff", d, q, false);
+    nl.add_output_bus("q", {q});
+
+    Simulator sim(nl);
+    bool expected = false;
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(sim.value(q), expected);
+        sim.step();
+        expected = !expected;
+    }
+    EXPECT_EQ(sim.cycle(), 10u);
+}
+
+TEST(Simulator, AtomicDffCommit)
+{
+    // Shift register: q2 must get q1's *old* value on the same edge.
+    Netlist nl("t");
+    Builder b(nl);
+    auto d = nl.add_input_bus("d", 1);
+    NetId q1 = b.dff(d[0]);
+    NetId q2 = b.dff(q1);
+    nl.add_output_bus("q", {q1, q2});
+
+    Simulator sim(nl);
+    sim.set_input(d[0], true);
+    sim.step();
+    EXPECT_TRUE(sim.value(q1));
+    EXPECT_FALSE(sim.value(q2)); // not yet
+    sim.step();
+    EXPECT_TRUE(sim.value(q2));
+}
+
+TEST(Simulator, BusRoundTrip)
+{
+    Netlist nl("t");
+    Builder b(nl);
+    auto a = nl.add_input_bus("a", 8);
+    Bus q;
+    for (NetId n : a)
+        q.push_back(b.dff(n));
+    nl.add_output_bus("q", q);
+
+    Simulator sim(nl);
+    sim.set_bus("a", BitVec(8, 0x5a));
+    sim.step();
+    EXPECT_EQ(sim.bus_value("q").to_u64(), 0x5au);
+}
+
+TEST(SpProfiler, CountsOnesFraction)
+{
+    // A constant-1 cell should profile SP = 1, constant-0 SP = 0, and a
+    // toggling divider SP = 0.5.
+    Netlist nl("t");
+    Builder b(nl);
+    NetId one = b.const1();
+    NetId zero = b.const0();
+    NetId q = nl.new_net("q");
+    NetId d = nl.new_net("d");
+    CellId inv = nl.add_cell(CellType::Not, "inv", {q}, d);
+    CellId ff = nl.add_dff("ff", d, q, false);
+    nl.add_output_bus("o", {one, zero, q});
+
+    Simulator sim(nl);
+    auto profile = profile_signal_probability(
+        sim, 1000, [](Simulator &, uint64_t) {});
+
+    EXPECT_EQ(profile.samples(), 1000u);
+    EXPECT_DOUBLE_EQ(profile.sp(nl.net(one).driver), 1.0);
+    EXPECT_DOUBLE_EQ(profile.sp(nl.net(zero).driver), 0.0);
+    EXPECT_NEAR(profile.sp(ff), 0.5, 0.01);
+    EXPECT_NEAR(profile.sp(inv), 0.5, 0.01);
+}
+
+TEST(SpProfiler, MergeAccumulates)
+{
+    Netlist nl("t");
+    Builder b(nl);
+    NetId one = b.const1();
+    nl.add_output_bus("o", {one});
+    Simulator sim(nl);
+
+    auto p1 = profile_signal_probability(sim, 10,
+                                         [](Simulator &, uint64_t) {});
+    auto p2 = profile_signal_probability(sim, 30,
+                                         [](Simulator &, uint64_t) {});
+    p1.merge(p2);
+    EXPECT_EQ(p1.samples(), 40u);
+    EXPECT_DOUBLE_EQ(p1.sp(0), 1.0);
+}
+
+} // namespace
+} // namespace vega

@@ -1,0 +1,286 @@
+#include "cpu/softfp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "common/rng.h"
+
+namespace vega::fp {
+namespace {
+
+uint32_t
+f2u(float f)
+{
+    uint32_t u;
+    std::memcpy(&u, &f, sizeof(u));
+    return u;
+}
+
+float
+u2f(uint32_t u)
+{
+    float f;
+    std::memcpy(&f, &u, sizeof(f));
+    return f;
+}
+
+bool
+is_subnormal_or_zero(uint32_t u)
+{
+    return ((u >> 23) & 0xff) == 0;
+}
+
+/** Host-reference check valid when inputs are normal. */
+void
+check_against_host(uint32_t a, uint32_t b, FpResult (*op)(uint32_t, uint32_t),
+                   float (*host)(float, float))
+{
+    FpResult r = op(a, b);
+    float hf = host(u2f(a), u2f(b));
+    uint32_t hu = f2u(hf);
+    if (std::isnan(hf)) {
+        EXPECT_EQ(r.bits, kQuietNan);
+        return;
+    }
+    if (is_subnormal_or_zero(hu)) {
+        // FTZ: we flush where the host keeps subnormals.
+        EXPECT_TRUE(is_subnormal_or_zero(r.bits))
+            << std::hex << a << " op " << b;
+        EXPECT_EQ(r.bits & 0x7fffff, 0u);
+        return;
+    }
+    EXPECT_EQ(r.bits, hu) << std::hex << "a=" << a << " b=" << b
+                          << " got=" << r.bits << " want=" << hu;
+}
+
+float host_add(float x, float y) { return x + y; }
+float host_mul(float x, float y) { return x * y; }
+
+uint32_t
+random_normal(Rng &rng)
+{
+    uint32_t sign = uint32_t(rng.next() & 1) << 31;
+    uint32_t exp = 1 + uint32_t(rng.below(254));
+    uint32_t man = uint32_t(rng.next()) & 0x7fffff;
+    return sign | (exp << 23) | man;
+}
+
+/** Normal value with exponent near the midpoint so results stay normal. */
+uint32_t
+random_midrange(Rng &rng)
+{
+    uint32_t sign = uint32_t(rng.next() & 1) << 31;
+    uint32_t exp = 100 + uint32_t(rng.below(56));
+    uint32_t man = uint32_t(rng.next()) & 0x7fffff;
+    return sign | (exp << 23) | man;
+}
+
+TEST(SoftFp, AddMatchesHostOnRandomNormals)
+{
+    Rng rng(11);
+    for (int i = 0; i < 5000; ++i) {
+        uint32_t a = random_normal(rng), b = random_normal(rng);
+        check_against_host(a, b, fadd, host_add);
+    }
+}
+
+TEST(SoftFp, AddMatchesHostOnCloseExponents)
+{
+    // Stress alignment and cancellation: exponents within +-2.
+    Rng rng(12);
+    for (int i = 0; i < 5000; ++i) {
+        uint32_t a = random_midrange(rng);
+        int ea = (a >> 23) & 0xff;
+        int eb = ea + int(rng.below(5)) - 2;
+        uint32_t b = (uint32_t(rng.next() & 1) << 31) |
+                     (uint32_t(eb) << 23) |
+                     (uint32_t(rng.next()) & 0x7fffff);
+        check_against_host(a, b, fadd, host_add);
+    }
+}
+
+TEST(SoftFp, MulMatchesHostOnMidrange)
+{
+    Rng rng(13);
+    for (int i = 0; i < 5000; ++i) {
+        uint32_t a = random_midrange(rng), b = random_midrange(rng);
+        check_against_host(a, b, fmul, host_mul);
+    }
+}
+
+TEST(SoftFp, AddSpecials)
+{
+    const uint32_t inf = 0x7f800000, ninf = 0xff800000;
+    const uint32_t one = f2u(1.0f), none = f2u(-1.0f);
+    const uint32_t pzero = 0, nzero = 0x80000000;
+    const uint32_t snan = 0x7f800001, qnan = kQuietNan;
+
+    EXPECT_EQ(fadd(inf, one).bits, inf);
+    EXPECT_EQ(fadd(one, ninf).bits, ninf);
+    EXPECT_EQ(fadd(inf, inf).bits, inf);
+
+    FpResult conflict = fadd(inf, ninf);
+    EXPECT_EQ(conflict.bits, kQuietNan);
+    EXPECT_TRUE(conflict.flags & kNV);
+
+    FpResult with_snan = fadd(snan, one);
+    EXPECT_EQ(with_snan.bits, kQuietNan);
+    EXPECT_TRUE(with_snan.flags & kNV);
+
+    FpResult with_qnan = fadd(qnan, one);
+    EXPECT_EQ(with_qnan.bits, kQuietNan);
+    EXPECT_FALSE(with_qnan.flags & kNV);
+
+    EXPECT_EQ(fadd(pzero, nzero).bits, pzero);
+    EXPECT_EQ(fadd(nzero, nzero).bits, nzero);
+    EXPECT_EQ(fadd(pzero, one).bits, one);
+    EXPECT_EQ(fadd(one, nzero).bits, one);
+
+    // Exact cancellation gives +0 under RNE.
+    EXPECT_EQ(fadd(one, none).bits, pzero);
+}
+
+TEST(SoftFp, SubnormalInputsFlushToZero)
+{
+    uint32_t sub = 0x00000001; // smallest positive subnormal
+    uint32_t one = f2u(1.0f);
+    EXPECT_EQ(fadd(sub, one).bits, one);
+    EXPECT_EQ(fmul(sub, one).bits, 0u); // zero * 1
+    EXPECT_EQ(feq(sub, 0).bits, 1u);    // flushed == zero
+}
+
+TEST(SoftFp, OverflowRaisesOFNX)
+{
+    uint32_t big = f2u(3e38f);
+    FpResult r = fadd(big, big);
+    EXPECT_EQ(r.bits, 0x7f800000u);
+    EXPECT_TRUE(r.flags & kOF);
+    EXPECT_TRUE(r.flags & kNX);
+
+    FpResult m = fmul(big, big);
+    EXPECT_EQ(m.bits, 0x7f800000u);
+    EXPECT_TRUE(m.flags & kOF);
+}
+
+TEST(SoftFp, UnderflowFlushesAndRaisesUFNX)
+{
+    uint32_t tiny = f2u(1e-20f); // normal, but tiny*tiny underflows
+    FpResult m = fmul(tiny, tiny);
+    EXPECT_EQ(m.bits & 0x7fffffff, 0u);
+    EXPECT_TRUE(m.flags & kUF);
+    EXPECT_TRUE(m.flags & kNX);
+}
+
+TEST(SoftFp, MulSpecials)
+{
+    const uint32_t inf = 0x7f800000;
+    const uint32_t one = f2u(1.0f), ntwo = f2u(-2.0f);
+
+    FpResult zi = fmul(0, inf);
+    EXPECT_EQ(zi.bits, kQuietNan);
+    EXPECT_TRUE(zi.flags & kNV);
+
+    EXPECT_EQ(fmul(inf, ntwo).bits, 0xff800000u);
+    EXPECT_EQ(fmul(one, 0x80000000u).bits, 0x80000000u);
+}
+
+TEST(SoftFp, InexactFlag)
+{
+    uint32_t one = f2u(1.0f);
+    uint32_t eps = f2u(1e-20f);
+    FpResult r = fadd(one, eps);
+    EXPECT_EQ(r.bits, one);
+    EXPECT_TRUE(r.flags & kNX);
+
+    FpResult exact = fadd(one, one);
+    EXPECT_EQ(exact.bits, f2u(2.0f));
+    EXPECT_EQ(exact.flags, 0);
+}
+
+TEST(SoftFp, CompareOrdering)
+{
+    uint32_t one = f2u(1.0f), two = f2u(2.0f), none = f2u(-1.0f);
+    EXPECT_EQ(flt(one, two).bits, 1u);
+    EXPECT_EQ(flt(two, one).bits, 0u);
+    EXPECT_EQ(flt(none, one).bits, 1u);
+    EXPECT_EQ(flt(none, none).bits, 0u);
+    EXPECT_EQ(fle(one, one).bits, 1u);
+    EXPECT_EQ(feq(one, one).bits, 1u);
+    EXPECT_EQ(feq(0, 0x80000000u).bits, 1u); // +0 == -0
+    EXPECT_EQ(flt(0x80000000u, 0).bits, 0u); // -0 < +0 is false
+}
+
+TEST(SoftFp, CompareNanSemantics)
+{
+    uint32_t one = f2u(1.0f);
+    uint32_t snan = 0x7f800001, qnan = kQuietNan;
+
+    FpResult q = feq(qnan, one);
+    EXPECT_EQ(q.bits, 0u);
+    EXPECT_FALSE(q.flags & kNV); // feq is quiet
+
+    FpResult s = feq(snan, one);
+    EXPECT_TRUE(s.flags & kNV);
+
+    FpResult l = flt(qnan, one);
+    EXPECT_EQ(l.bits, 0u);
+    EXPECT_TRUE(l.flags & kNV); // flt signals on any NaN
+
+    EXPECT_TRUE(fle(one, qnan).flags & kNV);
+}
+
+TEST(SoftFp, MinMaxSemantics)
+{
+    uint32_t one = f2u(1.0f), two = f2u(2.0f), none = f2u(-1.0f);
+    uint32_t qnan = kQuietNan;
+    uint32_t pzero = 0, nzero = 0x80000000;
+
+    EXPECT_EQ(fmin(one, two).bits, one);
+    EXPECT_EQ(fmax(one, two).bits, two);
+    EXPECT_EQ(fmin(none, one).bits, none);
+
+    // NaN suppression.
+    EXPECT_EQ(fmin(qnan, one).bits, one);
+    EXPECT_EQ(fmax(one, qnan).bits, one);
+    EXPECT_EQ(fmin(qnan, qnan).bits, kQuietNan);
+
+    // -0 orders below +0.
+    EXPECT_EQ(fmin(pzero, nzero).bits, nzero);
+    EXPECT_EQ(fmax(pzero, nzero).bits, pzero);
+}
+
+TEST(SoftFp, FsubIsAddWithFlippedSign)
+{
+    Rng rng(14);
+    for (int i = 0; i < 1000; ++i) {
+        uint32_t a = random_normal(rng), b = random_normal(rng);
+        EXPECT_EQ(fsub(a, b).bits, fadd(a, b ^ 0x80000000u).bits);
+    }
+}
+
+TEST(SoftFp, AddCommutes)
+{
+    Rng rng(15);
+    for (int i = 0; i < 2000; ++i) {
+        uint32_t a = random_normal(rng), b = random_normal(rng);
+        FpResult ab = fadd(a, b), ba = fadd(b, a);
+        EXPECT_EQ(ab.bits, ba.bits);
+        EXPECT_EQ(ab.flags, ba.flags);
+    }
+}
+
+TEST(SoftFp, MulCommutes)
+{
+    Rng rng(16);
+    for (int i = 0; i < 2000; ++i) {
+        uint32_t a = random_normal(rng), b = random_normal(rng);
+        FpResult ab = fmul(a, b), ba = fmul(b, a);
+        EXPECT_EQ(ab.bits, ba.bits);
+        EXPECT_EQ(ab.flags, ba.flags);
+    }
+}
+
+} // namespace
+} // namespace vega::fp

@@ -1,0 +1,91 @@
+#include "vega/workflow.h"
+
+#include <gtest/gtest.h>
+
+#include "rtl/alu32.h"
+
+namespace vega {
+namespace {
+
+using aging::AgingTimingLibrary;
+using aging::RdModelParams;
+
+const AgingTimingLibrary &
+lib()
+{
+    static AgingTimingLibrary l = AgingTimingLibrary::build(RdModelParams{});
+    return l;
+}
+
+TEST(MinverTrace, HasBothUnitActivity)
+{
+    const auto &trace = minver_trace();
+    size_t alu = 0, fpu = 0;
+    for (const auto &e : trace)
+        (e.unit == ModuleKind::Fpu32 ? fpu : alu)++;
+    EXPECT_GT(alu, 10u);
+    EXPECT_GT(fpu, 50u);
+}
+
+TEST(RecordWorkloadTrace, ConcatenatesPrograms)
+{
+    auto t1 = record_workload_trace({workloads::make_ud().program});
+    auto t2 = record_workload_trace({workloads::make_prime().program});
+    auto both = record_workload_trace(
+        {workloads::make_ud().program, workloads::make_prime().program});
+    EXPECT_EQ(both.size(), t1.size() + t2.size());
+}
+
+TEST(AgingAnalysis, FreshCleanAgedViolating)
+{
+    HwModule module = rtl::make_alu32();
+    AgingAnalysisConfig cfg;
+    cfg.utilization = 0.99;
+    cfg.max_trace = 1500;
+    AgingAnalysisResult r =
+        run_aging_analysis(module, lib(), minver_trace(), cfg);
+
+    // Timing closure holds when fresh, breaks after ten years.
+    EXPECT_GE(r.fresh_sta.wns_setup, 0.0);
+    EXPECT_GE(r.fresh_sta.wns_hold, 0.0);
+    EXPECT_LT(r.sta.wns_setup, 0.0);
+    EXPECT_GT(r.sta.num_setup_violations, 0u);
+    EXPECT_FALSE(r.liftable_pairs().empty());
+
+    // The SP profile reflects real stimulus: not every cell parks.
+    size_t mid = 0;
+    for (CellId c = 0; c < module.netlist.num_cells(); ++c) {
+        double sp = r.profile.sp(c);
+        if (sp > 0.05 && sp < 0.95)
+            ++mid;
+    }
+    EXPECT_GT(mid, module.netlist.num_cells() / 20);
+}
+
+TEST(Workflow, EndToEndOnAluProducesArtifacts)
+{
+    HwModule module = rtl::make_alu32();
+    WorkflowConfig cfg;
+    cfg.aging.utilization = 0.99;
+    cfg.aging.max_trace = 1500;
+    cfg.lift.max_pairs = 3;
+    cfg.lift.bmc.max_frames = 4;
+
+    WorkflowResult r = run_workflow(module, lib(), minver_trace(), cfg);
+    EXPECT_FALSE(r.lift.pairs.empty());
+
+    size_t classified = r.lift.n_success + r.lift.n_unreachable +
+                        r.lift.n_timeout + r.lift.n_conversion_failed;
+    EXPECT_EQ(classified, r.lift.pairs.size());
+
+    if (!r.suite.empty()) {
+        runtime::AgingLibraryOptions opt;
+        runtime::AgingLibrary library = r.make_library(opt);
+        runtime::GoldenEngine engine;
+        EXPECT_EQ(library.run_all(engine), runtime::Detection::None);
+        EXPECT_EQ(library.suite_cycles(), r.lift.suite_cycles());
+    }
+}
+
+} // namespace
+} // namespace vega
