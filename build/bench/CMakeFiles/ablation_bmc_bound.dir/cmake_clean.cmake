@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bmc_bound.dir/ablation_bmc_bound.cpp.o"
+  "CMakeFiles/ablation_bmc_bound.dir/ablation_bmc_bound.cpp.o.d"
+  "ablation_bmc_bound"
+  "ablation_bmc_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bmc_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

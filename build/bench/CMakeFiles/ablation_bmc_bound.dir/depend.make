@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_bmc_bound.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_clock_gating.dir/ablation_clock_gating.cpp.o"
+  "CMakeFiles/ablation_clock_gating.dir/ablation_clock_gating.cpp.o.d"
+  "ablation_clock_gating"
+  "ablation_clock_gating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_clock_gating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fuzz_vs_formal.dir/ablation_fuzz_vs_formal.cpp.o"
+  "CMakeFiles/ablation_fuzz_vs_formal.dir/ablation_fuzz_vs_formal.cpp.o.d"
+  "ablation_fuzz_vs_formal"
+  "ablation_fuzz_vs_formal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fuzz_vs_formal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

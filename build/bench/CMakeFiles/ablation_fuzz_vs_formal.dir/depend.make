@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_fuzz_vs_formal.
+# This may be replaced when dependencies are built.

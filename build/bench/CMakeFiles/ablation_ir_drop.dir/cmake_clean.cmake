@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ir_drop.dir/ablation_ir_drop.cpp.o"
+  "CMakeFiles/ablation_ir_drop.dir/ablation_ir_drop.cpp.o.d"
+  "ablation_ir_drop"
+  "ablation_ir_drop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ir_drop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

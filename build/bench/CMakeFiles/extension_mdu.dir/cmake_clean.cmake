@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_mdu.dir/extension_mdu.cpp.o"
+  "CMakeFiles/extension_mdu.dir/extension_mdu.cpp.o.d"
+  "extension_mdu"
+  "extension_mdu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_mdu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_sta_violations.dir/table3_sta_violations.cpp.o"
+  "CMakeFiles/table3_sta_violations.dir/table3_sta_violations.cpp.o.d"
+  "table3_sta_violations"
+  "table3_sta_violations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_sta_violations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_construction.dir/table4_construction.cpp.o"
+  "CMakeFiles/table4_construction.dir/table4_construction.cpp.o.d"
+  "table4_construction"
+  "table4_construction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

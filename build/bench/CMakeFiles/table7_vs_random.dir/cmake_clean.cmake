@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_vs_random.dir/table7_vs_random.cpp.o"
+  "CMakeFiles/table7_vs_random.dir/table7_vs_random.cpp.o.d"
+  "table7_vs_random"
+  "table7_vs_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_vs_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

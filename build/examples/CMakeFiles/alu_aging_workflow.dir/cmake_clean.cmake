@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alu_aging_workflow.dir/alu_aging_workflow.cpp.o"
+  "CMakeFiles/alu_aging_workflow.dir/alu_aging_workflow.cpp.o.d"
+  "alu_aging_workflow"
+  "alu_aging_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alu_aging_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

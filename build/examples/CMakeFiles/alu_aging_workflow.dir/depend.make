@@ -1,0 +1,2 @@
+# Empty dependencies file for alu_aging_workflow.
+# This may be replaced when dependencies are built.

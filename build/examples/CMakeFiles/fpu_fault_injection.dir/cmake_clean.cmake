@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpu_fault_injection.dir/fpu_fault_injection.cpp.o"
+  "CMakeFiles/fpu_fault_injection.dir/fpu_fault_injection.cpp.o.d"
+  "fpu_fault_injection"
+  "fpu_fault_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpu_fault_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aging/rd_model.cpp" "src/CMakeFiles/vega.dir/aging/rd_model.cpp.o" "gcc" "src/CMakeFiles/vega.dir/aging/rd_model.cpp.o.d"
+  "/root/repo/src/aging/timing_library.cpp" "src/CMakeFiles/vega.dir/aging/timing_library.cpp.o" "gcc" "src/CMakeFiles/vega.dir/aging/timing_library.cpp.o.d"
+  "/root/repo/src/common/bitvec.cpp" "src/CMakeFiles/vega.dir/common/bitvec.cpp.o" "gcc" "src/CMakeFiles/vega.dir/common/bitvec.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/CMakeFiles/vega.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/vega.dir/common/logging.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/vega.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/vega.dir/common/rng.cpp.o.d"
+  "/root/repo/src/cpu/assembler.cpp" "src/CMakeFiles/vega.dir/cpu/assembler.cpp.o" "gcc" "src/CMakeFiles/vega.dir/cpu/assembler.cpp.o.d"
+  "/root/repo/src/cpu/encoding.cpp" "src/CMakeFiles/vega.dir/cpu/encoding.cpp.o" "gcc" "src/CMakeFiles/vega.dir/cpu/encoding.cpp.o.d"
+  "/root/repo/src/cpu/iss.cpp" "src/CMakeFiles/vega.dir/cpu/iss.cpp.o" "gcc" "src/CMakeFiles/vega.dir/cpu/iss.cpp.o.d"
+  "/root/repo/src/cpu/machine_code.cpp" "src/CMakeFiles/vega.dir/cpu/machine_code.cpp.o" "gcc" "src/CMakeFiles/vega.dir/cpu/machine_code.cpp.o.d"
+  "/root/repo/src/cpu/netlist_backend.cpp" "src/CMakeFiles/vega.dir/cpu/netlist_backend.cpp.o" "gcc" "src/CMakeFiles/vega.dir/cpu/netlist_backend.cpp.o.d"
+  "/root/repo/src/cpu/softfp.cpp" "src/CMakeFiles/vega.dir/cpu/softfp.cpp.o" "gcc" "src/CMakeFiles/vega.dir/cpu/softfp.cpp.o.d"
+  "/root/repo/src/formal/bmc.cpp" "src/CMakeFiles/vega.dir/formal/bmc.cpp.o" "gcc" "src/CMakeFiles/vega.dir/formal/bmc.cpp.o.d"
+  "/root/repo/src/formal/cnf_encoder.cpp" "src/CMakeFiles/vega.dir/formal/cnf_encoder.cpp.o" "gcc" "src/CMakeFiles/vega.dir/formal/cnf_encoder.cpp.o.d"
+  "/root/repo/src/formal/equiv.cpp" "src/CMakeFiles/vega.dir/formal/equiv.cpp.o" "gcc" "src/CMakeFiles/vega.dir/formal/equiv.cpp.o.d"
+  "/root/repo/src/formal/unroller.cpp" "src/CMakeFiles/vega.dir/formal/unroller.cpp.o" "gcc" "src/CMakeFiles/vega.dir/formal/unroller.cpp.o.d"
+  "/root/repo/src/integrate/integrator.cpp" "src/CMakeFiles/vega.dir/integrate/integrator.cpp.o" "gcc" "src/CMakeFiles/vega.dir/integrate/integrator.cpp.o.d"
+  "/root/repo/src/integrate/profile.cpp" "src/CMakeFiles/vega.dir/integrate/profile.cpp.o" "gcc" "src/CMakeFiles/vega.dir/integrate/profile.cpp.o.d"
+  "/root/repo/src/lift/error_lifting.cpp" "src/CMakeFiles/vega.dir/lift/error_lifting.cpp.o" "gcc" "src/CMakeFiles/vega.dir/lift/error_lifting.cpp.o.d"
+  "/root/repo/src/lift/failure_model.cpp" "src/CMakeFiles/vega.dir/lift/failure_model.cpp.o" "gcc" "src/CMakeFiles/vega.dir/lift/failure_model.cpp.o.d"
+  "/root/repo/src/lift/fuzz_lifting.cpp" "src/CMakeFiles/vega.dir/lift/fuzz_lifting.cpp.o" "gcc" "src/CMakeFiles/vega.dir/lift/fuzz_lifting.cpp.o.d"
+  "/root/repo/src/lift/instruction_builder.cpp" "src/CMakeFiles/vega.dir/lift/instruction_builder.cpp.o" "gcc" "src/CMakeFiles/vega.dir/lift/instruction_builder.cpp.o.d"
+  "/root/repo/src/netlist/builder.cpp" "src/CMakeFiles/vega.dir/netlist/builder.cpp.o" "gcc" "src/CMakeFiles/vega.dir/netlist/builder.cpp.o.d"
+  "/root/repo/src/netlist/cell_library.cpp" "src/CMakeFiles/vega.dir/netlist/cell_library.cpp.o" "gcc" "src/CMakeFiles/vega.dir/netlist/cell_library.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/CMakeFiles/vega.dir/netlist/netlist.cpp.o" "gcc" "src/CMakeFiles/vega.dir/netlist/netlist.cpp.o.d"
+  "/root/repo/src/netlist/verilog_reader.cpp" "src/CMakeFiles/vega.dir/netlist/verilog_reader.cpp.o" "gcc" "src/CMakeFiles/vega.dir/netlist/verilog_reader.cpp.o.d"
+  "/root/repo/src/netlist/verilog_writer.cpp" "src/CMakeFiles/vega.dir/netlist/verilog_writer.cpp.o" "gcc" "src/CMakeFiles/vega.dir/netlist/verilog_writer.cpp.o.d"
+  "/root/repo/src/rtl/adder2.cpp" "src/CMakeFiles/vega.dir/rtl/adder2.cpp.o" "gcc" "src/CMakeFiles/vega.dir/rtl/adder2.cpp.o.d"
+  "/root/repo/src/rtl/alu32.cpp" "src/CMakeFiles/vega.dir/rtl/alu32.cpp.o" "gcc" "src/CMakeFiles/vega.dir/rtl/alu32.cpp.o.d"
+  "/root/repo/src/rtl/blocks.cpp" "src/CMakeFiles/vega.dir/rtl/blocks.cpp.o" "gcc" "src/CMakeFiles/vega.dir/rtl/blocks.cpp.o.d"
+  "/root/repo/src/rtl/clock_tree.cpp" "src/CMakeFiles/vega.dir/rtl/clock_tree.cpp.o" "gcc" "src/CMakeFiles/vega.dir/rtl/clock_tree.cpp.o.d"
+  "/root/repo/src/rtl/fpu32.cpp" "src/CMakeFiles/vega.dir/rtl/fpu32.cpp.o" "gcc" "src/CMakeFiles/vega.dir/rtl/fpu32.cpp.o.d"
+  "/root/repo/src/rtl/mdu32.cpp" "src/CMakeFiles/vega.dir/rtl/mdu32.cpp.o" "gcc" "src/CMakeFiles/vega.dir/rtl/mdu32.cpp.o.d"
+  "/root/repo/src/runtime/aging_library.cpp" "src/CMakeFiles/vega.dir/runtime/aging_library.cpp.o" "gcc" "src/CMakeFiles/vega.dir/runtime/aging_library.cpp.o.d"
+  "/root/repo/src/runtime/c_api.cpp" "src/CMakeFiles/vega.dir/runtime/c_api.cpp.o" "gcc" "src/CMakeFiles/vega.dir/runtime/c_api.cpp.o.d"
+  "/root/repo/src/runtime/scheduler.cpp" "src/CMakeFiles/vega.dir/runtime/scheduler.cpp.o" "gcc" "src/CMakeFiles/vega.dir/runtime/scheduler.cpp.o.d"
+  "/root/repo/src/runtime/suite_io.cpp" "src/CMakeFiles/vega.dir/runtime/suite_io.cpp.o" "gcc" "src/CMakeFiles/vega.dir/runtime/suite_io.cpp.o.d"
+  "/root/repo/src/runtime/test_case.cpp" "src/CMakeFiles/vega.dir/runtime/test_case.cpp.o" "gcc" "src/CMakeFiles/vega.dir/runtime/test_case.cpp.o.d"
+  "/root/repo/src/sat/solver.cpp" "src/CMakeFiles/vega.dir/sat/solver.cpp.o" "gcc" "src/CMakeFiles/vega.dir/sat/solver.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/vega.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/vega.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/sp_profiler.cpp" "src/CMakeFiles/vega.dir/sim/sp_profiler.cpp.o" "gcc" "src/CMakeFiles/vega.dir/sim/sp_profiler.cpp.o.d"
+  "/root/repo/src/sim/timing_sim.cpp" "src/CMakeFiles/vega.dir/sim/timing_sim.cpp.o" "gcc" "src/CMakeFiles/vega.dir/sim/timing_sim.cpp.o.d"
+  "/root/repo/src/sim/vcd_writer.cpp" "src/CMakeFiles/vega.dir/sim/vcd_writer.cpp.o" "gcc" "src/CMakeFiles/vega.dir/sim/vcd_writer.cpp.o.d"
+  "/root/repo/src/sim/waveform.cpp" "src/CMakeFiles/vega.dir/sim/waveform.cpp.o" "gcc" "src/CMakeFiles/vega.dir/sim/waveform.cpp.o.d"
+  "/root/repo/src/sta/clock_analysis.cpp" "src/CMakeFiles/vega.dir/sta/clock_analysis.cpp.o" "gcc" "src/CMakeFiles/vega.dir/sta/clock_analysis.cpp.o.d"
+  "/root/repo/src/sta/sta.cpp" "src/CMakeFiles/vega.dir/sta/sta.cpp.o" "gcc" "src/CMakeFiles/vega.dir/sta/sta.cpp.o.d"
+  "/root/repo/src/vega/aging_analysis.cpp" "src/CMakeFiles/vega.dir/vega/aging_analysis.cpp.o" "gcc" "src/CMakeFiles/vega.dir/vega/aging_analysis.cpp.o.d"
+  "/root/repo/src/vega/workflow.cpp" "src/CMakeFiles/vega.dir/vega/workflow.cpp.o" "gcc" "src/CMakeFiles/vega.dir/vega/workflow.cpp.o.d"
+  "/root/repo/src/workloads/kernels.cpp" "src/CMakeFiles/vega.dir/workloads/kernels.cpp.o" "gcc" "src/CMakeFiles/vega.dir/workloads/kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_adder2.cpp" "tests/CMakeFiles/vega_tests.dir/test_adder2.cpp.o" "gcc" "tests/CMakeFiles/vega_tests.dir/test_adder2.cpp.o.d"
+  "/root/repo/tests/test_aging.cpp" "tests/CMakeFiles/vega_tests.dir/test_aging.cpp.o" "gcc" "tests/CMakeFiles/vega_tests.dir/test_aging.cpp.o.d"
+  "/root/repo/tests/test_alu32.cpp" "tests/CMakeFiles/vega_tests.dir/test_alu32.cpp.o" "gcc" "tests/CMakeFiles/vega_tests.dir/test_alu32.cpp.o.d"
+  "/root/repo/tests/test_bitvec.cpp" "tests/CMakeFiles/vega_tests.dir/test_bitvec.cpp.o" "gcc" "tests/CMakeFiles/vega_tests.dir/test_bitvec.cpp.o.d"
+  "/root/repo/tests/test_blocks.cpp" "tests/CMakeFiles/vega_tests.dir/test_blocks.cpp.o" "gcc" "tests/CMakeFiles/vega_tests.dir/test_blocks.cpp.o.d"
+  "/root/repo/tests/test_bmc.cpp" "tests/CMakeFiles/vega_tests.dir/test_bmc.cpp.o" "gcc" "tests/CMakeFiles/vega_tests.dir/test_bmc.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/vega_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/vega_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_failure_model.cpp" "tests/CMakeFiles/vega_tests.dir/test_failure_model.cpp.o" "gcc" "tests/CMakeFiles/vega_tests.dir/test_failure_model.cpp.o.d"
+  "/root/repo/tests/test_fpu32.cpp" "tests/CMakeFiles/vega_tests.dir/test_fpu32.cpp.o" "gcc" "tests/CMakeFiles/vega_tests.dir/test_fpu32.cpp.o.d"
+  "/root/repo/tests/test_integrate.cpp" "tests/CMakeFiles/vega_tests.dir/test_integrate.cpp.o" "gcc" "tests/CMakeFiles/vega_tests.dir/test_integrate.cpp.o.d"
+  "/root/repo/tests/test_iss.cpp" "tests/CMakeFiles/vega_tests.dir/test_iss.cpp.o" "gcc" "tests/CMakeFiles/vega_tests.dir/test_iss.cpp.o.d"
+  "/root/repo/tests/test_lift.cpp" "tests/CMakeFiles/vega_tests.dir/test_lift.cpp.o" "gcc" "tests/CMakeFiles/vega_tests.dir/test_lift.cpp.o.d"
+  "/root/repo/tests/test_machine_code.cpp" "tests/CMakeFiles/vega_tests.dir/test_machine_code.cpp.o" "gcc" "tests/CMakeFiles/vega_tests.dir/test_machine_code.cpp.o.d"
+  "/root/repo/tests/test_mdu32.cpp" "tests/CMakeFiles/vega_tests.dir/test_mdu32.cpp.o" "gcc" "tests/CMakeFiles/vega_tests.dir/test_mdu32.cpp.o.d"
+  "/root/repo/tests/test_misc.cpp" "tests/CMakeFiles/vega_tests.dir/test_misc.cpp.o" "gcc" "tests/CMakeFiles/vega_tests.dir/test_misc.cpp.o.d"
+  "/root/repo/tests/test_netlist.cpp" "tests/CMakeFiles/vega_tests.dir/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/vega_tests.dir/test_netlist.cpp.o.d"
+  "/root/repo/tests/test_runtime.cpp" "tests/CMakeFiles/vega_tests.dir/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/vega_tests.dir/test_runtime.cpp.o.d"
+  "/root/repo/tests/test_sat.cpp" "tests/CMakeFiles/vega_tests.dir/test_sat.cpp.o" "gcc" "tests/CMakeFiles/vega_tests.dir/test_sat.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/vega_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/vega_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_softfp.cpp" "tests/CMakeFiles/vega_tests.dir/test_softfp.cpp.o" "gcc" "tests/CMakeFiles/vega_tests.dir/test_softfp.cpp.o.d"
+  "/root/repo/tests/test_sta.cpp" "tests/CMakeFiles/vega_tests.dir/test_sta.cpp.o" "gcc" "tests/CMakeFiles/vega_tests.dir/test_sta.cpp.o.d"
+  "/root/repo/tests/test_timing_sim.cpp" "tests/CMakeFiles/vega_tests.dir/test_timing_sim.cpp.o" "gcc" "tests/CMakeFiles/vega_tests.dir/test_timing_sim.cpp.o.d"
+  "/root/repo/tests/test_verilog_reader.cpp" "tests/CMakeFiles/vega_tests.dir/test_verilog_reader.cpp.o" "gcc" "tests/CMakeFiles/vega_tests.dir/test_verilog_reader.cpp.o.d"
+  "/root/repo/tests/test_workflow.cpp" "tests/CMakeFiles/vega_tests.dir/test_workflow.cpp.o" "gcc" "tests/CMakeFiles/vega_tests.dir/test_workflow.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/vega_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/vega_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vega.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
