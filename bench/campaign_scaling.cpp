@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Thread-scaling study of the fault-injection campaign engine: the
+ * same ≥500-job ALU campaign at 1, 2, 4, and 8 worker threads.
+ *
+ * Two claims are measured:
+ *  - throughput scales with threads (speedup column; needs real cores
+ *    — the hardware_concurrency line tells you what this box has);
+ *  - results do NOT depend on thread count: the deterministic JSON
+ *    (timing excluded) is byte-identical in every configuration, so
+ *    detection/escape counts are too.
+ *
+ * Results land in BENCH_campaign.json next to the working directory.
+ */
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "campaign/campaign.h"
+
+using namespace vega;
+
+int
+main()
+{
+    bench::banner("Campaign scaling: 1 -> N worker threads");
+    std::printf("hardware_concurrency: %u\n\n",
+                std::thread::hardware_concurrency());
+
+    bench::AnalyzedModule m = bench::analyze(ModuleKind::Alu32);
+    // A small lifted working set keeps the per-job cost low: the bench
+    // measures campaign fan-out, not lifting. VEGA_FULL lifts all.
+    lift::LiftConfig lift_cfg;
+    lift_cfg.bmc.max_frames = 4;
+    lift_cfg.bmc.conflict_budget = 400000;
+    if (!bench::full_mode())
+        lift_cfg.max_pairs = 8;
+    lift::LiftResult lifted = lift::run_error_lifting(
+        m.module, bench::working_pairs(m), lift_cfg);
+    auto suite = lifted.suite();
+    if (suite.empty()) {
+        std::printf("no tests lifted; cannot run the campaign bench\n");
+        return 1;
+    }
+    std::vector<sta::EndpointPair> pairs;
+    for (const auto &pr : lifted.pairs)
+        pairs.push_back(pr.pair);
+    std::printf("working set: %zu pairs, %zu suite tests\n\n",
+                pairs.size(), suite.size());
+
+    campaign::CampaignConfig cfg;
+    cfg.seed = 7;
+    cfg.num_jobs = 512;
+    cfg.max_pairs = 8; // 8 pairs x 2 constants of netlist variants
+
+    const size_t kThreads[] = {1, 2, 4, 8};
+    std::vector<campaign::CampaignReport> reports;
+    std::printf("%7s | %9s | %9s | %9s | %7s | %6s\n", "threads",
+                "wall s", "jobs/s", "sims/s", "speedup", "steals");
+    double base_jps = 0.0;
+    for (size_t t : kThreads) {
+        cfg.threads = t;
+        reports.push_back(campaign::run_campaign(m.module, pairs, suite,
+                                                 cfg));
+        const auto &r = reports.back();
+        if (t == 1)
+            base_jps = r.timing.jobs_per_sec;
+        std::printf("%7zu | %9.2f | %9.1f | %9.0f | %6.2fx | %6llu\n",
+                    t, r.timing.wall_seconds, r.timing.jobs_per_sec,
+                    r.timing.sims_per_sec,
+                    base_jps > 0 ? r.timing.jobs_per_sec / base_jps
+                                 : 0.0,
+                    (unsigned long long)r.timing.steals);
+    }
+
+    // Determinism across thread counts: identical reports, bit for bit.
+    std::string golden = reports.front().to_json(false);
+    bool identical = true;
+    for (const auto &r : reports)
+        identical = identical && r.to_json(false) == golden;
+    std::printf("\ndeterminism: reports at every thread count are %s "
+                "(detected=%llu escapes=%llu)\n",
+                identical ? "byte-identical" : "DIFFERENT (BUG)",
+                (unsigned long long)reports.front().detected,
+                (unsigned long long)reports.front().escapes);
+
+    std::string json = "{\"campaign_scaling\":{\"num_jobs\":512,"
+                       "\"deterministic\":";
+    json += identical ? "true" : "false";
+    json += ",\"runs\":[";
+    for (size_t i = 0; i < reports.size(); ++i) {
+        const auto &r = reports[i];
+        char buf[256];
+        std::snprintf(buf, sizeof buf,
+                      "%s{\"threads\":%zu,\"wall_seconds\":%.3f,"
+                      "\"jobs_per_sec\":%.2f,\"sims_per_sec\":%.0f,"
+                      "\"speedup\":%.3f,\"steals\":%llu,"
+                      "\"detected\":%llu,\"escapes\":%llu}",
+                      i ? "," : "", kThreads[i], r.timing.wall_seconds,
+                      r.timing.jobs_per_sec, r.timing.sims_per_sec,
+                      base_jps > 0 ? r.timing.jobs_per_sec / base_jps
+                                   : 0.0,
+                      (unsigned long long)r.timing.steals,
+                      (unsigned long long)r.detected,
+                      (unsigned long long)r.escapes);
+        json += buf;
+    }
+    json += "]}}";
+    if (FILE *f = std::fopen("BENCH_campaign.json", "w")) {
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("wrote BENCH_campaign.json\n");
+    }
+
+    return identical ? 0 : 1;
+}

@@ -75,7 +75,8 @@ run_suite_against(const std::vector<runtime::TestCase> &suite,
             iss.set_fpu_backend(&backend);
         auto status = iss.run();
         runtime::Detection det = runtime::Detection::None;
-        if (status == cpu::Iss::Status::Stalled) {
+        if (status == cpu::Iss::Status::Stalled ||
+            status == cpu::Iss::Status::Trap) {
             det = runtime::Detection::Stall;
         } else if (iss.reg(31) != 0) {
             det = runtime::Detection::Mismatch;

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * CLI driver for the fault-injection campaign engine: runs the Vega
+ * workflow on a chosen functional unit, then fans a Monte Carlo
+ * injection campaign out over a work-stealing thread pool and writes
+ * the structured CampaignReport as JSON.
+ *
+ *   vega_campaign --module alu --jobs 512 --threads 8 \
+ *                 --seed 7 --out campaign_report.json
+ *
+ * The same seed yields a bit-identical report (timing aside) at any
+ * thread count, so campaign results are citable and diffable.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "campaign/campaign.h"
+#include "vega/workflow.h"
+
+using namespace vega;
+
+namespace {
+
+struct CliOptions
+{
+    ModuleKind module = ModuleKind::Alu32;
+    campaign::CampaignConfig campaign;
+    size_t workflow_max_pairs = 8;
+    std::string out = "campaign_report.json";
+    bool quiet = false;
+    bool per_job_json = true;
+};
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --module alu|fpu|mdu   functional unit under campaign "
+        "(default alu)\n"
+        "  --jobs N               injection jobs to run (default 256)\n"
+        "  --threads N            worker threads, 0 = all cores "
+        "(default 1)\n"
+        "  --seed S               campaign seed (default 1)\n"
+        "  --probability P        probabilistic-policy dispatch rate "
+        "(default 0.5)\n"
+        "  --max-pairs N          cap on lifted endpoint pairs "
+        "(default 8)\n"
+        "  --max-slots N          per-job scheduler slot budget "
+        "(default 2x suite)\n"
+        "  --out FILE             report path (default "
+        "campaign_report.json)\n"
+        "  --aggregate-only       omit the per-job array from the "
+        "JSON\n"
+        "  --quiet                suppress progress lines\n",
+        argv0);
+}
+
+bool
+parse_args(int argc, char **argv, CliOptions &opt)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--module") {
+            const char *v = value();
+            if (!v)
+                return false;
+            if (!std::strcmp(v, "alu"))
+                opt.module = ModuleKind::Alu32;
+            else if (!std::strcmp(v, "fpu"))
+                opt.module = ModuleKind::Fpu32;
+            else if (!std::strcmp(v, "mdu"))
+                opt.module = ModuleKind::Mdu32;
+            else
+                return false;
+        } else if (arg == "--jobs") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.campaign.num_jobs = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--threads") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.campaign.threads = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--seed") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.campaign.seed = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--probability") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.campaign.probability = std::strtod(v, nullptr);
+        } else if (arg == "--max-pairs") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.workflow_max_pairs = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--max-slots") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.campaign.max_slots = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--out") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.out = v;
+        } else if (arg == "--aggregate-only") {
+            opt.per_job_json = false;
+        } else if (arg == "--quiet") {
+            opt.quiet = true;
+        } else {
+            return false;
+        }
+    }
+    // User errors exit via usage, not via the engine's invariant checks.
+    return opt.campaign.num_jobs > 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions opt;
+    if (!parse_args(argc, argv, opt)) {
+        usage(argv[0]);
+        return 2;
+    }
+    opt.campaign.progress = !opt.quiet;
+
+    std::printf("vega_campaign: module=%s jobs=%zu threads=%zu "
+                "seed=%llu\n",
+                module_kind_name(opt.module), opt.campaign.num_jobs,
+                opt.campaign.threads,
+                (unsigned long long)opt.campaign.seed);
+
+    // Phase 1+2: workflow — aging analysis and error lifting produce
+    // the endpoint pairs and the runtime suite the campaign screens
+    // faults with.
+    HwModule module = make_module(opt.module);
+    auto lib = aging::AgingTimingLibrary::build(aging::RdModelParams{});
+    WorkflowConfig wf_cfg;
+    wf_cfg.aging.max_trace = 4000;
+    wf_cfg.lift.max_pairs = opt.workflow_max_pairs;
+    wf_cfg.lift.bmc.max_frames = 4;
+    // The bench-suite budget: hard unreachability proofs give up as
+    // Timeout instead of stalling the campaign setup.
+    wf_cfg.lift.bmc.conflict_budget = 400000;
+    std::printf("running workflow (max_pairs=%zu)...\n",
+                opt.workflow_max_pairs);
+    WorkflowResult wf =
+        run_workflow(module, lib, minver_trace(), wf_cfg);
+    std::printf("workflow: %zu lifted pairs, %zu suite tests\n",
+                wf.lift.pairs.size(), wf.suite.size());
+    if (wf.suite.empty()) {
+        std::printf("no tests lifted; nothing to campaign against\n");
+        return 1;
+    }
+
+    // Phase 3 at scale: the injection campaign.
+    campaign::CampaignReport report =
+        campaign::run_campaign(module, wf, opt.campaign);
+
+    std::printf("\ncampaign totals over %zu jobs:\n",
+                report.jobs.size());
+    std::printf("  detected    %llu (%.1f%%)\n",
+                (unsigned long long)report.detected,
+                100.0 * report.detection_rate());
+    std::printf("  corrupting  %llu\n",
+                (unsigned long long)report.corrupting);
+    std::printf("  SDC escapes %llu (%.1f%% of corrupting)\n",
+                (unsigned long long)report.escapes,
+                100.0 * report.escape_rate());
+    std::printf("  benign      %llu\n",
+                (unsigned long long)report.benign);
+    std::printf("  mean detection latency %.2f scheduler slots\n",
+                report.mean_latency_slots());
+    std::printf("  %.2fs wall, %.1f jobs/s, %.0f sims/s, %zu "
+                "threads, %llu steals\n",
+                report.timing.wall_seconds, report.timing.jobs_per_sec,
+                report.timing.sims_per_sec, report.timing.threads,
+                (unsigned long long)report.timing.steals);
+
+    std::string json = report.to_json(true, opt.per_job_json);
+    FILE *f = std::fopen(opt.out.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", opt.out.c_str());
+        return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("report written to %s\n", opt.out.c_str());
+    return 0;
+}

@@ -1,0 +1,188 @@
+#include "campaign/campaign.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "campaign/engine.h"
+#include "campaign/thread_pool.h"
+#include "common/logging.h"
+
+namespace vega::campaign {
+
+namespace {
+
+lift::FailureModelSpec
+fault_spec(const sta::EndpointPair &pair, lift::FaultConstant c)
+{
+    lift::FailureModelSpec fm;
+    fm.launch = pair.launch;
+    fm.capture = pair.capture;
+    fm.is_setup = pair.is_setup;
+    fm.constant = c;
+    return fm;
+}
+
+/**
+ * Resolve job @p id from its splitmix64 stream. Pairs are covered
+ * round-robin (every pair in the working set gets injected); the
+ * constant, policy, and downstream seed are Monte Carlo draws.
+ */
+JobSpec
+make_spec(const CampaignConfig &cfg, size_t npairs, uint64_t id)
+{
+    JobSpec spec;
+    spec.id = id;
+    spec.pair_index = size_t(id % npairs);
+    uint64_t stream = job_stream(cfg.seed, id);
+    spec.constant =
+        cfg.constants[splitmix64(stream) % cfg.constants.size()];
+    spec.policy = cfg.policies[splitmix64(stream) % cfg.policies.size()];
+    spec.probability = cfg.probability;
+    spec.seed = splitmix64(stream);
+    spec.max_slots = cfg.max_slots;
+    return spec;
+}
+
+JobResult
+run_job(ModuleKind kind, const lift::FailingNetlist &failing,
+        const std::vector<runtime::TestCase> &suite, const JobSpec &spec,
+        bool corrupts)
+{
+    JobResult res;
+    res.id = spec.id;
+    res.pair_index = spec.pair_index;
+    res.constant = spec.constant;
+    res.policy = spec.policy;
+
+    NetlistEngine engine(kind, failing.netlist,
+                         failing.has_random_input, spec.seed);
+
+    runtime::AgingLibraryOptions opt;
+    opt.policy = spec.policy;
+    opt.probability = spec.probability;
+    opt.seed = spec.seed;
+    runtime::AgingLibrary lib(suite, opt);
+
+    for (uint64_t slot = 0; slot < spec.max_slots; ++slot) {
+        runtime::Detection d = lib.run_next(engine);
+        if (d != runtime::Detection::None) {
+            res.detected = true;
+            res.kind = d;
+            res.slots_to_detect = slot + 1;
+            break;
+        }
+    }
+    res.tests_dispatched = lib.runs();
+    res.sim_cycles = engine.cycles();
+    res.corrupts_workload = corrupts;
+    res.escape = corrupts && !res.detected;
+    return res;
+}
+
+} // namespace
+
+CampaignReport
+run_campaign(const HwModule &module,
+             const std::vector<sta::EndpointPair> &pairs,
+             const std::vector<runtime::TestCase> &suite,
+             const CampaignConfig &config)
+{
+    VEGA_CHECK(!pairs.empty(), "campaign needs endpoint pairs");
+    VEGA_CHECK(!suite.empty(), "campaign needs a non-empty suite");
+    VEGA_CHECK(!config.constants.empty(), "campaign needs constants");
+    VEGA_CHECK(!config.policies.empty(), "campaign needs policies");
+    VEGA_CHECK(config.num_jobs > 0, "campaign needs jobs");
+
+    CampaignConfig cfg = config;
+    if (cfg.max_slots == 0)
+        cfg.max_slots = 2 * suite.size();
+    size_t npairs = std::min(cfg.max_pairs, pairs.size());
+    size_t nconst = cfg.constants.size();
+
+    auto t0 = std::chrono::steady_clock::now();
+    ThreadPool pool(cfg.threads);
+    std::optional<ProgressMeter> meter;
+    if (cfg.progress || cfg.progress_sink)
+        meter.emplace(npairs * nconst + cfg.num_jobs,
+                      cfg.progress_interval, cfg.progress_sink);
+
+    // Characterization pass: once per unique (pair, constant) fault —
+    // never per job — build the failing netlist and probe whether it
+    // corrupts the representative workload. The netlists are kept and
+    // shared read-only by every job that injects the same fault.
+    std::vector<lift::FailingNetlist> faults(npairs * nconst);
+    std::vector<char> corrupts(npairs * nconst, 0);
+    for (size_t pi = 0; pi < npairs; ++pi) {
+        for (size_t ci = 0; ci < nconst; ++ci) {
+            pool.submit([&, pi, ci] {
+                size_t idx = pi * nconst + ci;
+                faults[idx] = lift::build_failing_netlist(
+                    module.netlist,
+                    fault_spec(pairs[pi], cfg.constants[ci]));
+                uint64_t seed = job_stream(~cfg.seed, uint64_t(idx));
+                corrupts[idx] = workload_corrupts(
+                    module.kind, faults[idx].netlist,
+                    faults[idx].has_random_input, seed);
+                if (meter)
+                    meter->job_done(0);
+            });
+        }
+    }
+    pool.wait_idle();
+
+    // Injection pass: the Monte Carlo jobs proper. Results land in
+    // slots keyed by job id, so completion order is irrelevant.
+    std::vector<JobResult> results(cfg.num_jobs);
+    for (uint64_t id = 0; id < cfg.num_jobs; ++id) {
+        JobSpec spec = make_spec(cfg, npairs, id);
+        size_t ci = size_t(
+            std::find(cfg.constants.begin(), cfg.constants.end(),
+                      spec.constant) -
+            cfg.constants.begin());
+        size_t idx = spec.pair_index * nconst + ci;
+        bool corrupting = corrupts[idx] != 0;
+        pool.submit([&, spec, idx, corrupting] {
+            results[spec.id] = run_job(module.kind, faults[idx], suite,
+                                       spec, corrupting);
+            if (meter)
+                meter->job_done(results[spec.id].sim_cycles);
+        });
+    }
+    pool.wait_idle();
+
+    CampaignReport report = aggregate_report(results, npairs);
+    report.module = module_kind_name(module.kind);
+    report.seed = cfg.seed;
+    report.max_slots = cfg.max_slots;
+    report.probability = cfg.probability;
+    report.suite_size = suite.size();
+    report.num_pairs = npairs;
+
+    double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    report.timing.wall_seconds = wall;
+    report.timing.jobs_per_sec =
+        wall > 0 ? double(cfg.num_jobs) / wall : 0.0;
+    report.timing.sims_per_sec =
+        wall > 0 ? double(report.total_sim_cycles) / wall : 0.0;
+    report.timing.threads = pool.size();
+    report.timing.steals = pool.steals();
+    if (meter)
+        meter->finish();
+    return report;
+}
+
+CampaignReport
+run_campaign(const HwModule &module, const vega::WorkflowResult &wf,
+             const CampaignConfig &config)
+{
+    std::vector<sta::EndpointPair> pairs;
+    pairs.reserve(wf.lift.pairs.size());
+    for (const auto &pr : wf.lift.pairs)
+        pairs.push_back(pr.pair);
+    return run_campaign(module, pairs, wf.suite, config);
+}
+
+} // namespace vega::campaign

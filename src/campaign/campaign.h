@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The Monte Carlo fault-injection campaign engine.
+ *
+ * A campaign takes the artifacts of a Vega workflow run — the lifted
+ * endpoint pairs and the generated runtime suite — and fans out over
+ * (failing netlist × stimulus seed × schedule policy) jobs on a
+ * work-stealing thread pool. A characterization pass builds each
+ * unique fault — the logical failure model (§3.3.1) spliced into a
+ * copy of the module, shared read-only by all jobs that inject it —
+ * and probes whether it silently corrupts a representative workload.
+ * Each job then runs the aging library against the failing gate-level
+ * netlist on its own Simulator instance and records detection
+ * latency; undetected corrupting faults count as SDC escapes.
+ *
+ * Determinism contract: the campaign seed fully determines every job
+ * (pair/constant/policy sampling and all downstream randomness, via
+ * per-job splitmix64 streams — see job.h), and results are aggregated
+ * by job id. The same seed therefore yields a byte-identical
+ * CampaignReport (timing excluded) at any thread count.
+ */
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "campaign/job.h"
+#include "campaign/progress.h"
+#include "campaign/report.h"
+#include "rtl/module.h"
+#include "sta/sta.h"
+#include "vega/workflow.h"
+
+namespace vega::campaign {
+
+struct CampaignConfig
+{
+    uint64_t seed = 1;
+    /** Injection jobs to run (pairs are covered round-robin). */
+    size_t num_jobs = 256;
+    /** Worker threads (0 ⇒ hardware_concurrency). */
+    size_t threads = 1;
+    /** Fault constants sampled per job (must be non-empty). */
+    std::vector<lift::FaultConstant> constants = {
+        lift::FaultConstant::Zero, lift::FaultConstant::One};
+    /** Schedule policies sampled per job (must be non-empty). */
+    std::vector<runtime::SchedulePolicy> policies = {
+        runtime::SchedulePolicy::Sequential,
+        runtime::SchedulePolicy::Random,
+        runtime::SchedulePolicy::Probabilistic};
+    /** Dispatch probability for the probabilistic policy. */
+    double probability = 0.5;
+    /** Per-job scheduler slot budget (0 ⇒ 2 × suite size). */
+    uint64_t max_slots = 0;
+    /** Cap on the endpoint-pair working set. */
+    size_t max_pairs = SIZE_MAX;
+    /** Emit periodic progress lines to stderr. */
+    bool progress = false;
+    std::chrono::milliseconds progress_interval{2000};
+    /** Override the progress sink (tests use this; implies progress). */
+    ProgressMeter::Sink progress_sink;
+};
+
+/**
+ * Run a campaign injecting @p pairs into @p module and screening each
+ * fault with @p suite. @p pairs is typically the lifted working set
+ * (wf.lift.pairs), so suite tests' pair_index values line up with the
+ * report's per-pair table.
+ */
+CampaignReport run_campaign(const HwModule &module,
+                            const std::vector<sta::EndpointPair> &pairs,
+                            const std::vector<runtime::TestCase> &suite,
+                            const CampaignConfig &config = {});
+
+/** Convenience: campaign over a finished workflow's artifacts. */
+CampaignReport run_campaign(const HwModule &module,
+                            const vega::WorkflowResult &wf,
+                            const CampaignConfig &config = {});
+
+} // namespace vega::campaign

@@ -1,0 +1,106 @@
+#include "campaign/engine.h"
+
+#include "common/logging.h"
+
+namespace vega::campaign {
+
+namespace {
+
+/**
+ * Instruction budgets for campaign runs. A fault that corrupts loop
+ * control flow can turn a terminating kernel into an infinite one, and
+ * the ISS default watchdog (100M instructions) is far too generous
+ * when every instruction is a gate-level netlist simulation. The
+ * representative kernels retire well under 50k instructions, so these
+ * bounds only ever trip on runaway faulty executions.
+ */
+constexpr uint64_t kWorkloadWatchdog = 400000;
+constexpr uint64_t kTestWatchdog = 1000000;
+
+void
+mount_backend(cpu::Iss &iss, ModuleKind kind, cpu::NetlistBackend *backend)
+{
+    switch (kind) {
+      case ModuleKind::Alu32:
+        iss.set_alu_backend(backend);
+        break;
+      case ModuleKind::Fpu32:
+        iss.set_fpu_backend(backend);
+        break;
+      case ModuleKind::Mdu32:
+        iss.set_mdu_backend(backend);
+        break;
+      case ModuleKind::Adder2:
+        VEGA_CHECK(false, "adder2 is not a CPU functional unit");
+    }
+}
+
+} // namespace
+
+NetlistEngine::NetlistEngine(ModuleKind kind, const Netlist &netlist,
+                             bool has_random_input, uint64_t seed)
+    : kind_(kind), backend_(kind, netlist, has_random_input, seed)
+{
+}
+
+runtime::Detection
+NetlistEngine::run(const runtime::TestCase &tc)
+{
+    cpu::IssConfig cfg;
+    cfg.max_instructions = kTestWatchdog;
+    cpu::Iss iss(tc.program, cfg);
+    mount_backend(iss, kind_, &backend_);
+    auto status = iss.run();
+
+    // A test that never completes cleanly is a stall-class detection,
+    // whether the handshake hung (Stalled), the fault sent execution
+    // into a loop the watchdog had to break (Watchdog), or a corrupted
+    // address left the architectural envelope (Trap).
+    runtime::Detection det = runtime::Detection::None;
+    if (status != cpu::Iss::Status::Halted)
+        det = runtime::Detection::Stall;
+    else if (iss.reg(31) != 0)
+        det = runtime::Detection::Mismatch;
+    else if (backend_.tag_mismatches() > tags_seen_)
+        det = runtime::Detection::TagAnomaly;
+    tags_seen_ = backend_.tag_mismatches();
+    return det;
+}
+
+const workloads::Kernel &
+representative_kernel(ModuleKind kind)
+{
+    const auto &suite = workloads::embench_suite();
+    const char *want = "minver";
+    switch (kind) {
+      case ModuleKind::Fpu32: want = "minver"; break;
+      case ModuleKind::Alu32: want = "crc32"; break;
+      case ModuleKind::Mdu32: want = "ud"; break;
+      case ModuleKind::Adder2:
+        VEGA_CHECK(false, "adder2 is not a CPU functional unit");
+    }
+    for (const auto &k : suite)
+        if (k.name == want)
+            return k;
+    VEGA_CHECK(false, "kernel missing from embench suite");
+    return suite.front();
+}
+
+bool
+workload_corrupts(ModuleKind kind, const Netlist &netlist,
+                  bool has_random_input, uint64_t seed)
+{
+    const workloads::Kernel &kernel = representative_kernel(kind);
+    cpu::NetlistBackend backend(kind, netlist, has_random_input, seed);
+    cpu::IssConfig cfg;
+    cfg.max_instructions = kWorkloadWatchdog;
+    cpu::Iss iss(kernel.program, cfg);
+    mount_backend(iss, kind, &backend);
+    auto status = iss.run();
+    if (status != cpu::Iss::Status::Halted)
+        return true;
+    return iss.read_u32(workloads::kChecksumAddr) !=
+           kernel.expected_checksum;
+}
+
+} // namespace vega::campaign

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The unit of work of a fault-injection campaign (§4 / Tables 6–7 at
+ * scale): one (failing netlist × stimulus seed × schedule policy)
+ * combination, executed on its own Simulator/AgingLibrary instance.
+ *
+ * Seeding is hierarchical and collision-free by construction: the
+ * campaign seed and the job id feed a splitmix64 stream, and every
+ * random decision a job makes (pair/constant/policy sampling, the
+ * library's scheduler, the fm_rand input) draws from that stream. A
+ * campaign is therefore bit-reproducible at any thread count — results
+ * are keyed by job id, never by completion order.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "lift/failure_model.h"
+#include "runtime/scheduler.h"
+#include "runtime/test_case.h"
+
+namespace vega::campaign {
+
+/** splitmix64 step: advances @p x and returns the next stream value. */
+inline uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** Root of job @p job_id's private splitmix64 stream. */
+inline uint64_t
+job_stream(uint64_t campaign_seed, uint64_t job_id)
+{
+    uint64_t x = campaign_seed ^ (0x517cc1b727220a95ull * (job_id + 1));
+    return splitmix64(x);
+}
+
+/** Fully-resolved description of one injection job. */
+struct JobSpec
+{
+    uint64_t id = 0;
+    /** Index into the campaign's endpoint-pair working set. */
+    size_t pair_index = 0;
+    lift::FaultConstant constant = lift::FaultConstant::Zero;
+    runtime::SchedulePolicy policy = runtime::SchedulePolicy::Sequential;
+    /** Dispatch probability for the probabilistic policy. */
+    double probability = 1.0;
+    /** Seed for the job's scheduler and fm_rand stream. */
+    uint64_t seed = 1;
+    /** Scheduler slots to spend before declaring the fault undetected. */
+    uint64_t max_slots = 0;
+};
+
+/** Outcome of one injection job. */
+struct JobResult
+{
+    uint64_t id = 0;
+    size_t pair_index = 0;
+    lift::FaultConstant constant = lift::FaultConstant::Zero;
+    runtime::SchedulePolicy policy = runtime::SchedulePolicy::Sequential;
+
+    /** The suite flagged the fault within the slot budget. */
+    bool detected = false;
+    runtime::Detection kind = runtime::Detection::None;
+    /** Scheduler slots elapsed when the detection fired (1-based). */
+    uint64_t slots_to_detect = 0;
+    /** Tests actually dispatched by the scheduler. */
+    uint64_t tests_dispatched = 0;
+    /** Gate-level clock cycles this job simulated. */
+    uint64_t sim_cycles = 0;
+
+    /** The fault corrupts the representative workload's output. */
+    bool corrupts_workload = false;
+    /** Corrupting and undetected: a silent-data-corruption escape. */
+    bool escape = false;
+};
+
+} // namespace vega::campaign

@@ -1,0 +1,243 @@
+#include "campaign/report.h"
+
+#include <cstdio>
+
+namespace vega::campaign {
+
+namespace {
+
+/**
+ * Shortest round-trip-stable rendering: integers print bare, other
+ * values with enough digits to be stable and deterministic.
+ */
+void
+append_double(std::string &out, double v)
+{
+    char buf[40];
+    if (v >= 0 && v < 1e15 && v == double(uint64_t(v)))
+        std::snprintf(buf, sizeof buf, "%llu",
+                      (unsigned long long)(uint64_t(v)));
+    else
+        std::snprintf(buf, sizeof buf, "%.9g", v);
+    out += buf;
+}
+
+void
+append_u64(std::string &out, uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%llu", (unsigned long long)v);
+    out += buf;
+}
+
+void
+kv(std::string &out, const char *key, uint64_t v, bool comma = true)
+{
+    out += '"';
+    out += key;
+    out += "\":";
+    append_u64(out, v);
+    if (comma)
+        out += ',';
+}
+
+void
+kv(std::string &out, const char *key, double v, bool comma = true)
+{
+    out += '"';
+    out += key;
+    out += "\":";
+    append_double(out, v);
+    if (comma)
+        out += ',';
+}
+
+void
+kv(std::string &out, const char *key, const char *v, bool comma = true)
+{
+    out += '"';
+    out += key;
+    out += "\":\"";
+    out += v;
+    out += '"';
+    if (comma)
+        out += ',';
+}
+
+void
+append_histogram(std::string &out, const DetectionHistogram &h)
+{
+    out += '{';
+    kv(out, "mismatch", h.mismatch);
+    kv(out, "stall", h.stall);
+    kv(out, "tag_anomaly", h.tag_anomaly, false);
+    out += '}';
+}
+
+} // namespace
+
+std::string
+CampaignReport::to_json(bool include_timing, bool include_jobs) const
+{
+    std::string out;
+    out.reserve(4096 + (include_jobs ? jobs.size() * 192 : 0));
+    out += "{\"campaign\":{";
+    kv(out, "module", module.c_str());
+    kv(out, "seed", seed);
+    kv(out, "num_jobs", uint64_t(jobs.size()));
+    kv(out, "suite_size", uint64_t(suite_size));
+    kv(out, "num_pairs", uint64_t(num_pairs));
+    kv(out, "max_slots", max_slots);
+    kv(out, "probability", probability, false);
+    out += "},\"totals\":{";
+    kv(out, "detected", detected);
+    kv(out, "corrupting", corrupting);
+    kv(out, "escapes", escapes);
+    kv(out, "benign", benign);
+    kv(out, "detection_rate", detection_rate());
+    kv(out, "escape_rate", escape_rate());
+    kv(out, "mean_latency_slots", mean_latency_slots());
+    kv(out, "tests_dispatched", tests_dispatched);
+    kv(out, "sim_cycles", total_sim_cycles);
+    out += "\"detections\":";
+    append_histogram(out, detections);
+    out += "},\"per_pair\":[";
+    for (size_t i = 0; i < per_pair.size(); ++i) {
+        const PairStats &p = per_pair[i];
+        if (i)
+            out += ',';
+        out += '{';
+        kv(out, "pair", uint64_t(p.pair_index));
+        kv(out, "jobs", p.jobs);
+        kv(out, "detected", p.detected);
+        kv(out, "corrupting", p.corrupting);
+        kv(out, "escapes", p.escapes);
+        kv(out, "detection_rate", p.detection_rate());
+        kv(out, "mean_latency_slots", p.mean_latency_slots());
+        kv(out, "sim_cycles", p.sim_cycles, false);
+        out += '}';
+    }
+    out += "],\"per_policy\":[";
+    for (size_t i = 0; i < per_policy.size(); ++i) {
+        const PolicyStats &p = per_policy[i];
+        if (i)
+            out += ',';
+        out += '{';
+        kv(out, "policy", runtime::schedule_policy_name(p.policy));
+        kv(out, "jobs", p.jobs);
+        kv(out, "detected", p.detected);
+        kv(out, "escapes", p.escapes);
+        kv(out, "detection_rate", p.detection_rate());
+        kv(out, "mean_latency_slots", p.mean_latency_slots());
+        kv(out, "tests_dispatched", p.tests_dispatched, false);
+        out += '}';
+    }
+    out += ']';
+    if (include_jobs) {
+        out += ",\"jobs\":[";
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            const JobResult &j = jobs[i];
+            if (i)
+                out += ',';
+            out += '{';
+            kv(out, "id", j.id);
+            kv(out, "pair", uint64_t(j.pair_index));
+            kv(out, "constant", lift::fault_constant_name(j.constant));
+            kv(out, "policy", runtime::schedule_policy_name(j.policy));
+            kv(out, "detected", uint64_t(j.detected));
+            kv(out, "kind", runtime::detection_name(j.kind));
+            kv(out, "slots_to_detect", j.slots_to_detect);
+            kv(out, "tests_dispatched", j.tests_dispatched);
+            kv(out, "sim_cycles", j.sim_cycles);
+            kv(out, "corrupts_workload", uint64_t(j.corrupts_workload));
+            kv(out, "escape", uint64_t(j.escape), false);
+            out += '}';
+        }
+        out += ']';
+    }
+    if (include_timing) {
+        out += ",\"timing\":{";
+        kv(out, "wall_seconds", timing.wall_seconds);
+        kv(out, "jobs_per_sec", timing.jobs_per_sec);
+        kv(out, "sims_per_sec", timing.sims_per_sec);
+        kv(out, "threads", uint64_t(timing.threads));
+        kv(out, "steals", timing.steals, false);
+        out += '}';
+    }
+    out += '}';
+    return out;
+}
+
+CampaignReport
+aggregate_report(const std::vector<JobResult> &jobs, size_t num_pairs)
+{
+    CampaignReport r;
+    r.jobs = jobs;
+    r.num_pairs = num_pairs;
+    r.per_pair.resize(num_pairs);
+    for (size_t i = 0; i < num_pairs; ++i)
+        r.per_pair[i].pair_index = i;
+
+    using runtime::SchedulePolicy;
+    const SchedulePolicy kPolicies[] = {SchedulePolicy::Sequential,
+                                        SchedulePolicy::Random,
+                                        SchedulePolicy::Probabilistic};
+    r.per_policy.resize(3);
+    for (size_t i = 0; i < 3; ++i)
+        r.per_policy[i].policy = kPolicies[i];
+
+    for (const JobResult &j : jobs) {
+        r.tests_dispatched += j.tests_dispatched;
+        r.total_sim_cycles += j.sim_cycles;
+        if (j.corrupts_workload)
+            ++r.corrupting;
+        if (j.escape)
+            ++r.escapes;
+        if (j.detected) {
+            ++r.detected;
+            r.slots_sum += j.slots_to_detect;
+            switch (j.kind) {
+              case runtime::Detection::Mismatch:
+                ++r.detections.mismatch;
+                break;
+              case runtime::Detection::Stall:
+                ++r.detections.stall;
+                break;
+              case runtime::Detection::TagAnomaly:
+                ++r.detections.tag_anomaly;
+                break;
+              case runtime::Detection::None:
+                break;
+            }
+        } else if (!j.corrupts_workload) {
+            ++r.benign;
+        }
+
+        if (j.pair_index < num_pairs) {
+            PairStats &p = r.per_pair[j.pair_index];
+            ++p.jobs;
+            p.sim_cycles += j.sim_cycles;
+            if (j.detected) {
+                ++p.detected;
+                p.slots_sum += j.slots_to_detect;
+            }
+            if (j.corrupts_workload)
+                ++p.corrupting;
+            if (j.escape)
+                ++p.escapes;
+        }
+
+        PolicyStats &ps = r.per_policy[size_t(j.policy)];
+        ++ps.jobs;
+        ps.tests_dispatched += j.tests_dispatched;
+        if (j.detected) {
+            ++ps.detected;
+            ps.slots_sum += j.slots_to_detect;
+        }
+        if (j.escape)
+            ++ps.escapes;
+    }
+    return r;
+}
+
+} // namespace vega::campaign

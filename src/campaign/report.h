@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Structured results of a fault-injection campaign.
+ *
+ * A CampaignReport aggregates per-job outcomes three ways — per
+ * endpoint pair (which aging paths the suite covers and how fast),
+ * per schedule policy (what the dispatch knob costs in latency), and
+ * in campaign totals (detection rate, SDC-escape rate, detection-kind
+ * histogram) — and serializes to JSON.
+ *
+ * Everything except the `timing` object is a pure function of the
+ * campaign configuration, so `to_json(false)` (timing excluded) is
+ * byte-identical across runs and thread counts; the determinism tests
+ * compare exactly that.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/job.h"
+
+namespace vega::campaign {
+
+/** Detection outcomes by kind (detected jobs only). */
+struct DetectionHistogram
+{
+    uint64_t mismatch = 0;
+    uint64_t stall = 0;
+    uint64_t tag_anomaly = 0;
+};
+
+/** Aggregates over all jobs that injected the same endpoint pair. */
+struct PairStats
+{
+    size_t pair_index = 0;
+    uint64_t jobs = 0;
+    uint64_t detected = 0;
+    uint64_t corrupting = 0;
+    uint64_t escapes = 0;
+    /** Sum of slots_to_detect over detected jobs. */
+    uint64_t slots_sum = 0;
+    uint64_t sim_cycles = 0;
+
+    double detection_rate() const
+    {
+        return jobs ? double(detected) / double(jobs) : 0.0;
+    }
+    /** Mean scheduler slots until the suite fired (detected jobs). */
+    double mean_latency_slots() const
+    {
+        return detected ? double(slots_sum) / double(detected) : 0.0;
+    }
+};
+
+/** Aggregates over all jobs run under the same schedule policy. */
+struct PolicyStats
+{
+    runtime::SchedulePolicy policy = runtime::SchedulePolicy::Sequential;
+    uint64_t jobs = 0;
+    uint64_t detected = 0;
+    uint64_t escapes = 0;
+    uint64_t slots_sum = 0;
+    uint64_t tests_dispatched = 0;
+
+    double detection_rate() const
+    {
+        return jobs ? double(detected) / double(jobs) : 0.0;
+    }
+    double mean_latency_slots() const
+    {
+        return detected ? double(slots_sum) / double(detected) : 0.0;
+    }
+};
+
+/** Wall-clock measurements — excluded from deterministic JSON. */
+struct CampaignTiming
+{
+    double wall_seconds = 0.0;
+    double jobs_per_sec = 0.0;
+    double sims_per_sec = 0.0;
+    size_t threads = 1;
+    uint64_t steals = 0;
+};
+
+struct CampaignReport
+{
+    // Echo of the configuration that produced the report.
+    std::string module;
+    uint64_t seed = 0;
+    uint64_t max_slots = 0;
+    double probability = 1.0;
+    size_t suite_size = 0;
+    size_t num_pairs = 0;
+
+    std::vector<JobResult> jobs;
+    std::vector<PairStats> per_pair;
+    std::vector<PolicyStats> per_policy;
+
+    // Campaign totals.
+    uint64_t detected = 0;
+    uint64_t corrupting = 0;
+    uint64_t escapes = 0;
+    /** Neither corrupting nor detected: the fault is benign here. */
+    uint64_t benign = 0;
+    uint64_t tests_dispatched = 0;
+    uint64_t total_sim_cycles = 0;
+    uint64_t slots_sum = 0;
+    DetectionHistogram detections;
+
+    CampaignTiming timing;
+
+    double detection_rate() const
+    {
+        return jobs.empty() ? 0.0
+                            : double(detected) / double(jobs.size());
+    }
+    /** Escapes over corrupting injections (the paper's SDC risk). */
+    double escape_rate() const
+    {
+        return corrupting ? double(escapes) / double(corrupting) : 0.0;
+    }
+    double mean_latency_slots() const
+    {
+        return detected ? double(slots_sum) / double(detected) : 0.0;
+    }
+
+    /**
+     * Serialize. @p include_timing adds the wall-clock object;
+     * @p include_jobs adds the per-job array (large campaigns may
+     * want aggregates only).
+     */
+    std::string to_json(bool include_timing = true,
+                        bool include_jobs = true) const;
+};
+
+/**
+ * Fold per-job results (keyed by job id, order-independent) into a
+ * report. @p num_pairs sizes the per-pair table so uninjected pairs
+ * still appear with zero counts.
+ */
+CampaignReport aggregate_report(const std::vector<JobResult> &jobs,
+                                size_t num_pairs);
+
+} // namespace vega::campaign

@@ -1,0 +1,126 @@
+#include "campaign/thread_pool.h"
+
+namespace vega::campaign {
+
+namespace {
+
+/** Which pool (and worker slot) the current thread belongs to. */
+thread_local const ThreadPool *tl_pool = nullptr;
+thread_local size_t tl_worker = 0;
+
+} // namespace
+
+ThreadPool::ThreadPool(size_t num_threads)
+{
+    if (num_threads == 0) {
+        num_threads = std::thread::hardware_concurrency();
+        if (num_threads == 0)
+            num_threads = 1;
+    }
+    queues_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i)
+        queues_.push_back(std::make_unique<WorkerQueue>());
+    workers_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i)
+        workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    size_t wid = tl_pool == this ? tl_worker
+                                 : rr_.fetch_add(1) % queues_.size();
+    // Count before pushing so a worker can never decrement queued_
+    // below the number of visible tasks.
+    queued_.fetch_add(1);
+    {
+        std::lock_guard<std::mutex> lk(queues_[wid]->mu);
+        queues_[wid]->tasks.push_back(std::move(task));
+    }
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++pending_;
+    }
+    work_cv_.notify_one();
+}
+
+bool
+ThreadPool::take_task(size_t wid, std::function<void()> &out)
+{
+    {
+        WorkerQueue &own = *queues_[wid];
+        std::lock_guard<std::mutex> lk(own.mu);
+        if (!own.tasks.empty()) {
+            out = std::move(own.tasks.back());
+            own.tasks.pop_back();
+            queued_.fetch_sub(1);
+            return true;
+        }
+    }
+    for (size_t i = 1; i < queues_.size(); ++i) {
+        WorkerQueue &victim = *queues_[(wid + i) % queues_.size()];
+        std::lock_guard<std::mutex> lk(victim.mu);
+        if (!victim.tasks.empty()) {
+            out = std::move(victim.tasks.front());
+            victim.tasks.pop_front();
+            queued_.fetch_sub(1);
+            steals_.fetch_add(1);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::worker_loop(size_t wid)
+{
+    tl_pool = this;
+    tl_worker = wid;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            work_cv_.wait(
+                lk, [&] { return stop_ || queued_.load() > 0; });
+        }
+        std::function<void()> task;
+        if (take_task(wid, task)) {
+            task();
+            executed_.fetch_add(1);
+            bool idle;
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                idle = --pending_ == 0;
+            }
+            if (idle)
+                idle_cv_.notify_all();
+            // A finished task may have spawned work: give a sleeping
+            // sibling a chance to pick it up.
+            if (queued_.load() > 0)
+                work_cv_.notify_one();
+        } else {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (stop_)
+                return;
+        }
+    }
+}
+
+void
+ThreadPool::wait_idle()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    idle_cv_.wait(lk, [&] { return pending_ == 0; });
+}
+
+} // namespace vega::campaign

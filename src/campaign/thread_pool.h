@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Work-stealing thread pool for campaign fan-out.
+ *
+ * Each worker owns a deque: it pushes and pops work at the back (LIFO,
+ * cache-friendly for nested submits) and victims are robbed from the
+ * front (FIFO, steals the oldest — largest — subtrees). Tasks submitted
+ * from outside the pool are sprayed round-robin across the queues;
+ * tasks submitted from inside a worker land on that worker's own deque.
+ *
+ * The pool makes no ordering promises, so campaign determinism never
+ * relies on it: jobs write results into slots keyed by job id.
+ */
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vega::campaign {
+
+class ThreadPool
+{
+  public:
+    /** Spawns @p num_threads workers (0 ⇒ hardware_concurrency). */
+    explicit ThreadPool(size_t num_threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    size_t size() const { return workers_.size(); }
+
+    /** Enqueue @p task; it may start before submit returns. */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished. */
+    void wait_idle();
+
+    /** Tasks completed over the pool's lifetime. */
+    uint64_t executed() const { return executed_.load(); }
+    /** Tasks a worker took from another worker's deque. */
+    uint64_t steals() const { return steals_.load(); }
+
+  private:
+    struct WorkerQueue
+    {
+        std::mutex mu;
+        std::deque<std::function<void()>> tasks;
+    };
+
+    void worker_loop(size_t wid);
+    /** Pop from own back, else steal from another front. */
+    bool take_task(size_t wid, std::function<void()> &out);
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mu_; ///< guards sleeping workers, pending_, stop_
+    std::condition_variable work_cv_;
+    std::condition_variable idle_cv_;
+    uint64_t pending_ = 0; ///< submitted but not yet finished
+    bool stop_ = false;
+
+    std::atomic<uint64_t> queued_{0}; ///< submitted but not yet taken
+    std::atomic<uint64_t> executed_{0};
+    std::atomic<uint64_t> steals_{0};
+    std::atomic<size_t> rr_{0};
+};
+
+} // namespace vega::campaign

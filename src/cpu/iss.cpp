@@ -27,6 +27,7 @@ Iss::reset()
     instret_ = 0;
     halted_ = false;
     stalled_ = false;
+    trapped_ = false;
     fu_trace_.clear();
     std::fill(exec_counts_.begin(), exec_counts_.end(), 0);
 }
@@ -34,7 +35,7 @@ Iss::reset()
 uint32_t
 Iss::read_u32(uint32_t addr) const
 {
-    VEGA_CHECK(addr + 4 <= mem_.size(), "load out of bounds: ", addr);
+    VEGA_CHECK(mem_ok(addr, 4), "load out of bounds: ", addr);
     uint32_t v;
     std::memcpy(&v, &mem_[addr], 4);
     return v;
@@ -43,7 +44,7 @@ Iss::read_u32(uint32_t addr) const
 void
 Iss::write_u32(uint32_t addr, uint32_t value)
 {
-    VEGA_CHECK(addr + 4 <= mem_.size(), "store out of bounds: ", addr);
+    VEGA_CHECK(mem_ok(addr, 4), "store out of bounds: ", addr);
     std::memcpy(&mem_[addr], &value, 4);
 }
 
@@ -67,11 +68,15 @@ Iss::run()
     while (!halted_) {
         if (stalled_)
             return Status::Stalled;
+        if (trapped_)
+            return Status::Trap;
         if (instret_ >= cfg_.max_instructions)
             return Status::Watchdog;
         step();
     }
-    return stalled_ ? Status::Stalled : Status::Halted;
+    if (stalled_)
+        return Status::Stalled;
+    return trapped_ ? Status::Trap : Status::Halted;
 }
 
 namespace {
@@ -115,7 +120,12 @@ fpu_op_for(Op op)
 void
 Iss::step()
 {
-    VEGA_CHECK(pc_ < program_.size(), "pc out of program: ", pc_);
+    // A corrupted branch/jump target from a faulty backend can land
+    // anywhere; that's a trap, not an internal invariant violation.
+    if (pc_ >= program_.size()) {
+        trapped_ = true;
+        return;
+    }
     const Instr &i = program_[pc_];
     ++exec_counts_[pc_];
     ++instret_;
@@ -203,25 +213,56 @@ Iss::step()
         break;
 
       // --- Memory ----------------------------------------------------------
-      case Op::Lw:
-        set_reg(i.rd, read_u32(x_[i.rs1] + uint32_t(i.imm)));
+      // A faulty backend can corrupt an address register, so accesses
+      // trap on out-of-bounds instead of asserting.
+      case Op::Lw: {
+        uint32_t addr = x_[i.rs1] + uint32_t(i.imm);
+        if (!mem_ok(addr, 4)) {
+            trapped_ = true;
+            return;
+        }
+        set_reg(i.rd, read_u32(addr));
         ++cycles_; // load-use latency
         break;
-      case Op::Sw:
-        write_u32(x_[i.rs1] + uint32_t(i.imm), x_[i.rs2]);
+      }
+      case Op::Sw: {
+        uint32_t addr = x_[i.rs1] + uint32_t(i.imm);
+        if (!mem_ok(addr, 4)) {
+            trapped_ = true;
+            return;
+        }
+        write_u32(addr, x_[i.rs2]);
         break;
-      case Op::Lb:
-        set_reg(i.rd,
-                uint32_t(int32_t(int8_t(read_u8(x_[i.rs1] + uint32_t(i.imm))))));
+      }
+      case Op::Lb: {
+        uint32_t addr = x_[i.rs1] + uint32_t(i.imm);
+        if (!mem_ok(addr, 1)) {
+            trapped_ = true;
+            return;
+        }
+        set_reg(i.rd, uint32_t(int32_t(int8_t(read_u8(addr)))));
         ++cycles_;
         break;
-      case Op::Lbu:
-        set_reg(i.rd, read_u8(x_[i.rs1] + uint32_t(i.imm)));
+      }
+      case Op::Lbu: {
+        uint32_t addr = x_[i.rs1] + uint32_t(i.imm);
+        if (!mem_ok(addr, 1)) {
+            trapped_ = true;
+            return;
+        }
+        set_reg(i.rd, read_u8(addr));
         ++cycles_;
         break;
-      case Op::Sb:
-        write_u8(x_[i.rs1] + uint32_t(i.imm), uint8_t(x_[i.rs2]));
+      }
+      case Op::Sb: {
+        uint32_t addr = x_[i.rs1] + uint32_t(i.imm);
+        if (!mem_ok(addr, 1)) {
+            trapped_ = true;
+            return;
+        }
+        write_u8(addr, uint8_t(x_[i.rs2]));
         break;
+      }
 
       // --- Control ---------------------------------------------------------
       case Op::Beq: take_branch(x_[i.rs1] == x_[i.rs2]); break;

@@ -77,7 +77,14 @@ class FuBackend
 class Iss
 {
   public:
-    enum class Status { Halted, Watchdog, Stalled };
+    /**
+     * Why run() stopped. Trap means an access left the architectural
+     * envelope (pc outside the program, load/store outside memory) —
+     * expected when a faulty gate-level backend corrupts an address or
+     * branch target, so it ends the run instead of aborting the
+     * process.
+     */
+    enum class Status { Halted, Watchdog, Stalled, Trap };
 
     explicit Iss(std::vector<Instr> program, IssConfig cfg = {});
 
@@ -125,6 +132,11 @@ class Iss
 
   private:
     void step();
+    /** True when @p bytes at @p addr fit in memory (no u32 wrap). */
+    bool mem_ok(uint32_t addr, uint32_t bytes) const
+    {
+        return uint64_t(addr) + bytes <= mem_.size();
+    }
 
     std::vector<Instr> program_;
     IssConfig cfg_;
@@ -137,6 +149,7 @@ class Iss
     uint64_t instret_ = 0;
     bool halted_ = false;
     bool stalled_ = false;
+    bool trapped_ = false;
     std::vector<FuTraceEntry> fu_trace_;
     std::vector<uint64_t> exec_counts_;
     FuBackend *alu_backend_ = nullptr;

@@ -1,6 +1,7 @@
 #include "runtime/scheduler.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "common/logging.h"
@@ -23,8 +24,9 @@ Scheduler::Scheduler(size_t num_tests, SchedulePolicy policy,
     : n_(num_tests), policy_(policy), probability_(probability), rng_(seed)
 {
     VEGA_CHECK(n_ > 0, "scheduler needs at least one test");
-    VEGA_CHECK(probability_ > 0.0 && probability_ <= 1.0,
-               "probability range");
+    if (std::isnan(probability_))
+        probability_ = 0.0;
+    probability_ = std::clamp(probability_, 0.0, 1.0);
     order_.resize(n_);
     std::iota(order_.begin(), order_.end(), size_t(0));
     if (policy_ == SchedulePolicy::Random)

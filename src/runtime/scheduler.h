@@ -24,6 +24,12 @@ const char *schedule_policy_name(SchedulePolicy p);
 class Scheduler
 {
   public:
+    /**
+     * @param probability dispatch probability for the probabilistic
+     *        policy, clamped into [0, 1] (NaN ⇒ 0). p = 0 never
+     *        dispatches; p = 1 dispatches every slot, matching the
+     *        sequential policy's counts.
+     */
     Scheduler(size_t num_tests, SchedulePolicy policy,
               double probability = 1.0, uint64_t seed = 1);
 

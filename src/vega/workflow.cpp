@@ -1,6 +1,23 @@
 #include "vega/workflow.h"
 
+#include "rtl/adder2.h"
+#include "rtl/alu32.h"
+#include "rtl/fpu32.h"
+#include "rtl/mdu32.h"
+
 namespace vega {
+
+HwModule
+make_module(ModuleKind kind)
+{
+    switch (kind) {
+      case ModuleKind::Adder2: return rtl::make_adder2();
+      case ModuleKind::Alu32:  return rtl::make_alu32();
+      case ModuleKind::Fpu32:  return rtl::make_fpu32();
+      case ModuleKind::Mdu32:  return rtl::make_mdu32();
+    }
+    return rtl::make_alu32();
+}
 
 const std::vector<cpu::FuTraceEntry> &
 minver_trace()

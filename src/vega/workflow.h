@@ -50,4 +50,11 @@ WorkflowResult run_workflow(HwModule &module,
 /** Default workload: the minver kernel's functional-unit trace. */
 const std::vector<cpu::FuTraceEntry> &minver_trace();
 
+/**
+ * Build the placed-and-routed functional unit for @p kind — one call
+ * in front of the rtl/ generators so drivers (campaign CLI, benches)
+ * can select a module by name.
+ */
+HwModule make_module(ModuleKind kind);
+
 } // namespace vega

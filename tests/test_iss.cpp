@@ -152,6 +152,26 @@ TEST(Iss, WatchdogOnInfiniteLoop)
     EXPECT_EQ(iss.run(), Iss::Status::Watchdog);
 }
 
+TEST(Iss, OutOfBoundsStoreTraps)
+{
+    Asm a;
+    a.li(5, 0x80001001); // far outside the 1 MiB memory
+    a.sw(5, 5, 0);
+    a.halt();
+    Iss iss(a.finish());
+    EXPECT_EQ(iss.run(), Iss::Status::Trap);
+}
+
+TEST(Iss, WildJumpTraps)
+{
+    Asm a;
+    a.li(5, 0x7ffffff0);
+    a.jalr(1, 5, 0); // lands far past the end of the program
+    a.halt();
+    Iss iss(a.finish());
+    EXPECT_EQ(iss.run(), Iss::Status::Trap);
+}
+
 TEST(Iss, CycleCountingChargesBranchesAndLoads)
 {
     Asm a;

@@ -71,6 +71,41 @@ TEST(Scheduler, ProbabilityOneNeverSkips)
         EXPECT_TRUE(s.next().has_value());
 }
 
+TEST(Scheduler, ProbabilityZeroDispatchesNothing)
+{
+    Scheduler s(3, SchedulePolicy::Probabilistic, 0.0, 5);
+    for (int i = 0; i < 500; ++i)
+        EXPECT_FALSE(s.next().has_value());
+    EXPECT_EQ(s.slots(), 500u);
+    EXPECT_EQ(s.dispatched(), 0u);
+}
+
+TEST(Scheduler, ProbabilityOneMatchesSequentialCounts)
+{
+    Scheduler prob(4, SchedulePolicy::Probabilistic, 1.0, 9);
+    Scheduler seq(4, SchedulePolicy::Sequential, 1.0, 9);
+    for (int i = 0; i < 40; ++i) {
+        auto a = prob.next();
+        auto b = seq.next();
+        ASSERT_TRUE(a.has_value());
+        ASSERT_TRUE(b.has_value());
+        EXPECT_EQ(*a, *b);
+    }
+    EXPECT_EQ(prob.dispatched(), seq.dispatched());
+    EXPECT_EQ(prob.slots(), seq.slots());
+}
+
+TEST(Scheduler, OutOfRangeProbabilityIsClamped)
+{
+    Scheduler hi(2, SchedulePolicy::Probabilistic, 7.5, 1);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_TRUE(hi.next().has_value());
+    Scheduler lo(2, SchedulePolicy::Probabilistic, -3.0, 1);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_FALSE(lo.next().has_value());
+    EXPECT_EQ(lo.dispatched(), 0u);
+}
+
 TEST(AgingLibrary, RunAllPassesOnGoldenEngine)
 {
     AgingLibrary lib(small_suite(), {});
