@@ -17,6 +17,7 @@
 #include <string>
 
 #include "campaign/campaign.h"
+#include "common/fs.h"
 #include "vega/workflow.h"
 
 using namespace vega;
@@ -52,6 +53,12 @@ usage(const char *argv0)
         "(default 2x suite)\n"
         "  --out FILE             report path (default "
         "campaign_report.json)\n"
+        "  --journal FILE         checkpoint completed jobs to FILE "
+        "(crash-safe)\n"
+        "  --resume               reload the journal and skip "
+        "recorded jobs\n"
+        "  --retries N            attempts per job before quarantine "
+        "(default 3)\n"
         "  --aggregate-only       omit the per-job array from the "
         "JSON\n"
         "  --quiet                suppress progress lines\n",
@@ -113,6 +120,19 @@ parse_args(int argc, char **argv, CliOptions &opt)
             if (!v)
                 return false;
             opt.out = v;
+        } else if (arg == "--journal") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.campaign.journal_path = v;
+        } else if (arg == "--resume") {
+            opt.campaign.resume = true;
+        } else if (arg == "--retries") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.campaign.max_job_attempts =
+                int(std::strtol(v, nullptr, 10));
         } else if (arg == "--aggregate-only") {
             opt.per_job_json = false;
         } else if (arg == "--quiet") {
@@ -153,8 +173,13 @@ main(int argc, char **argv)
     wf_cfg.lift.max_pairs = opt.workflow_max_pairs;
     wf_cfg.lift.bmc.max_frames = 4;
     // The bench-suite budget: hard unreachability proofs give up as
-    // Timeout instead of stalling the campaign setup.
+    // Timeout instead of stalling the campaign setup — after climbing
+    // the retry ladder (escalating budgets, then a fuzz fallback)
+    // rather than on the first stall.
     wf_cfg.lift.bmc.conflict_budget = 400000;
+    wf_cfg.lift.formal_attempts = 2;
+    wf_cfg.lift.formal_budget_growth = 4.0;
+    wf_cfg.lift.degrade_to_fuzz = true;
     std::printf("running workflow (max_pairs=%zu)...\n",
                 opt.workflow_max_pairs);
     WorkflowResult wf =
@@ -167,8 +192,18 @@ main(int argc, char **argv)
     }
 
     // Phase 3 at scale: the injection campaign.
-    campaign::CampaignReport report =
-        campaign::run_campaign(module, wf, opt.campaign);
+    std::vector<sta::EndpointPair> pairs;
+    pairs.reserve(wf.lift.pairs.size());
+    for (const auto &pr : wf.lift.pairs)
+        pairs.push_back(pr.pair);
+    Expected<campaign::CampaignReport> run = campaign::try_run_campaign(
+        module, pairs, wf.suite, opt.campaign);
+    if (!run) {
+        std::fprintf(stderr, "campaign failed: %s\n",
+                     run.error().to_string().c_str());
+        return 1;
+    }
+    campaign::CampaignReport report = std::move(run).value();
 
     std::printf("\ncampaign totals over %zu jobs:\n",
                 report.jobs.size());
@@ -182,6 +217,10 @@ main(int argc, char **argv)
                 100.0 * report.escape_rate());
     std::printf("  benign      %llu\n",
                 (unsigned long long)report.benign);
+    if (report.failed)
+        std::printf("  quarantined %llu (see failed_jobs in the "
+                    "report)\n",
+                    (unsigned long long)report.failed);
     std::printf("  mean detection latency %.2f scheduler slots\n",
                 report.mean_latency_slots());
     std::printf("  %.2fs wall, %.1f jobs/s, %.0f sims/s, %zu "
@@ -190,15 +229,15 @@ main(int argc, char **argv)
                 report.timing.sims_per_sec, report.timing.threads,
                 (unsigned long long)report.timing.steals);
 
+    // Write-temp-then-rename: a crash mid-write never leaves a
+    // truncated report where a previous good one stood.
     std::string json = report.to_json(true, opt.per_job_json);
-    FILE *f = std::fopen(opt.out.c_str(), "w");
-    if (!f) {
-        std::fprintf(stderr, "cannot write %s\n", opt.out.c_str());
+    Expected<void> wrote = write_file_atomic(opt.out, json + "\n");
+    if (!wrote) {
+        std::fprintf(stderr, "cannot write %s: %s\n", opt.out.c_str(),
+                     wrote.error().to_string().c_str());
         return 1;
     }
-    std::fwrite(json.data(), 1, json.size(), f);
-    std::fputc('\n', f);
-    std::fclose(f);
     std::printf("report written to %s\n", opt.out.c_str());
     return 0;
 }

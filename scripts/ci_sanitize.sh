@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 test suite under AddressSanitizer + UBSanitizer.
+#
+# Mirrors the plain tier-1 job (`cmake -B build && ctest`) but with
+# VEGA_SANITIZE=ON, so memory and UB bugs in the fault-tolerance paths
+# (journal parsing, campaign retry, escalation ladder) fail CI instead
+# of shipping. Usage:
+#
+#   scripts/ci_sanitize.sh [extra ctest args...]
+#
+# Uses the `sanitize` preset from CMakePresets.json when the local
+# CMake is new enough, and falls back to explicit flags otherwise.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="$repo/build-sanitize"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+
+cmake -S "$repo" -B "$build" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DVEGA_SANITIZE=ON
+cmake --build "$build" -j "$jobs"
+ctest --test-dir "$build" --output-on-failure -j "$jobs" "$@"

@@ -1,10 +1,14 @@
 #include "campaign/campaign.h"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
 #include <optional>
 
 #include "campaign/engine.h"
+#include "campaign/journal.h"
 #include "campaign/thread_pool.h"
+#include "common/fs.h"
 #include "common/logging.h"
 
 namespace vega::campaign {
@@ -81,23 +85,86 @@ run_job(ModuleKind kind, const lift::FailingNetlist &failing,
 
 } // namespace
 
-CampaignReport
-run_campaign(const HwModule &module,
-             const std::vector<sta::EndpointPair> &pairs,
-             const std::vector<runtime::TestCase> &suite,
-             const CampaignConfig &config)
+Expected<CampaignReport>
+try_run_campaign(const HwModule &module,
+                 const std::vector<sta::EndpointPair> &pairs,
+                 const std::vector<runtime::TestCase> &suite,
+                 const CampaignConfig &config)
 {
-    VEGA_CHECK(!pairs.empty(), "campaign needs endpoint pairs");
-    VEGA_CHECK(!suite.empty(), "campaign needs a non-empty suite");
-    VEGA_CHECK(!config.constants.empty(), "campaign needs constants");
-    VEGA_CHECK(!config.policies.empty(), "campaign needs policies");
-    VEGA_CHECK(config.num_jobs > 0, "campaign needs jobs");
+    if (pairs.empty())
+        return make_error(ErrorCode::InvalidArgument,
+                          "campaign needs endpoint pairs");
+    if (suite.empty())
+        return make_error(ErrorCode::InvalidArgument,
+                          "campaign needs a non-empty suite");
+    if (config.constants.empty())
+        return make_error(ErrorCode::InvalidArgument,
+                          "campaign needs constants");
+    if (config.policies.empty())
+        return make_error(ErrorCode::InvalidArgument,
+                          "campaign needs policies");
+    if (config.num_jobs == 0)
+        return make_error(ErrorCode::InvalidArgument,
+                          "campaign needs jobs");
 
     CampaignConfig cfg = config;
     if (cfg.max_slots == 0)
         cfg.max_slots = 2 * suite.size();
     size_t npairs = std::min(cfg.max_pairs, pairs.size());
     size_t nconst = cfg.constants.size();
+    int max_attempts = std::max(1, cfg.max_job_attempts);
+
+    JournalHeader header;
+    header.module = module_kind_name(module.kind);
+    header.seed = cfg.seed;
+    header.num_jobs = cfg.num_jobs;
+    header.num_pairs = npairs;
+    header.num_constants = nconst;
+    header.num_policies = cfg.policies.size();
+    header.max_slots = cfg.max_slots;
+    header.suite_size = suite.size();
+    header.probability = cfg.probability;
+
+    // Results keyed by job id; `skip` marks jobs already settled by a
+    // prior run (completed or quarantined — quarantine is sticky).
+    std::vector<std::optional<JobResult>> done(cfg.num_jobs);
+    std::vector<FailedJob> failed;
+    std::vector<char> skip(cfg.num_jobs, 0);
+
+    JournalWriter journal;
+    if (!cfg.journal_path.empty()) {
+        JournalState prior;
+        const JournalState *prior_ptr = nullptr;
+        if (cfg.resume && file_exists(cfg.journal_path)) {
+            Expected<JournalState> st = read_journal(cfg.journal_path);
+            if (!st)
+                return st.error();
+            if (!(st->header == header))
+                return make_error(
+                    ErrorCode::JournalMismatch,
+                    cfg.journal_path + ": journal '" +
+                        st->header.to_string() +
+                        "' was written by a different campaign "
+                        "configuration ('" +
+                        header.to_string() + "')");
+            prior = std::move(*st);
+            prior_ptr = &prior;
+            for (const JobResult &r : prior.completed)
+                if (r.id < cfg.num_jobs && !skip[r.id]) {
+                    done[r.id] = r;
+                    skip[r.id] = 1;
+                }
+            for (const FailedJob &f : prior.failed)
+                if (f.id < cfg.num_jobs && !skip[f.id]) {
+                    failed.push_back(f);
+                    skip[f.id] = 1;
+                }
+        }
+        Expected<void> opened =
+            journal.open(cfg.journal_path, header, prior_ptr);
+        if (!opened)
+            return opened.error();
+    }
 
     auto t0 = std::chrono::steady_clock::now();
     ThreadPool pool(cfg.threads);
@@ -109,20 +176,29 @@ run_campaign(const HwModule &module,
     // Characterization pass: once per unique (pair, constant) fault —
     // never per job — build the failing netlist and probe whether it
     // corrupts the representative workload. The netlists are kept and
-    // shared read-only by every job that injects the same fault.
+    // shared read-only by every job that injects the same fault. A
+    // characterization that throws poisons only the jobs that depend
+    // on that fault; they quarantine instead of crashing the run.
     std::vector<lift::FailingNetlist> faults(npairs * nconst);
     std::vector<char> corrupts(npairs * nconst, 0);
+    std::vector<std::string> char_error(npairs * nconst);
     for (size_t pi = 0; pi < npairs; ++pi) {
         for (size_t ci = 0; ci < nconst; ++ci) {
             pool.submit([&, pi, ci] {
                 size_t idx = pi * nconst + ci;
-                faults[idx] = lift::build_failing_netlist(
-                    module.netlist,
-                    fault_spec(pairs[pi], cfg.constants[ci]));
-                uint64_t seed = job_stream(~cfg.seed, uint64_t(idx));
-                corrupts[idx] = workload_corrupts(
-                    module.kind, faults[idx].netlist,
-                    faults[idx].has_random_input, seed);
+                try {
+                    faults[idx] = lift::build_failing_netlist(
+                        module.netlist,
+                        fault_spec(pairs[pi], cfg.constants[ci]));
+                    uint64_t seed = job_stream(~cfg.seed, uint64_t(idx));
+                    corrupts[idx] = workload_corrupts(
+                        module.kind, faults[idx].netlist,
+                        faults[idx].has_random_input, seed);
+                } catch (const std::exception &e) {
+                    char_error[idx] = e.what();
+                } catch (...) {
+                    char_error[idx] = "non-standard exception";
+                }
                 if (meter)
                     meter->job_done(0);
             });
@@ -131,26 +207,116 @@ run_campaign(const HwModule &module,
     pool.wait_idle();
 
     // Injection pass: the Monte Carlo jobs proper. Results land in
-    // slots keyed by job id, so completion order is irrelevant.
-    std::vector<JobResult> results(cfg.num_jobs);
+    // slots keyed by job id, so completion order is irrelevant. A job
+    // that throws retries with a fresh (deterministically derived)
+    // seed; one that fails every attempt is quarantined. Every settled
+    // job is checkpointed to the journal before the campaign moves on.
+    std::mutex state_mu;
+    std::atomic<bool> stop{false};
+    size_t completed_this_run = 0;
+    std::optional<VegaError> journal_error;
     for (uint64_t id = 0; id < cfg.num_jobs; ++id) {
+        if (skip[id])
+            continue;
         JobSpec spec = make_spec(cfg, npairs, id);
         size_t ci = size_t(
             std::find(cfg.constants.begin(), cfg.constants.end(),
                       spec.constant) -
             cfg.constants.begin());
         size_t idx = spec.pair_index * nconst + ci;
-        bool corrupting = corrupts[idx] != 0;
-        pool.submit([&, spec, idx, corrupting] {
-            results[spec.id] = run_job(module.kind, faults[idx], suite,
-                                       spec, corrupting);
+        pool.submit([&, spec, idx] {
+            if (stop.load(std::memory_order_relaxed))
+                return;
+            if (!char_error[idx].empty()) {
+                FailedJob f;
+                f.id = spec.id;
+                f.pair_index = spec.pair_index;
+                f.attempts = 0;
+                f.error = make_error(ErrorCode::JobFailed,
+                                     "characterization: " +
+                                         char_error[idx]);
+                std::lock_guard<std::mutex> lk(state_mu);
+                failed.push_back(f);
+                if (journal.is_open() && !journal_error) {
+                    Expected<void> w = journal.record(f);
+                    if (!w)
+                        journal_error = w.error();
+                }
+                return;
+            }
+            bool corrupting = corrupts[idx] != 0;
+            JobSpec attempt_spec = spec;
+            JobResult jr;
+            VegaError last;
+            bool ok = false;
+            for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+                try {
+                    if (cfg.job_fault_hook)
+                        cfg.job_fault_hook(spec, attempt);
+                    jr = run_job(module.kind, faults[idx], suite,
+                                 attempt_spec, corrupting);
+                    jr.attempts = uint32_t(attempt);
+                    ok = true;
+                    break;
+                } catch (const std::exception &e) {
+                    last = make_error(ErrorCode::JobFailed,
+                                      "attempt " +
+                                          std::to_string(attempt) +
+                                          ": " + e.what());
+                } catch (...) {
+                    last = make_error(ErrorCode::JobFailed,
+                                      "attempt " +
+                                          std::to_string(attempt) +
+                                          ": non-standard exception");
+                }
+                // Fresh downstream randomness for the retry, still a
+                // pure function of (campaign seed, job id, attempt).
+                uint64_t stream = job_stream(
+                    cfg.seed ^
+                        (0x9e3779b97f4a7c15ull * uint64_t(attempt)),
+                    spec.id);
+                attempt_spec.seed = splitmix64(stream);
+            }
+            std::lock_guard<std::mutex> lk(state_mu);
+            if (ok) {
+                done[spec.id] = jr;
+                if (journal.is_open() && !journal_error) {
+                    Expected<void> w = journal.record(jr);
+                    if (!w)
+                        journal_error = w.error();
+                }
+                ++completed_this_run;
+                if (cfg.stop_after_jobs &&
+                    completed_this_run >= cfg.stop_after_jobs)
+                    stop.store(true, std::memory_order_relaxed);
+            } else {
+                FailedJob f;
+                f.id = spec.id;
+                f.pair_index = spec.pair_index;
+                f.attempts = uint32_t(max_attempts);
+                f.error = last;
+                failed.push_back(f);
+                if (journal.is_open() && !journal_error) {
+                    Expected<void> w = journal.record(f);
+                    if (!w)
+                        journal_error = w.error();
+                }
+            }
             if (meter)
-                meter->job_done(results[spec.id].sim_cycles);
+                meter->job_done(ok ? jr.sim_cycles : 0);
         });
     }
     pool.wait_idle();
+    if (journal_error)
+        return *journal_error;
 
-    CampaignReport report = aggregate_report(results, npairs);
+    std::vector<JobResult> results;
+    results.reserve(cfg.num_jobs);
+    for (uint64_t id = 0; id < cfg.num_jobs; ++id)
+        if (done[id])
+            results.push_back(*done[id]);
+
+    CampaignReport report = aggregate_report(results, npairs, failed);
     report.module = module_kind_name(module.kind);
     report.seed = cfg.seed;
     report.max_slots = cfg.max_slots;
@@ -164,7 +330,7 @@ run_campaign(const HwModule &module,
             .count();
     report.timing.wall_seconds = wall;
     report.timing.jobs_per_sec =
-        wall > 0 ? double(cfg.num_jobs) / wall : 0.0;
+        wall > 0 ? double(results.size()) / wall : 0.0;
     report.timing.sims_per_sec =
         wall > 0 ? double(report.total_sim_cycles) / wall : 0.0;
     report.timing.threads = pool.size();
@@ -172,6 +338,18 @@ run_campaign(const HwModule &module,
     if (meter)
         meter->finish();
     return report;
+}
+
+CampaignReport
+run_campaign(const HwModule &module,
+             const std::vector<sta::EndpointPair> &pairs,
+             const std::vector<runtime::TestCase> &suite,
+             const CampaignConfig &config)
+{
+    Expected<CampaignReport> report =
+        try_run_campaign(module, pairs, suite, config);
+    VEGA_CHECK(report.ok(), "campaign: ", report.error().to_string());
+    return std::move(report).value();
 }
 
 CampaignReport

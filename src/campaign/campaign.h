@@ -23,11 +23,14 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "campaign/job.h"
 #include "campaign/progress.h"
 #include "campaign/report.h"
+#include "common/error.h"
 #include "rtl/module.h"
 #include "sta/sta.h"
 #include "vega/workflow.h"
@@ -60,6 +63,25 @@ struct CampaignConfig
     std::chrono::milliseconds progress_interval{2000};
     /** Override the progress sink (tests use this; implies progress). */
     ProgressMeter::Sink progress_sink;
+
+    // Fault tolerance.
+    /** Checkpoint journal path; empty disables journaling. */
+    std::string journal_path;
+    /** Reload an existing journal at journal_path and skip its jobs. */
+    bool resume = false;
+    /** Attempts per job (fresh seed each retry) before quarantine. */
+    int max_job_attempts = 3;
+    /**
+     * Test hook simulating a mid-campaign kill: stop scheduling new
+     * jobs once this many injection jobs have completed (0 = off).
+     * The returned report covers only the completed jobs.
+     */
+    size_t stop_after_jobs = 0;
+    /**
+     * Test hook run before each job attempt (1-based); a throw counts
+     * as that attempt failing, feeding the retry/quarantine path.
+     */
+    std::function<void(const JobSpec &, int attempt)> job_fault_hook;
 };
 
 /**
@@ -72,6 +94,19 @@ CampaignReport run_campaign(const HwModule &module,
                             const std::vector<sta::EndpointPair> &pairs,
                             const std::vector<runtime::TestCase> &suite,
                             const CampaignConfig &config = {});
+
+/**
+ * Non-aborting run_campaign: configuration problems come back as
+ * InvalidArgument and journal problems as IoError / JournalCorrupt /
+ * JournalMismatch instead of panicking. Jobs that throw are retried
+ * with fresh seeds up to max_job_attempts times, then quarantined as
+ * failed_jobs entries — a poisoned job never takes the campaign down.
+ */
+Expected<CampaignReport>
+try_run_campaign(const HwModule &module,
+                 const std::vector<sta::EndpointPair> &pairs,
+                 const std::vector<runtime::TestCase> &suite,
+                 const CampaignConfig &config = {});
 
 /** Convenience: campaign over a finished workflow's artifacts. */
 CampaignReport run_campaign(const HwModule &module,

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 
+#include "common/error.h"
 #include "lift/failure_model.h"
 #include "runtime/scheduler.h"
 #include "runtime/test_case.h"
@@ -78,6 +79,24 @@ struct JobResult
     bool corrupts_workload = false;
     /** Corrupting and undetected: a silent-data-corruption escape. */
     bool escape = false;
+
+    /** Attempts this result took (1 = first try; >1 after retries). */
+    uint32_t attempts = 1;
+};
+
+/**
+ * A job quarantined after exhausting its retry budget: every attempt
+ * trapped or threw. The campaign records it instead of aborting — one
+ * poisoned job must not sink the other few thousand.
+ */
+struct FailedJob
+{
+    uint64_t id = 0;
+    size_t pair_index = 0;
+    /** Attempts spent before quarantine (0 = characterization failed). */
+    uint32_t attempts = 0;
+    /** Last attempt's error (code JobFailed unless more specific). */
+    VegaError error;
 };
 
 } // namespace vega::campaign

@@ -1,0 +1,280 @@
+#include "campaign/journal.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/fs.h"
+#include "runtime/test_case.h"
+
+namespace vega::campaign {
+
+namespace {
+
+constexpr const char *kMagic = "# vega campaign journal v1";
+
+/** %.17g round-trips every double through text exactly. */
+std::string
+render_double(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+bool
+parse_constant(const std::string &tok, lift::FaultConstant &out)
+{
+    for (lift::FaultConstant c :
+         {lift::FaultConstant::Zero, lift::FaultConstant::One,
+          lift::FaultConstant::RandomInput})
+        if (tok == lift::fault_constant_name(c)) {
+            out = c;
+            return true;
+        }
+    return false;
+}
+
+bool
+parse_policy(const std::string &tok, runtime::SchedulePolicy &out)
+{
+    for (runtime::SchedulePolicy p :
+         {runtime::SchedulePolicy::Sequential,
+          runtime::SchedulePolicy::Random,
+          runtime::SchedulePolicy::Probabilistic})
+        if (tok == runtime::schedule_policy_name(p)) {
+            out = p;
+            return true;
+        }
+    return false;
+}
+
+bool
+parse_detection(const std::string &tok, runtime::Detection &out)
+{
+    for (runtime::Detection d :
+         {runtime::Detection::None, runtime::Detection::Mismatch,
+          runtime::Detection::Stall, runtime::Detection::TagAnomaly})
+        if (tok == runtime::detection_name(d)) {
+            out = d;
+            return true;
+        }
+    return false;
+}
+
+/** "key=value" fields of the config line, order-sensitive. */
+bool
+take_field(std::istringstream &ls, const char *key, std::string &out)
+{
+    std::string tok;
+    if (!(ls >> tok))
+        return false;
+    std::string prefix = std::string(key) + "=";
+    if (tok.compare(0, prefix.size(), prefix) != 0)
+        return false;
+    out = tok.substr(prefix.size());
+    return !out.empty();
+}
+
+bool
+take_u64(std::istringstream &ls, const char *key, uint64_t &out)
+{
+    std::string v;
+    if (!take_field(ls, key, v))
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(v.c_str(), &end, 10);
+    return end && *end == '\0';
+}
+
+} // namespace
+
+bool
+JournalHeader::operator==(const JournalHeader &o) const
+{
+    return module == o.module && seed == o.seed &&
+           num_jobs == o.num_jobs && num_pairs == o.num_pairs &&
+           num_constants == o.num_constants &&
+           num_policies == o.num_policies && max_slots == o.max_slots &&
+           suite_size == o.suite_size &&
+           render_double(probability) == render_double(o.probability);
+}
+
+std::string
+JournalHeader::to_string() const
+{
+    std::ostringstream os;
+    os << "config module=" << module << " seed=" << seed
+       << " jobs=" << num_jobs << " pairs=" << num_pairs
+       << " constants=" << num_constants << " policies=" << num_policies
+       << " max_slots=" << max_slots << " suite=" << suite_size
+       << " probability=" << render_double(probability);
+    return os.str();
+}
+
+Expected<JournalState>
+read_journal(const std::string &path)
+{
+    Expected<std::string> text = read_file(path);
+    if (!text)
+        return text.error();
+
+    JournalState state;
+    std::istringstream is(*text);
+    std::string line;
+    size_t line_no = 0;
+    bool have_magic = false, have_config = false;
+
+    auto corrupt = [&](const std::string &msg) {
+        return make_error(ErrorCode::JournalCorrupt,
+                          path + ":" + std::to_string(line_no) + ": " +
+                              msg);
+    };
+
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        if (!have_magic) {
+            if (line != kMagic)
+                return corrupt("missing journal magic");
+            have_magic = true;
+            continue;
+        }
+        std::istringstream ls(line);
+        std::string word;
+        ls >> word;
+        if (word == "config") {
+            if (have_config)
+                return corrupt("duplicate config line");
+            JournalHeader &h = state.header;
+            if (!take_field(ls, "module", h.module) ||
+                !take_u64(ls, "seed", h.seed) ||
+                !take_u64(ls, "jobs", h.num_jobs) ||
+                !take_u64(ls, "pairs", h.num_pairs) ||
+                !take_u64(ls, "constants", h.num_constants) ||
+                !take_u64(ls, "policies", h.num_policies) ||
+                !take_u64(ls, "max_slots", h.max_slots) ||
+                !take_u64(ls, "suite", h.suite_size))
+                return corrupt("malformed config line");
+            std::string prob;
+            if (!take_field(ls, "probability", prob))
+                return corrupt("malformed config line");
+            char *end = nullptr;
+            h.probability = std::strtod(prob.c_str(), &end);
+            if (!end || *end != '\0')
+                return corrupt("malformed probability");
+            have_config = true;
+        } else if (word == "job") {
+            if (!have_config)
+                return corrupt("job record before config line");
+            JobResult r;
+            std::string constant, policy, kind;
+            uint64_t pair = 0, detected = 0, corrupts = 0, escape = 0,
+                     attempts = 0;
+            if (!(ls >> r.id >> pair >> constant >> policy >> detected >>
+                  kind >> r.slots_to_detect >> r.tests_dispatched >>
+                  r.sim_cycles >> corrupts >> escape >> attempts))
+                return corrupt("malformed job record");
+            if (!parse_constant(constant, r.constant))
+                return corrupt("unknown constant '" + constant + "'");
+            if (!parse_policy(policy, r.policy))
+                return corrupt("unknown policy '" + policy + "'");
+            if (!parse_detection(kind, r.kind))
+                return corrupt("unknown detection kind '" + kind + "'");
+            r.pair_index = size_t(pair);
+            r.detected = detected != 0;
+            r.corrupts_workload = corrupts != 0;
+            r.escape = escape != 0;
+            r.attempts = uint32_t(attempts);
+            state.completed.push_back(std::move(r));
+        } else if (word == "failed") {
+            if (!have_config)
+                return corrupt("failed record before config line");
+            FailedJob f;
+            uint64_t pair = 0, attempts = 0;
+            std::string code;
+            if (!(ls >> f.id >> pair >> attempts >> code))
+                return corrupt("malformed failed record");
+            f.pair_index = size_t(pair);
+            f.attempts = uint32_t(attempts);
+            f.error.code = parse_error_code(code);
+            if (f.error.code == ErrorCode::Ok)
+                return corrupt("unknown error code '" + code + "'");
+            std::getline(ls, f.error.context);
+            if (!f.error.context.empty() && f.error.context[0] == ' ')
+                f.error.context.erase(0, 1);
+            state.failed.push_back(std::move(f));
+        } else {
+            return corrupt("unknown record '" + word + "'");
+        }
+    }
+    if (!have_magic)
+        return make_error(ErrorCode::JournalCorrupt,
+                          path + ": empty journal");
+    if (!have_config)
+        return make_error(ErrorCode::JournalCorrupt,
+                          path + ": no config line");
+    return state;
+}
+
+Expected<void>
+JournalWriter::open(const std::string &path, const JournalHeader &header,
+                    const JournalState *prior)
+{
+    path_ = path;
+    content_ = std::string(kMagic) + "\n" + header.to_string() + "\n";
+    if (prior) {
+        for (const JobResult &r : prior->completed) {
+            Expected<void> ok = record(r);
+            if (!ok)
+                return ok;
+        }
+        for (const FailedJob &f : prior->failed) {
+            Expected<void> ok = record(f);
+            if (!ok)
+                return ok;
+        }
+        return {};
+    }
+    return flush();
+}
+
+Expected<void>
+JournalWriter::record(const JobResult &r)
+{
+    std::ostringstream os;
+    os << "job " << r.id << " " << r.pair_index << " "
+       << lift::fault_constant_name(r.constant) << " "
+       << runtime::schedule_policy_name(r.policy) << " "
+       << (r.detected ? 1 : 0) << " " << runtime::detection_name(r.kind)
+       << " " << r.slots_to_detect << " " << r.tests_dispatched << " "
+       << r.sim_cycles << " " << (r.corrupts_workload ? 1 : 0) << " "
+       << (r.escape ? 1 : 0) << " " << r.attempts << "\n";
+    content_ += os.str();
+    return flush();
+}
+
+Expected<void>
+JournalWriter::record(const FailedJob &f)
+{
+    // The context rides to end-of-line; strip embedded newlines so one
+    // record stays one line.
+    std::string context = f.error.context;
+    for (char &c : context)
+        if (c == '\n' || c == '\r')
+            c = ' ';
+    std::ostringstream os;
+    os << "failed " << f.id << " " << f.pair_index << " " << f.attempts
+       << " " << error_code_name(f.error.code) << " " << context << "\n";
+    content_ += os.str();
+    return flush();
+}
+
+Expected<void>
+JournalWriter::flush()
+{
+    return write_file_atomic(path_, content_);
+}
+
+} // namespace vega::campaign

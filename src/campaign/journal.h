@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Crash-safe campaign journal.
+ *
+ * A long campaign that dies at job 9,000 of 10,000 — OOM kill, power
+ * loss, ctrl-C — should not forfeit the first 9,000 results. The
+ * journal checkpoints every completed (or quarantined) job as it
+ * lands; `vega_campaign --resume` reloads it, skips the recorded
+ * jobs, and produces a report byte-identical to an uninterrupted run
+ * (the determinism contract in campaign.h makes the remaining jobs
+ * independent of the interruption).
+ *
+ * Format: a line-oriented text file,
+ *
+ *   # vega campaign journal v1
+ *   config module=<m> seed=<s> jobs=<n> pairs=<p> constants=<c>
+ *          policies=<y> max_slots=<k> suite=<t> probability=<pr>
+ *   job <id> <pair> <constant> <policy> <detected> <kind> <slots>
+ *       <tests> <cycles> <corrupts> <escape> <attempts>
+ *   failed <id> <pair> <attempts> <code> <context...>
+ *
+ * (config and job lines are single lines; wrapped here for width.)
+ * Every append rewrites the file via write-temp-then-rename, so the
+ * on-disk journal is always a complete, parseable snapshot — a crash
+ * can lose at most the in-flight append, never corrupt the file. The
+ * config line fingerprints the campaign; resuming under a different
+ * configuration is refused with JournalMismatch rather than silently
+ * mixing incompatible results.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/job.h"
+#include "common/error.h"
+
+namespace vega::campaign {
+
+/** Campaign-configuration fingerprint stored in the config line. */
+struct JournalHeader
+{
+    std::string module;
+    uint64_t seed = 0;
+    uint64_t num_jobs = 0;
+    uint64_t num_pairs = 0;
+    uint64_t num_constants = 0;
+    uint64_t num_policies = 0;
+    uint64_t max_slots = 0;
+    uint64_t suite_size = 0;
+    double probability = 1.0;
+
+    bool operator==(const JournalHeader &o) const;
+    std::string to_string() const;
+};
+
+/** Everything a journal file records. */
+struct JournalState
+{
+    JournalHeader header;
+    std::vector<JobResult> completed;
+    std::vector<FailedJob> failed;
+};
+
+/**
+ * Parse a journal file. Unreadable => IoError; malformed lines =>
+ * JournalCorrupt with the line number.
+ */
+Expected<JournalState> read_journal(const std::string &path);
+
+/**
+ * Appends job records, rewriting the file atomically on every record
+ * so a crash at any instant leaves a valid journal on disk. Not
+ * thread-safe; the campaign serializes appends behind a mutex.
+ */
+class JournalWriter
+{
+  public:
+    JournalWriter() = default;
+
+    /**
+     * Start journaling to @p path with @p header, seeding the file
+     * with @p prior records (the resume case). Truncates any existing
+     * file — call read_journal first to recover its contents.
+     */
+    Expected<void> open(const std::string &path,
+                        const JournalHeader &header,
+                        const JournalState *prior = nullptr);
+
+    Expected<void> record(const JobResult &result);
+    Expected<void> record(const FailedJob &failure);
+
+    bool is_open() const { return !path_.empty(); }
+    const std::string &path() const { return path_; }
+
+  private:
+    Expected<void> flush();
+
+    std::string path_;
+    std::string content_;
+};
+
+} // namespace vega::campaign

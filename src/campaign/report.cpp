@@ -1,5 +1,6 @@
 #include "campaign/report.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace vega::campaign {
@@ -64,6 +65,36 @@ kv(std::string &out, const char *key, const char *v, bool comma = true)
         out += ',';
 }
 
+/** Error contexts are free text; escape them for JSON. */
+void
+kv_escaped(std::string &out, const char *key, const std::string &v,
+           bool comma = true)
+{
+    out += '"';
+    out += key;
+    out += "\":\"";
+    for (char c : v) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (uint8_t(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    if (comma)
+        out += ',';
+}
+
 void
 append_histogram(std::string &out, const DetectionHistogram &h)
 {
@@ -94,6 +125,7 @@ CampaignReport::to_json(bool include_timing, bool include_jobs) const
     kv(out, "corrupting", corrupting);
     kv(out, "escapes", escapes);
     kv(out, "benign", benign);
+    kv(out, "failed", failed);
     kv(out, "detection_rate", detection_rate());
     kv(out, "escape_rate", escape_rate());
     kv(out, "mean_latency_slots", mean_latency_slots());
@@ -150,11 +182,26 @@ CampaignReport::to_json(bool include_timing, bool include_jobs) const
             kv(out, "tests_dispatched", j.tests_dispatched);
             kv(out, "sim_cycles", j.sim_cycles);
             kv(out, "corrupts_workload", uint64_t(j.corrupts_workload));
-            kv(out, "escape", uint64_t(j.escape), false);
+            kv(out, "escape", uint64_t(j.escape));
+            kv(out, "attempts", uint64_t(j.attempts), false);
             out += '}';
         }
         out += ']';
     }
+    out += ",\"failed_jobs\":[";
+    for (size_t i = 0; i < failed_jobs.size(); ++i) {
+        const FailedJob &f = failed_jobs[i];
+        if (i)
+            out += ',';
+        out += '{';
+        kv(out, "id", f.id);
+        kv(out, "pair", uint64_t(f.pair_index));
+        kv(out, "attempts", uint64_t(f.attempts));
+        kv(out, "code", error_code_name(f.error.code));
+        kv_escaped(out, "context", f.error.context, false);
+        out += '}';
+    }
+    out += ']';
     if (include_timing) {
         out += ",\"timing\":{";
         kv(out, "wall_seconds", timing.wall_seconds);
@@ -171,8 +218,21 @@ CampaignReport::to_json(bool include_timing, bool include_jobs) const
 CampaignReport
 aggregate_report(const std::vector<JobResult> &jobs, size_t num_pairs)
 {
+    return aggregate_report(jobs, num_pairs, {});
+}
+
+CampaignReport
+aggregate_report(const std::vector<JobResult> &jobs, size_t num_pairs,
+                 std::vector<FailedJob> failed_jobs)
+{
     CampaignReport r;
     r.jobs = jobs;
+    std::sort(failed_jobs.begin(), failed_jobs.end(),
+              [](const FailedJob &a, const FailedJob &b) {
+                  return a.id < b.id;
+              });
+    r.failed_jobs = std::move(failed_jobs);
+    r.failed = r.failed_jobs.size();
     r.num_pairs = num_pairs;
     r.per_pair.resize(num_pairs);
     for (size_t i = 0; i < num_pairs; ++i)

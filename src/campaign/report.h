@@ -95,6 +95,8 @@ struct CampaignReport
     size_t num_pairs = 0;
 
     std::vector<JobResult> jobs;
+    /** Quarantined jobs (every retry failed), sorted by id. */
+    std::vector<FailedJob> failed_jobs;
     std::vector<PairStats> per_pair;
     std::vector<PolicyStats> per_policy;
 
@@ -104,6 +106,8 @@ struct CampaignReport
     uint64_t escapes = 0;
     /** Neither corrupting nor detected: the fault is benign here. */
     uint64_t benign = 0;
+    /** Jobs quarantined after exhausting their retry budget. */
+    uint64_t failed = 0;
     uint64_t tests_dispatched = 0;
     uint64_t total_sim_cycles = 0;
     uint64_t slots_sum = 0;
@@ -142,5 +146,10 @@ struct CampaignReport
  */
 CampaignReport aggregate_report(const std::vector<JobResult> &jobs,
                                 size_t num_pairs);
+
+/** As above, folding quarantined jobs into failed_jobs / totals. */
+CampaignReport aggregate_report(const std::vector<JobResult> &jobs,
+                                size_t num_pairs,
+                                std::vector<FailedJob> failed_jobs);
 
 } // namespace vega::campaign

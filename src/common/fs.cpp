@@ -1,0 +1,81 @@
+#include "common/fs.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define VEGA_HAVE_FSYNC 1
+#endif
+
+namespace vega {
+
+Expected<std::string>
+read_file(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return make_error(ErrorCode::IoError,
+                          "cannot open " + path + ": " +
+                              std::strerror(errno));
+    std::string content;
+    char buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        content.append(buf, n);
+    bool failed = std::ferror(f) != 0;
+    std::fclose(f);
+    if (failed)
+        return make_error(ErrorCode::IoError, "read failed on " + path);
+    return content;
+}
+
+bool
+file_exists(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    std::fclose(f);
+    return true;
+}
+
+std::string
+atomic_temp_path(const std::string &path)
+{
+    return path + ".tmp";
+}
+
+Expected<void>
+write_file_atomic(const std::string &path, const std::string &content)
+{
+    const std::string tmp = atomic_temp_path(path);
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        return make_error(ErrorCode::IoError,
+                          "cannot create " + tmp + ": " +
+                              std::strerror(errno));
+    bool ok = std::fwrite(content.data(), 1, content.size(), f) ==
+              content.size();
+    ok = std::fflush(f) == 0 && ok;
+#ifdef VEGA_HAVE_FSYNC
+    // The rename is only crash-safe if the data hits stable storage
+    // before the directory entry flips.
+    ok = fsync(fileno(f)) == 0 && ok;
+#endif
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok) {
+        std::remove(tmp.c_str());
+        return make_error(ErrorCode::IoError, "write failed on " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return make_error(ErrorCode::IoError,
+                          "rename " + tmp + " -> " + path + ": " +
+                              std::strerror(errno));
+    }
+    return {};
+}
+
+} // namespace vega

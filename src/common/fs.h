@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Crash-safe filesystem helpers.
+ *
+ * Every artifact Vega persists (campaign reports, checkpoint journals)
+ * goes through write_file_atomic: the content is written to a sibling
+ * temp file, flushed to stable storage, and renamed over the target.
+ * A killed process therefore never leaves a half-written file — readers
+ * see either the previous complete version or the new one.
+ */
+#pragma once
+
+#include <string>
+
+#include "common/error.h"
+
+namespace vega {
+
+/** Whole-file read. */
+Expected<std::string> read_file(const std::string &path);
+
+/** True when @p path exists and is readable. */
+bool file_exists(const std::string &path);
+
+/**
+ * The sibling temp path write_file_atomic stages through
+ * ("<path>.tmp"). Exposed so tests can assert the protocol.
+ */
+std::string atomic_temp_path(const std::string &path);
+
+/**
+ * Write @p content to @p path atomically: temp file, flush + fsync,
+ * rename. On failure the temp file is removed and @p path is left
+ * untouched.
+ */
+Expected<void> write_file_atomic(const std::string &path,
+                                 const std::string &content);
+
+} // namespace vega

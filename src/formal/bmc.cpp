@@ -44,6 +44,15 @@ extract_trace(const Netlist &nl, const Unroller &unroll, int frames)
     return w;
 }
 
+sat::SolveLimits
+query_limits(const BmcOptions &opts)
+{
+    sat::SolveLimits limits;
+    limits.conflict_budget = opts.conflict_budget;
+    limits.wall_seconds = opts.wall_budget_seconds;
+    return limits;
+}
+
 } // namespace
 
 BmcResult
@@ -63,7 +72,7 @@ check_cover(const Netlist &nl, NetId target, const BmcOptions &opts)
                 solver.add_clause(Lit(unroll.var(f, a), false));
         solver.add_clause(Lit(unroll.var(k - 1, target), false));
 
-        auto res = solver.solve(opts.conflict_budget);
+        auto res = solver.solve(query_limits(opts));
         result.conflicts += solver.num_conflicts();
         if (res == sat::Solver::Result::Sat) {
             result.status = BmcStatus::Covered;
@@ -93,7 +102,7 @@ check_cover(const Netlist &nl, NetId target, const BmcOptions &opts)
         solver.add_clause(Lit(unroll.var(0, target), false),
                           Lit(unroll.var(1, target), false));
 
-        auto res = solver.solve(opts.conflict_budget);
+        auto res = solver.solve(query_limits(opts));
         result.conflicts += solver.num_conflicts();
         if (res == sat::Solver::Result::Unsat) {
             result.status = BmcStatus::Unreachable;
@@ -114,6 +123,29 @@ check_cover(const Netlist &nl, NetId target, const BmcOptions &opts)
     result.proven_by_induction = false;
     result.frames = opts.max_frames;
     return result;
+}
+
+EscalatedBmcResult
+check_cover_escalating(const Netlist &nl, NetId target,
+                       const BmcOptions &opts,
+                       const EscalationPolicy &policy)
+{
+    EscalatedBmcResult out;
+    BmcOptions attempt_opts = opts;
+    int max_attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+    for (int attempt = 1;; ++attempt) {
+        out.result = check_cover(nl, target, attempt_opts);
+        out.attempts = attempt;
+        out.total_conflicts += out.result.conflicts;
+        if (out.result.status != BmcStatus::Timeout ||
+            attempt >= max_attempts)
+            return out;
+        // Escalate: grow both budgets geometrically for the retry.
+        attempt_opts.conflict_budget = int64_t(
+            double(attempt_opts.conflict_budget) * policy.budget_growth);
+        if (attempt_opts.wall_budget_seconds >= 0.0)
+            attempt_opts.wall_budget_seconds *= policy.budget_growth;
+    }
 }
 
 } // namespace vega::formal

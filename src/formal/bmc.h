@@ -32,6 +32,12 @@ struct BmcOptions
     /** SAT conflict budget per query; exceeded => Timeout ("FF"). */
     int64_t conflict_budget = 3000000;
     /**
+     * Wall-clock budget per SAT query in seconds; exceeded => Timeout.
+     * Negative disables the deadline (the default): the conflict budget
+     * alone bounds the query.
+     */
+    double wall_budget_seconds = -1.0;
+    /**
      * Nets that must be 1 in every frame — the paper's `assume property`
      * input restrictions (e.g. "op is a valid operation").
      */
@@ -67,5 +73,38 @@ struct BmcResult
  */
 BmcResult check_cover(const Netlist &nl, NetId target,
                       const BmcOptions &opts);
+
+/**
+ * Retry policy for check_cover_escalating: on Timeout, re-run with the
+ * conflict (and wall) budget grown geometrically, up to @p max_attempts
+ * total attempts.
+ */
+struct EscalationPolicy
+{
+    /** Total attempts, including the first (>= 1). */
+    int max_attempts = 1;
+    /** Budget multiplier applied between attempts (> 1 to escalate). */
+    double budget_growth = 4.0;
+};
+
+struct EscalatedBmcResult
+{
+    BmcResult result;
+    /** Attempts actually spent (1 = first try sufficed). */
+    int attempts = 1;
+    /** Conflicts summed over every attempt. */
+    uint64_t total_conflicts = 0;
+};
+
+/**
+ * check_cover wrapped in retry-with-escalation: each Timeout retries
+ * with budgets scaled by policy.budget_growth, up to
+ * policy.max_attempts attempts. A result that is still Timeout after
+ * the final attempt is the caller's signal to degrade (fuzz fallback)
+ * or record a structured Exhausted outcome.
+ */
+EscalatedBmcResult check_cover_escalating(const Netlist &nl, NetId target,
+                                          const BmcOptions &opts,
+                                          const EscalationPolicy &policy);
 
 } // namespace vega::formal

@@ -215,11 +215,19 @@ run_error_lifting(const HwModule &module,
                     bmc.trace = std::move(fz.trace);
                     bmc.frames = int(bmc.trace.num_cycles());
                     co.fuzzed = true;
+                    co.attempts = 0;
                     have_trace = true;
                 } else if (config.engine == TraceEngine::Fuzzing) {
                     // Fuzzing alone cannot distinguish "unreachable"
                     // from "not found": report the giving-up outcome.
                     bmc.status = formal::BmcStatus::Timeout;
+                    co.attempts = 0;
+                    co.exhausted = true;
+                    co.error = make_error(
+                        ErrorCode::Exhausted,
+                        "fuzzing found no trace in " +
+                            std::to_string(config.fuzz_episodes) +
+                            " episodes");
                     have_trace = true;
                 }
             }
@@ -227,8 +235,43 @@ run_error_lifting(const HwModule &module,
                 formal::BmcOptions opts = config.bmc;
                 opts.assumes = build_assumes(shadow.netlist, module.kind);
                 opts.state_equalities = shadow.state_pairs;
-                bmc = formal::check_cover(shadow.netlist, shadow.mismatch,
-                                          opts);
+                formal::EscalationPolicy policy;
+                policy.max_attempts = config.formal_attempts;
+                policy.budget_growth = config.formal_budget_growth;
+                formal::EscalatedBmcResult esc = formal::check_cover_escalating(
+                    shadow.netlist, shadow.mismatch, opts, policy);
+                bmc = std::move(esc.result);
+                bmc.conflicts = esc.total_conflicts;
+                co.attempts = esc.attempts;
+
+                if (bmc.status == formal::BmcStatus::Timeout &&
+                    config.degrade_to_fuzz) {
+                    // Last rung of the ladder: trade proof power for a
+                    // cheap chance at a concrete trace.
+                    FuzzConfig fcfg;
+                    fcfg.max_episodes = config.fuzz_episodes;
+                    fcfg.seed = 1234 + pi;
+                    FuzzResult fz = fuzz_cover(shadow, module.kind, fcfg);
+                    if (fz.found) {
+                        bmc.status = formal::BmcStatus::Covered;
+                        bmc.trace = std::move(fz.trace);
+                        bmc.frames = int(bmc.trace.num_cycles());
+                        co.fuzzed = true;
+                        co.degraded_to_fuzz = true;
+                    }
+                }
+                if (bmc.status == formal::BmcStatus::Timeout) {
+                    co.exhausted = true;
+                    co.error = make_error(
+                        ErrorCode::Exhausted,
+                        "formal engine timed out after " +
+                            std::to_string(esc.attempts) + " attempt(s), " +
+                            std::to_string(esc.total_conflicts) +
+                            " conflicts" +
+                            (config.degrade_to_fuzz
+                                 ? ", and the fuzz fallback found no trace"
+                                 : ""));
+                }
             }
             co.bmc = bmc.status;
             co.proven_by_induction = bmc.proven_by_induction;

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.h"
 #include "formal/bmc.h"
 #include "lift/failure_model.h"
 #include "lift/instruction_builder.h"
@@ -48,6 +49,17 @@ struct LiftConfig
     TraceEngine engine = TraceEngine::Formal;
     /** Episode budget when the fuzzing engine participates. */
     size_t fuzz_episodes = 1500;
+
+    // Retry-with-degradation ladder for the formal engine. Defaults
+    // reproduce the single-attempt baseline; the campaign CLI opts in.
+    /** Formal attempts per configuration; Timeouts retry with the
+     *  conflict/wall budget multiplied by formal_budget_growth. */
+    int formal_attempts = 1;
+    /** Budget multiplier between formal attempts. */
+    double formal_budget_growth = 4.0;
+    /** After the last formal attempt still times out, fall back to the
+     *  fuzzer before recording a structured Exhausted outcome. */
+    bool degrade_to_fuzz = false;
 };
 
 enum class PairStatus { Success, Unreachable, Timeout, ConversionFailed };
@@ -68,6 +80,16 @@ struct ConfigOutcome
     bool converted = false;
     bool validated = false;
     std::string failure_reason;
+
+    // Retry-with-degradation bookkeeping.
+    /** Formal attempts spent (1 = no retry; 0 = formal never ran). */
+    int attempts = 1;
+    /** Trace came from the Timeout-triggered fuzz fallback. */
+    bool degraded_to_fuzz = false;
+    /** Whole ladder (retries, then fallback if enabled) came up empty. */
+    bool exhausted = false;
+    /** Set when exhausted: code Exhausted with the ladder's history. */
+    VegaError error;
 };
 
 struct PairResult

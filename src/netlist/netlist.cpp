@@ -240,22 +240,87 @@ Netlist::fanout_cone(CellId root) const
 void
 Netlist::validate() const
 {
+    Expected<void> ok = check_valid();
+    VEGA_CHECK(ok.ok(), "netlist ", name_, ": ", ok.error().context);
+    topo_order(); // refreshes the caches check_valid() cannot touch
+}
+
+Expected<void>
+Netlist::check_valid() const
+{
     for (NetId n = 0; n < nets_.size(); ++n) {
         const Net &net = nets_[n];
         bool driven = net.driver != kInvalidId || net.is_primary_input;
-        VEGA_CHECK(driven, "net ", net.name, " undriven");
-        if (net.driver != kInvalidId)
-            VEGA_CHECK(cells_[net.driver].out == n,
-                       "net ", net.name, " driver mismatch");
+        if (!driven)
+            return make_error(ErrorCode::ValidationError,
+                              "net " + net.name + " undriven");
+        if (net.driver != kInvalidId && cells_[net.driver].out != n)
+            return make_error(ErrorCode::ValidationError,
+                              "net " + net.name + " driver mismatch");
     }
     for (CellId c = 0; c < cells_.size(); ++c) {
         const Cell &cell = cells_[c];
         for (int i = 0; i < cell.num_inputs(); ++i)
-            VEGA_CHECK(cell.in[i] < nets_.size(),
-                       "cell ", cell.name, " dangling pin");
-        VEGA_CHECK(cell.out < nets_.size(), "cell ", cell.name, " output");
+            if (cell.in[i] >= nets_.size())
+                return make_error(ErrorCode::ValidationError,
+                                  "cell " + cell.name + " dangling pin");
+        if (cell.out >= nets_.size())
+            return make_error(ErrorCode::ValidationError,
+                              "cell " + cell.name + " dangling output");
     }
-    topo_order(); // asserts acyclicity
+
+    // Acyclicity of the combinational subgraph, with the same ready
+    // rules as topo_order() but without touching the mutable caches or
+    // panicking: count how many combinational cells can be ordered.
+    std::vector<bool> net_ready(nets_.size(), false);
+    for (NetId n = 0; n < nets_.size(); ++n) {
+        const Net &net = nets_[n];
+        if (net.is_primary_input ||
+            (net.driver != kInvalidId &&
+             cells_[net.driver].type == CellType::Dff))
+            net_ready[n] = true;
+    }
+    std::vector<std::vector<CellId>> readers(nets_.size());
+    for (CellId c = 0; c < cells_.size(); ++c)
+        for (int i = 0; i < cells_[c].num_inputs(); ++i)
+            readers[cells_[c].in[i]].push_back(c);
+    std::vector<int> missing(cells_.size(), 0);
+    std::deque<CellId> ready;
+    size_t num_comb = 0;
+    for (CellId c = 0; c < cells_.size(); ++c) {
+        if (cells_[c].type == CellType::Dff)
+            continue;
+        ++num_comb;
+        int need = 0;
+        for (int i = 0; i < cells_[c].num_inputs(); ++i)
+            if (!net_ready[cells_[c].in[i]])
+                ++need;
+        missing[c] = need;
+        if (need == 0)
+            ready.push_back(c);
+    }
+    size_t ordered = 0;
+    while (!ready.empty()) {
+        CellId c = ready.front();
+        ready.pop_front();
+        ++ordered;
+        NetId out = cells_[c].out;
+        if (net_ready[out])
+            continue;
+        net_ready[out] = true;
+        for (CellId r : readers[out]) {
+            if (cells_[r].type == CellType::Dff)
+                continue;
+            if (--missing[r] == 0)
+                ready.push_back(r);
+        }
+    }
+    if (ordered != num_comb)
+        return make_error(
+            ErrorCode::ValidationError,
+            "combinational cycle (" + std::to_string(ordered) + " of " +
+                std::to_string(num_comb) + " cells ordered)");
+    return {};
 }
 
 void

@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/error.h"
 #include "netlist/cell_library.h"
 
 namespace vega {
@@ -154,6 +155,14 @@ class Netlist
 
     /** Throw vega::panic on any structural invariant violation. */
     void validate() const;
+
+    /**
+     * Non-aborting validate(): reports the first structural invariant
+     * violation (undriven net, dangling pin, combinational cycle) as a
+     * ValidationError instead of panicking. This is the check untrusted
+     * inputs (e.g. parsed Verilog) go through.
+     */
+    Expected<void> check_valid() const;
     /// @}
 
     /**

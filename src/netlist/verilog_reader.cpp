@@ -10,6 +10,18 @@ namespace vega {
 
 namespace {
 
+/** Widest bus the reader accepts; wider declarations are input errors. */
+constexpr size_t kMaxBusWidth = 4096;
+
+/**
+ * Internal control-flow exception: thrown by Parser::fail, converted to
+ * a VegaError at the try_read_verilog boundary. Never escapes.
+ */
+struct ParseAbort
+{
+    VegaError error;
+};
+
 /**
  * Token stream over the writer's output. Escaped identifiers
  * (backslash to whitespace) become single IDENT tokens without the
@@ -115,9 +127,12 @@ struct Parser
     [[noreturn]] void
     fail(const std::string &msg)
     {
-        throw std::runtime_error("verilog_reader: line " +
-                                 std::to_string(lex.line()) + ": " + msg +
-                                 " (near '" + tok + "')");
+        std::string near =
+            tok.empty() ? "end of input" : "'" + tok + "'";
+        throw ParseAbort{make_error(
+            ErrorCode::ParseError, "line " + std::to_string(lex.line()) +
+                                       ": " + msg + " (near " + near +
+                                       ")")};
     }
 
     void
@@ -125,6 +140,15 @@ struct Parser
     {
         if (tok != want)
             fail("expected '" + want + "'");
+        advance();
+    }
+
+    /** advance(), but truncated input is an error, not a spin. */
+    void
+    advance_checked()
+    {
+        if (tok.empty())
+            fail("unexpected end of input");
         advance();
     }
 
@@ -138,6 +162,15 @@ struct Parser
         NetId id = nl.new_net(name);
         nets[name] = id;
         return id;
+    }
+
+    /** @p id must still be undriven before it becomes a cell output. */
+    void
+    ensure_undriven(NetId id)
+    {
+        const Net &net = nl.net(id);
+        if (net.driver != kInvalidId || net.is_primary_input)
+            fail("net '" + net.name + "' driven more than once");
     }
 
     /** Net for an input-port bit reference like "a[0]". */
@@ -167,21 +200,43 @@ struct Parser
         return t.find('[') != std::string::npos && t.back() == ']';
     }
 
+    /** Parse a "[N:0]" range token into a width, rejecting garbage. */
+    size_t
+    bus_width(const std::string &t)
+    {
+        // Expect "[<digits>:0]".
+        size_t colon = t.find(':');
+        if (t.size() < 5 || t.front() != '[' || t.back() != ']' ||
+            colon == std::string::npos || t.substr(colon) != ":0]")
+            fail("malformed bus range");
+        size_t msb = 0;
+        for (size_t i = 1; i < colon; ++i) {
+            if (!std::isdigit(static_cast<unsigned char>(t[i])))
+                fail("malformed bus range");
+            msb = msb * 10 + size_t(t[i] - '0');
+            if (msb >= kMaxBusWidth)
+                fail("bus wider than " + std::to_string(kMaxBusWidth) +
+                     " bits");
+        }
+        if (colon == 1)
+            fail("malformed bus range");
+        return msb + 1;
+    }
+
     void
     parse()
     {
         expect("module");
+        if (tok.empty())
+            fail("missing module name");
         nl.set_name(tok);
         advance();
         expect("(");
-        std::vector<std::string> ports;
         while (tok != ")") {
             if (tok == ",")
                 advance();
-            else {
-                ports.push_back(tok);
-                advance();
-            }
+            else
+                advance_checked();
         }
         expect(")");
         expect(";");
@@ -190,7 +245,6 @@ struct Parser
             parse_item();
         expect("endmodule");
         finish_buses();
-        nl.validate();
     }
 
     void
@@ -201,20 +255,28 @@ struct Parser
             advance();
             size_t width = 1;
             if (is_bus_ref(tok)) { // "[N:0]"
-                width = size_t(std::stoul(tok.substr(1))) + 1;
+                width = bus_width(tok);
                 advance();
             }
             std::string name = tok;
-            advance();
+            advance_checked();
             expect(";");
             if (name == "clk")
                 return; // implicit ideal clock
+            for (const auto &[n, w] : input_buses)
+                if (n == name)
+                    fail("port '" + name + "' declared twice");
+            for (const auto &[n, w] : output_buses)
+                if (n == name)
+                    fail("port '" + name + "' declared twice");
             if (is_input)
                 input_buses.emplace_back(name, width);
             else
                 output_buses.emplace_back(name, width);
         } else if (tok == "wire") {
             advance();
+            if (tok.empty())
+                fail("missing wire name");
             net_for(tok);
             advance();
             expect(";");
@@ -237,15 +299,17 @@ struct Parser
         expect("assign");
         std::string lhs = tok;
         bool lhs_escaped = tok_escaped;
-        advance();
+        advance_checked();
         expect("=");
 
         // Output-port binding: `assign o[i] = <wire>;`
         if (!lhs_escaped && is_bus_ref(lhs)) {
             std::string rhs = tok;
             bool rhs_escaped = tok_escaped;
-            advance();
+            advance_checked();
             expect(";");
+            if (output_bits.count(lhs))
+                fail("output bit " + lhs + " assigned twice");
             output_bits[lhs] = operand(rhs, rhs_escaped);
             return;
         }
@@ -253,18 +317,19 @@ struct Parser
         // Forms: constant | wire | port-bit | s ? b : a
         std::string first = tok;
         bool first_escaped = tok_escaped;
-        advance();
+        advance_checked();
         if (tok == "?") {
             advance();
             std::string b = tok;
             bool b_escaped = tok_escaped;
-            advance();
+            advance_checked();
             expect(":");
             std::string a = tok;
             bool a_escaped = tok_escaped;
-            advance();
+            advance_checked();
             expect(";");
             NetId out = net_for(lhs);
+            ensure_undriven(out);
             nl.add_cell(CellType::Mux2,
                         "rd_mux" + std::to_string(auto_cell++),
                         {operand(a, a_escaped), operand(b, b_escaped),
@@ -274,6 +339,7 @@ struct Parser
         }
         expect(";");
         NetId out = net_for(lhs);
+        ensure_undriven(out);
         if (first == "1'b0") {
             nl.add_cell(CellType::Const0,
                         "rd_c0_" + std::to_string(auto_cell++), {}, out);
@@ -301,15 +367,17 @@ struct Parser
         CellType type = kMap.at(kind);
         advance();
         std::string name = tok;
-        advance();
+        advance_checked();
         expect("(");
         std::vector<std::string> args;
+        std::vector<bool> args_escaped;
         while (tok != ")") {
-            if (tok == ",")
+            if (tok == ",") {
                 advance();
-            else {
+            } else {
                 args.push_back(tok);
-                advance();
+                args_escaped.push_back(tok_escaped);
+                advance_checked();
             }
         }
         expect(")");
@@ -318,8 +386,10 @@ struct Parser
             fail("wrong pin count on " + kind);
         std::vector<NetId> ins;
         for (size_t i = 1; i < args.size(); ++i)
-            ins.push_back(net_for(args[i]));
-        nl.add_cell(type, name, ins, net_for(args[0]));
+            ins.push_back(operand(args[i], args_escaped[i]));
+        NetId out = net_for(args[0]);
+        ensure_undriven(out);
+        nl.add_cell(type, name, ins, out);
     }
 
     void
@@ -336,37 +406,43 @@ struct Parser
             advance();
             expect("(");
             init = tok == "1'b1";
-            advance();
+            advance_checked();
             expect(")");
             expect(")");
         }
         std::string name = tok;
-        advance();
+        advance_checked();
         expect("(");
         std::string d_name, q_name;
+        bool d_escaped = false;
         while (tok != ")") {
             if (tok == ",") {
                 advance();
                 continue;
             }
             std::string pin = tok; // ".clk" / ".d" / ".q"
-            advance();
+            advance_checked();
             expect("(");
             std::string conn = tok;
-            advance();
+            bool conn_escaped = tok_escaped;
+            advance_checked();
             expect(")");
-            if (pin == ".d")
+            if (pin == ".d") {
                 d_name = conn;
-            else if (pin == ".q")
+                d_escaped = conn_escaped;
+            } else if (pin == ".q") {
                 q_name = conn;
-            else if (pin != ".clk")
+            } else if (pin != ".clk") {
                 fail("unknown DFF pin " + pin);
+            }
         }
         expect(")");
         expect(";");
         if (d_name.empty() || q_name.empty())
             fail("DFF missing d/q connections");
-        nl.add_dff(name, net_for(d_name), net_for(q_name), init);
+        NetId q = net_for(q_name);
+        ensure_undriven(q);
+        nl.add_dff(name, operand(d_name, d_escaped), q, init);
     }
 
     /**
@@ -382,6 +458,8 @@ struct Parser
             for (size_t i = 0; i < width; ++i) {
                 std::string bit = name + "[" + std::to_string(i) + "]";
                 NetId n = port_bit_for(bit);
+                if (nl.net(n).driver != kInvalidId)
+                    fail("input bit " + bit + " is driven");
                 nl.mark_input(n);
                 bits.push_back(n);
             }
@@ -403,12 +481,37 @@ struct Parser
 
 } // namespace
 
+Expected<Netlist>
+try_read_verilog(const std::string &text)
+{
+    try {
+        Parser p(text);
+        p.parse();
+        Expected<void> valid = p.nl.check_valid();
+        if (!valid)
+            return make_error(ErrorCode::ValidationError,
+                              "netlist inconsistent after parse: " +
+                                  valid.error().context);
+        return std::move(p.nl);
+    } catch (const ParseAbort &abort) {
+        return abort.error;
+    } catch (const std::exception &e) {
+        // Backstop: nothing below should throw, but malformed input
+        // must never escape as an exception.
+        return make_error(ErrorCode::ParseError,
+                          std::string("internal parse failure: ") +
+                              e.what());
+    }
+}
+
 Netlist
 read_verilog(const std::string &text)
 {
-    Parser p(text);
-    p.parse();
-    return std::move(p.nl);
+    Expected<Netlist> parsed = try_read_verilog(text);
+    if (!parsed)
+        throw std::runtime_error("verilog_reader: " +
+                                 parsed.error().to_string());
+    return std::move(parsed).value();
 }
 
 } // namespace vega

@@ -7,19 +7,32 @@
  * assigns, primitive gate instances, and VEGA_DFF instances — so the
  * circuit-level failure models Vega exports (§3.3.2) can be read back
  * into a Netlist for simulation, BMC, or re-instrumentation.
+ *
+ * Netlists arriving through this path are untrusted (§6.3 ships them
+ * between organizations), so the parser is hardened: truncated,
+ * garbage, or structurally inconsistent input (multiply-driven nets,
+ * oversized buses, combinational cycles) surfaces as an Expected error
+ * with line context — never an uncaught exception or an abort.
  */
 #pragma once
 
 #include <string>
 
+#include "common/error.h"
 #include "netlist/netlist.h"
 
 namespace vega {
 
 /**
- * Parse the first module of @p text into a Netlist. Throws
- * std::runtime_error with a line number on any syntax the subset does
- * not cover.
+ * Parse the first module of @p text into a Netlist. Every failure —
+ * lexical, syntactic, or structural — returns a ParseError /
+ * ValidationError with a line number; nothing escapes as an exception.
+ */
+Expected<Netlist> try_read_verilog(const std::string &text);
+
+/**
+ * Throwing wrapper around try_read_verilog: raises std::runtime_error
+ * with the rendered error. Prefer try_read_verilog on untrusted input.
  */
 Netlist read_verilog(const std::string &text);
 

@@ -19,18 +19,20 @@ module_token(ModuleKind kind)
     return "?";
 }
 
-ModuleKind
-parse_module(const std::string &token)
+bool
+parse_module(const std::string &token, ModuleKind &out)
 {
     if (token == "adder2")
-        return ModuleKind::Adder2;
-    if (token == "alu32")
-        return ModuleKind::Alu32;
-    if (token == "fpu32")
-        return ModuleKind::Fpu32;
-    if (token == "mdu32")
-        return ModuleKind::Mdu32;
-    throw std::runtime_error("suite_io: unknown module '" + token + "'");
+        out = ModuleKind::Adder2;
+    else if (token == "alu32")
+        out = ModuleKind::Alu32;
+    else if (token == "fpu32")
+        out = ModuleKind::Fpu32;
+    else if (token == "mdu32")
+        out = ModuleKind::Mdu32;
+    else
+        return false;
+    return true;
 }
 
 } // namespace
@@ -57,8 +59,8 @@ serialize_suite(const std::vector<TestCase> &suite)
     return os.str();
 }
 
-std::vector<TestCase>
-deserialize_suite(const std::string &text)
+Expected<std::vector<TestCase>>
+try_deserialize_suite(const std::string &text)
 {
     std::vector<TestCase> suite;
     std::istringstream is(text);
@@ -68,8 +70,8 @@ deserialize_suite(const std::string &text)
     size_t line_no = 0;
 
     auto fail = [&](const std::string &msg) {
-        throw std::runtime_error("suite_io: line " +
-                                 std::to_string(line_no) + ": " + msg);
+        return make_error(ErrorCode::ParseError,
+                          "line " + std::to_string(line_no) + ": " + msg);
     };
 
     while (std::getline(is, line)) {
@@ -80,57 +82,77 @@ deserialize_suite(const std::string &text)
             continue;
         if (word == "testcase") {
             if (in_test)
-                fail("nested testcase");
+                return fail("nested testcase");
             std::string module, name, config;
-            int pair = -1;
+            long long pair = -1;
             if (!(ls >> module >> pair >> name >> config))
-                fail("malformed testcase header");
+                return fail("malformed testcase header");
             current = TestCase{};
-            current.module = parse_module(module);
-            current.pair_index = pair;
+            if (!parse_module(module, current.module))
+                return fail("unknown module '" + module + "'");
+            current.pair_index = int(pair);
             current.name = name == "-" ? "" : name;
             current.config = config == "-" ? "" : config;
             in_test = true;
         } else if (word == "step") {
             if (!in_test)
-                fail("step outside testcase");
+                return fail("step outside testcase");
+            if (current.stimulus.size() >= kMaxTestSteps)
+                return fail("more than " +
+                            std::to_string(kMaxTestSteps) + " steps");
             ModuleStep s;
             unsigned valid = 0, clear = 0;
             if (!(ls >> s.a >> s.b >> s.op >> valid >> clear))
-                fail("malformed step");
+                return fail("malformed step");
             s.valid = valid != 0;
             s.clear = clear != 0;
             current.stimulus.push_back(s);
         } else if (word == "check") {
             if (!in_test)
-                fail("check outside testcase");
+                return fail("check outside testcase");
             ResultCheck c;
             unsigned to_x = 0;
             if (!(ls >> c.step >> c.expected >> to_x))
-                fail("malformed check");
+                return fail("malformed check");
             c.to_xreg = to_x != 0;
             current.checks.push_back(c);
         } else if (word == "flags") {
             if (!in_test)
-                fail("flags outside testcase");
+                return fail("flags outside testcase");
             unsigned flags = 0;
             if (!(ls >> flags))
-                fail("malformed flags");
+                return fail("malformed flags");
             current.check_final_flags = true;
             current.expected_flags = uint8_t(flags);
         } else if (word == "end") {
             if (!in_test)
-                fail("end outside testcase");
-            finalize_test_case(current);
+                return fail("end outside testcase");
+            Expected<void> fin = try_finalize_test_case(current);
+            if (!fin)
+                return make_error(fin.error().code,
+                                  "line " + std::to_string(line_no) +
+                                      ": " + fin.error().context);
             suite.push_back(std::move(current));
             in_test = false;
         } else {
-            fail("unknown directive '" + word + "'");
+            return fail("unknown directive '" + word + "'");
         }
     }
-    if (in_test)
-        fail("unterminated testcase");
+    if (in_test) {
+        ++line_no;
+        return fail("unterminated testcase '" + current.name + "'");
+    }
     return suite;
+}
+
+std::vector<TestCase>
+deserialize_suite(const std::string &text)
+{
+    Expected<std::vector<TestCase>> suite = try_deserialize_suite(text);
+    if (!suite)
+        throw std::runtime_error("suite_io: " +
+                                 suite.error().to_string());
+    return std::move(suite).value();
 }
 
 } // namespace vega::runtime

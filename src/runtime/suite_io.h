@@ -8,12 +8,17 @@
  * line-oriented, human-auditable text encoding of test cases that
  * carries the module-level stimulus and expected results; programs are
  * recompiled (and re-verified against the golden model) on load.
+ *
+ * Suites cross an organization boundary, so the loader is hardened:
+ * truncated, garbage, or field-swapped files come back as Expected
+ * errors with line context — never an uncaught exception or an abort.
  */
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "common/error.h"
 #include "runtime/test_case.h"
 
 namespace vega::runtime {
@@ -23,7 +28,17 @@ std::string serialize_suite(const std::vector<TestCase> &suite);
 
 /**
  * Parse a serialized suite; finalizes (compiles + golden-verifies)
- * every test. Throws std::runtime_error on malformed input.
+ * every test. Malformed text is a ParseError with a line number; a
+ * test that violates the compilation limits or fails on the golden
+ * model is a ValidationError naming the test.
+ */
+Expected<std::vector<TestCase>>
+try_deserialize_suite(const std::string &text);
+
+/**
+ * Throwing wrapper around try_deserialize_suite: raises
+ * std::runtime_error with the rendered error. Prefer
+ * try_deserialize_suite on untrusted input.
  */
 std::vector<TestCase> deserialize_suite(const std::string &text);
 

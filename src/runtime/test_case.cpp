@@ -1,6 +1,7 @@
 #include "runtime/test_case.h"
 
 #include <map>
+#include <set>
 
 #include "common/logging.h"
 #include "cpu/alu_ops.h"
@@ -235,11 +236,74 @@ build_mdu_program(TestCase &tc)
     tc.program = a.finish();
 }
 
+// The public limits must match the register plan the builders assume.
+static_assert(kMaxTestSteps == size_t(kResultMax));
+static_assert(kMaxDistinctOperands == size_t(kOperandMax));
+
 } // namespace
 
-void
-finalize_test_case(TestCase &tc)
+Expected<void>
+validate_test_case(const TestCase &tc)
 {
+    auto err = [&](const std::string &msg) {
+        return make_error(ErrorCode::ValidationError,
+                          "test '" + tc.name + "': " + msg);
+    };
+
+    uint32_t num_ops = 0;
+    bool is_fpu = false;
+    switch (tc.module) {
+      case ModuleKind::Alu32: num_ops = kNumAluOps; break;
+      case ModuleKind::Mdu32: num_ops = kNumMduOps; break;
+      case ModuleKind::Fpu32:
+        num_ops = 8; // FpuOp::Add .. FpuOp::Max
+        is_fpu = true;
+        break;
+      default:
+        return err("module is not a compilable functional unit");
+    }
+
+    if (tc.stimulus.size() > kMaxTestSteps)
+        return err("too many steps (" +
+                   std::to_string(tc.stimulus.size()) + " > " +
+                   std::to_string(kMaxTestSteps) + ")");
+
+    std::set<uint32_t> operands;
+    for (size_t i = 0; i < tc.stimulus.size(); ++i) {
+        const ModuleStep &s = tc.stimulus[i];
+        if (is_fpu && !s.valid)
+            continue; // compiled as a nop; operands and op unused
+        if (s.op >= num_ops)
+            return err("step " + std::to_string(i) + " op " +
+                       std::to_string(s.op) + " out of range (< " +
+                       std::to_string(num_ops) + ")");
+        operands.insert(s.a);
+        operands.insert(s.b);
+    }
+    if (operands.size() > kMaxDistinctOperands)
+        return err("too many distinct operands (" +
+                   std::to_string(operands.size()) + " > " +
+                   std::to_string(kMaxDistinctOperands) + ")");
+
+    for (const ResultCheck &c : tc.checks) {
+        if (c.step >= tc.stimulus.size())
+            return err("check references step " +
+                       std::to_string(c.step) + " of " +
+                       std::to_string(tc.stimulus.size()));
+        if (is_fpu && !tc.stimulus[c.step].valid)
+            return err("check references idle step " +
+                       std::to_string(c.step));
+    }
+    return {};
+}
+
+Expected<void>
+try_finalize_test_case(TestCase &tc)
+{
+    Expected<void> valid = validate_test_case(tc);
+    if (!valid)
+        return valid;
+
     switch (tc.module) {
       case ModuleKind::Alu32:
         build_alu_program(tc);
@@ -251,16 +315,29 @@ finalize_test_case(TestCase &tc)
         build_mdu_program(tc);
         break;
       default:
-        panic("finalize_test_case: unsupported module");
+        return make_error(ErrorCode::ValidationError,
+                          "unsupported module");
     }
 
     cpu::Iss iss(tc.program);
     auto status = iss.run();
-    VEGA_CHECK(status == cpu::Iss::Status::Halted,
-               "test block did not halt: ", tc.name);
-    VEGA_CHECK(iss.reg(31) == 0,
-               "test block fails on golden hardware: ", tc.name);
+    if (status != cpu::Iss::Status::Halted)
+        return make_error(ErrorCode::ValidationError,
+                          "test '" + tc.name +
+                              "' did not halt on the golden model");
+    if (iss.reg(31) != 0)
+        return make_error(ErrorCode::ValidationError,
+                          "test '" + tc.name +
+                              "' fails on the golden model");
     tc.cycle_cost = iss.cycles();
+    return {};
+}
+
+void
+finalize_test_case(TestCase &tc)
+{
+    Expected<void> ok = try_finalize_test_case(tc);
+    VEGA_CHECK(ok.ok(), "finalize_test_case: ", ok.error().context);
 }
 
 } // namespace vega::runtime

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.h"
 #include "cpu/isa.h"
 #include "rtl/module.h"
 
@@ -65,12 +66,31 @@ struct TestCase
     std::string assembly() const { return cpu::render_asm(program); }
 };
 
+/** Compilation limits a test case must satisfy (register plan). */
+constexpr size_t kMaxTestSteps = 8;        ///< per-step result registers
+constexpr size_t kMaxDistinctOperands = 14; ///< operand pool registers
+
+/**
+ * Check @p tc against the compilation limits and per-module op
+ * encodings *before* compiling it: step count, distinct operand count,
+ * check indices, and op ranges. Untrusted suites (suite_io) must pass
+ * this so the program builders' internal invariants cannot fire.
+ */
+Expected<void> validate_test_case(const TestCase &tc);
+
 /**
  * Compile stimulus+checks into the software block, then run it on the
  * golden ISS to (a) assert it passes on healthy hardware and (b) fill in
  * cycle_cost. Panics if the block cannot pass on a healthy machine.
  */
 void finalize_test_case(TestCase &tc);
+
+/**
+ * Non-aborting finalize_test_case: validation failures and tests that
+ * stall or fail on the golden model come back as ValidationError
+ * instead of panicking. This is the path untrusted suites go through.
+ */
+Expected<void> try_finalize_test_case(TestCase &tc);
 
 /** How a test run terminated. */
 enum class Detection {

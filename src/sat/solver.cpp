@@ -1,6 +1,7 @@
 #include "sat/solver.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "common/logging.h"
@@ -335,6 +336,14 @@ Solver::reduce_db()
 Solver::Result
 Solver::solve(int64_t conflict_budget)
 {
+    SolveLimits limits;
+    limits.conflict_budget = conflict_budget;
+    return solve(limits);
+}
+
+Solver::Result
+Solver::solve(const SolveLimits &limits)
+{
     if (!ok_)
         return Result::Unsat;
     if (propagate() != kCrefUndef) {
@@ -347,6 +356,18 @@ Solver::solve(int64_t conflict_budget)
     int64_t conflicts_this_restart = 0;
     uint64_t next_reduce = 4000;
     std::vector<Lit> learnt;
+
+    // Wall-clock deadline, checked every kDeadlineCheckInterval conflicts
+    // so the hot loop stays clock-free between checks.
+    using Clock = std::chrono::steady_clock;
+    constexpr uint64_t kDeadlineCheckInterval = 256;
+    const bool has_deadline = limits.wall_seconds >= 0.0;
+    const Clock::time_point deadline =
+        has_deadline
+            ? Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(
+                                     limits.wall_seconds))
+            : Clock::time_point::max();
 
     for (;;) {
         Cref conflict = propagate();
@@ -383,8 +404,12 @@ Solver::solve(int64_t conflict_budget)
             }
             decay_activity();
 
-            if (conflict_budget >= 0 &&
-                conflicts_ >= static_cast<uint64_t>(conflict_budget))
+            if (limits.conflict_budget >= 0 &&
+                conflicts_ >= static_cast<uint64_t>(limits.conflict_budget))
+                return Result::Unknown;
+            if (has_deadline &&
+                conflicts_ % kDeadlineCheckInterval == 0 &&
+                Clock::now() >= deadline)
                 return Result::Unknown;
             if (conflicts_ >= next_reduce) {
                 reduce_db();

@@ -46,6 +46,20 @@ struct Lit
 
 inline Lit mk_lit(Var v) { return Lit(v, false); }
 
+/**
+ * Resource limits for one solve() call. Either limit may be disabled
+ * by leaving it negative. The wall-clock deadline is checked every 256
+ * conflicts, so an over-budget solve stops within one check interval
+ * rather than running an unbounded proof to completion.
+ */
+struct SolveLimits
+{
+    /** Conflicts before giving up with Result::Unknown (-1 = no limit). */
+    int64_t conflict_budget = -1;
+    /** Wall-clock seconds before Result::Unknown (-1 = no limit). */
+    double wall_seconds = -1.0;
+};
+
 class Solver
 {
   public:
@@ -72,6 +86,9 @@ class Solver
      * have been spent (pass a negative budget for "no limit").
      */
     Result solve(int64_t conflict_budget = -1);
+
+    /** Solve under both a conflict budget and a wall-clock deadline. */
+    Result solve(const SolveLimits &limits);
 
     /** Model value of @p v after Result::Sat. */
     bool model_value(Var v) const;

@@ -131,6 +131,62 @@ TEST(SuiteIo, CommentsAndBlankLinesIgnored)
     EXPECT_TRUE(suite.empty());
 }
 
+TEST(SuiteIo, GarbageDirectiveIsParseErrorWithLine)
+{
+    auto r = runtime::try_deserialize_suite(
+        "# ok\ntestcase alu32 0 t -\n  zorp 1 2\nend\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, ErrorCode::ParseError);
+    EXPECT_NE(r.error().context.find("line 3"), std::string::npos)
+        << r.error().context;
+    EXPECT_NE(r.error().context.find("zorp"), std::string::npos);
+}
+
+TEST(SuiteIo, TruncatedTestcaseIsParseError)
+{
+    // File ends mid-testcase (the shipping side crashed, or the file
+    // was cut during transfer): structured error, not an exception.
+    auto r = runtime::try_deserialize_suite(
+        "testcase alu32 0 cut -\n  step 1 2 0 1 0\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, ErrorCode::ParseError);
+    EXPECT_NE(r.error().context.find("unterminated"), std::string::npos)
+        << r.error().context;
+    EXPECT_NE(r.error().context.find("cut"), std::string::npos);
+}
+
+TEST(SuiteIo, FieldSwappedStepFailsGoldenVerification)
+{
+    // A structurally well-formed testcase whose expected value was
+    // corrupted (fields transposed) must be caught by the golden-model
+    // re-verification on load, as a ValidationError naming the test.
+    auto r = runtime::try_deserialize_suite(
+        "testcase alu32 0 swapped -\n"
+        "  step 3 4 0 1 0\n"
+        "  check 0 99 0\n"
+        "end\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, ErrorCode::ValidationError);
+    EXPECT_NE(r.error().context.find("golden model"), std::string::npos)
+        << r.error().context;
+    EXPECT_NE(r.error().context.find("swapped"), std::string::npos);
+}
+
+TEST(SuiteIo, OutOfRangeFieldsAreValidationErrors)
+{
+    // Opcode beyond the module's ISA.
+    auto op = runtime::try_deserialize_suite(
+        "testcase alu32 0 t -\n  step 1 2 99 1 0\n  check 0 3 0\nend\n");
+    ASSERT_FALSE(op.ok());
+    EXPECT_EQ(op.error().code, ErrorCode::ValidationError);
+
+    // Check referencing a step that does not exist.
+    auto step = runtime::try_deserialize_suite(
+        "testcase alu32 0 t -\n  step 1 2 0 1 0\n  check 7 3 0\nend\n");
+    ASSERT_FALSE(step.ok());
+    EXPECT_EQ(step.error().code, ErrorCode::ValidationError);
+}
+
 // ---- Equivalence checking --------------------------------------------------
 
 TEST(Equiv, IdenticalModulesAreEquivalent)

@@ -198,6 +198,72 @@ TEST_F(AluLift, PureFuzzingCannotProveButStillLifts)
     EXPECT_EQ(r.n_unreachable, 0u);
 }
 
+TEST_F(AluLift, StarvedFormalEngineReportsExhausted)
+{
+    // One conflict per attempt starves every BMC query; the escalation
+    // ladder must retry the configured number of times and then record
+    // a structured Exhausted outcome instead of a bare Timeout.
+    LiftConfig cfg;
+    cfg.bmc.max_frames = 4;
+    cfg.bmc.conflict_budget = 1;
+    cfg.max_pairs = 2;
+    cfg.formal_attempts = 3;
+    cfg.formal_budget_growth = 2.0;
+
+    LiftResult r = run_error_lifting(module(), sta_result().pairs, cfg);
+    ASSERT_GT(r.pairs.size(), 0u);
+    bool saw_exhausted = false;
+    for (const PairResult &pr : r.pairs)
+        for (const ConfigOutcome &co : pr.configs) {
+            if (co.bmc == formal::BmcStatus::Covered)
+                continue;
+            if (!co.exhausted)
+                continue;
+            saw_exhausted = true;
+            EXPECT_EQ(co.attempts, 3);
+            EXPECT_EQ(co.error.code, ErrorCode::Exhausted);
+            EXPECT_NE(co.error.context.find("3 attempt"),
+                      std::string::npos)
+                << co.error.context;
+            EXPECT_FALSE(co.degraded_to_fuzz);
+        }
+    EXPECT_TRUE(saw_exhausted);
+}
+
+TEST_F(AluLift, DegradedLadderFallsBackToFuzzing)
+{
+    // Same starved budget, but with the fuzz fallback enabled: every
+    // configuration either gets a fuzzer trace (marked degraded) or an
+    // Exhausted error that records the failed fallback.
+    LiftConfig cfg;
+    cfg.bmc.max_frames = 4;
+    cfg.bmc.conflict_budget = 1;
+    cfg.max_pairs = 2;
+    cfg.formal_attempts = 2;
+    cfg.formal_budget_growth = 2.0;
+    cfg.degrade_to_fuzz = true;
+    cfg.fuzz_episodes = 2000;
+
+    LiftResult r = run_error_lifting(module(), sta_result().pairs, cfg);
+    ASSERT_GT(r.pairs.size(), 0u);
+    bool saw_any = false;
+    for (const PairResult &pr : r.pairs)
+        for (const ConfigOutcome &co : pr.configs) {
+            saw_any = true;
+            if (co.degraded_to_fuzz) {
+                EXPECT_TRUE(co.fuzzed);
+                EXPECT_EQ(co.bmc, formal::BmcStatus::Covered);
+                EXPECT_FALSE(co.exhausted);
+            } else if (co.exhausted) {
+                EXPECT_EQ(co.error.code, ErrorCode::Exhausted);
+                EXPECT_NE(co.error.context.find("fuzz fallback"),
+                          std::string::npos)
+                    << co.error.context;
+            }
+        }
+    EXPECT_TRUE(saw_any);
+}
+
 TEST(TraceEngineNames, AreStable)
 {
     EXPECT_STREQ(trace_engine_name(TraceEngine::Formal), "formal");

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <vector>
 
 #include "common/rng.h"
@@ -247,6 +248,54 @@ TEST(SatSolver, ConflictBudgetReturnsUnknown)
             for (int p2 = p1 + 1; p2 < P; ++p2)
                 s.add_clause(neg(x[p1][h]), neg(x[p2][h]));
     EXPECT_EQ(s.solve(50), Solver::Result::Unknown);
+}
+
+TEST(SatSolver, WallClockDeadlineReturnsUnknown)
+{
+    // Same adversarial pigeonhole instance, but bounded by wall time
+    // instead of conflicts: the solver must terminate promptly with
+    // Unknown rather than grinding to a (slow) refutation.
+    Solver s;
+    const int P = 10, H = 9;
+    std::vector<std::vector<Var>> x(P, std::vector<Var>(H));
+    for (int p = 0; p < P; ++p)
+        for (int h = 0; h < H; ++h)
+            x[p][h] = s.new_var();
+    for (int p = 0; p < P; ++p) {
+        std::vector<Lit> clause;
+        for (int h = 0; h < H; ++h)
+            clause.push_back(pos(x[p][h]));
+        s.add_clause(clause);
+    }
+    for (int h = 0; h < H; ++h)
+        for (int p1 = 0; p1 < P; ++p1)
+            for (int p2 = p1 + 1; p2 < P; ++p2)
+                s.add_clause(neg(x[p1][h]), neg(x[p2][h]));
+
+    SolveLimits limits;
+    limits.conflict_budget = -1; // unlimited conflicts
+    limits.wall_seconds = 0.05;
+    auto start = std::chrono::steady_clock::now();
+    EXPECT_EQ(s.solve(limits), Solver::Result::Unknown);
+    double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    // Generous bound: the deadline is checked every 256 conflicts, so
+    // overshoot is small; anything near a full refutation is a bug.
+    EXPECT_LT(elapsed, 5.0);
+}
+
+TEST(SatSolver, WallClockDeadlineIgnoredWhenUnset)
+{
+    // Default limits (no budget, no deadline) still solve to completion.
+    Solver s;
+    Var a = s.new_var(), b = s.new_var();
+    s.add_clause(pos(a), pos(b));
+    s.add_clause(neg(a));
+    SolveLimits limits;
+    EXPECT_EQ(s.solve(limits), Solver::Result::Sat);
+    EXPECT_TRUE(s.model_value(b));
 }
 
 TEST(SatSolver, AdderEquivalenceUnsat)

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "common/rng.h"
 #include "formal/equiv.h"
 #include "lift/failure_model.h"
@@ -117,6 +119,104 @@ TEST(VerilogReader, RejectsMalformedInput)
     EXPECT_THROW(read_verilog("module m (clk, o); input clk; output "
                               "[0:0] o; endmodule"),
                  std::runtime_error); // output bit never assigned
+}
+
+TEST(VerilogReader, StructuredErrorsCarryLineContext)
+{
+    Expected<Netlist> r = try_read_verilog("garbage");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, ErrorCode::ParseError);
+    EXPECT_NE(r.error().context.find("line 1"), std::string::npos)
+        << r.error().context;
+
+    // Second line: the error must name it.
+    Expected<Netlist> r2 = try_read_verilog(
+        "module m (clk, o);\n  frobnicate;\nendmodule\n");
+    ASSERT_FALSE(r2.ok());
+    EXPECT_EQ(r2.error().code, ErrorCode::ParseError);
+    EXPECT_NE(r2.error().context.find("line 2"), std::string::npos)
+        << r2.error().context;
+}
+
+TEST(VerilogReader, TruncatedInputTerminatesWithParseError)
+{
+    // EOF inside the port list, a gate pin list, and a DFF pin list —
+    // each once looped forever instead of failing.
+    for (const char *text :
+         {"module m (clk, a",
+          "module m (clk, o); input clk; output [0:0] o; wire \\x ; "
+          "not \\g (\\x , ",
+          "module m (clk, o); input clk; output [0:0] o; wire \\q ; "
+          "VEGA_DFF \\ff (.clk(clk), .d("}) {
+        Expected<Netlist> r = try_read_verilog(text);
+        ASSERT_FALSE(r.ok()) << text;
+        EXPECT_EQ(r.error().code, ErrorCode::ParseError);
+        EXPECT_NE(r.error().context.find("end of input"),
+                  std::string::npos)
+            << r.error().context;
+    }
+}
+
+TEST(VerilogReader, MultiplyDrivenNetIsStructuredError)
+{
+    Expected<Netlist> r = try_read_verilog(
+        "module m (clk, a, o);\n"
+        "  input clk;\n  input [0:0] a;\n  output [0:0] o;\n"
+        "  wire \\x ;\n"
+        "  assign \\x = a[0];\n"
+        "  assign \\x = a[0];\n"
+        "  assign o[0] = \\x ;\n"
+        "endmodule\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, ErrorCode::ParseError);
+    EXPECT_NE(r.error().context.find("driven more than once"),
+              std::string::npos)
+        << r.error().context;
+}
+
+TEST(VerilogReader, GarbageAndOversizedBusRangesRejected)
+{
+    const char *tmpl = "module m (clk, a, o);\n  input clk;\n"
+                       "  input %s a;\n  output [0:0] o;\n"
+                       "  assign o[0] = a[0];\nendmodule\n";
+    for (const char *range : {"[zz:0]", "[3:1]", "[:0]", "[99999:0]"}) {
+        char buf[256];
+        std::snprintf(buf, sizeof buf, tmpl, range);
+        Expected<Netlist> r = try_read_verilog(buf);
+        ASSERT_FALSE(r.ok()) << range;
+        EXPECT_EQ(r.error().code, ErrorCode::ParseError) << range;
+    }
+}
+
+TEST(VerilogReader, CombinationalCycleIsValidationError)
+{
+    Expected<Netlist> r = try_read_verilog(
+        "module m (clk, o);\n"
+        "  input clk;\n  output [0:0] o;\n"
+        "  wire \\x ;\n  wire \\y ;\n"
+        "  not \\g1 (\\x , \\y );\n"
+        "  not \\g2 (\\y , \\x );\n"
+        "  assign o[0] = \\x ;\n"
+        "endmodule\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, ErrorCode::ValidationError);
+    EXPECT_NE(r.error().context.find("combinational cycle"),
+              std::string::npos)
+        << r.error().context;
+}
+
+TEST(VerilogReader, DuplicatePortDeclarationRejected)
+{
+    Expected<Netlist> r = try_read_verilog(
+        "module m (clk, a, o);\n"
+        "  input clk;\n  input [0:0] a;\n  input [0:0] a;\n"
+        "  output [0:0] o;\n"
+        "  assign o[0] = a[0];\nendmodule\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, ErrorCode::ParseError);
+    EXPECT_NE(r.error().context.find("declared twice"),
+              std::string::npos)
+        << r.error().context;
 }
 
 TEST(VerilogReader, DffInitValuesSurvive)
