@@ -18,6 +18,8 @@
 
 #include "campaign/campaign.h"
 #include "common/fs.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "vega/workflow.h"
 
 using namespace vega;
@@ -30,6 +32,9 @@ struct CliOptions
     campaign::CampaignConfig campaign;
     size_t workflow_max_pairs = 8;
     std::string out = "campaign_report.json";
+    std::string trace_out;
+    std::string metrics_out;
+    bool metrics_summary = false;
     bool quiet = false;
     bool per_job_json = true;
 };
@@ -55,13 +60,22 @@ usage(const char *argv0)
         "campaign_report.json)\n"
         "  --journal FILE         checkpoint completed jobs to FILE "
         "(crash-safe)\n"
+        "  --journal-flush-every N  journal group-commit size "
+        "(default 16)\n"
         "  --resume               reload the journal and skip "
         "recorded jobs\n"
         "  --retries N            attempts per job before quarantine "
         "(default 3)\n"
+        "  --trace-out FILE       write a Chrome trace-event JSON "
+        "(open in Perfetto)\n"
+        "  --metrics-out FILE     write the metrics registry snapshot "
+        "as JSON\n"
+        "  --metrics              print a metrics summary to stderr "
+        "at exit\n"
         "  --aggregate-only       omit the per-job array from the "
         "JSON\n"
-        "  --quiet                suppress progress lines\n",
+        "  --quiet                suppress progress lines\n"
+        "options also accept the --flag=value form\n",
         argv0);
 }
 
@@ -69,8 +83,19 @@ bool
 parse_args(int argc, char **argv, CliOptions &opt)
 {
     for (int i = 1; i < argc; ++i) {
+        // Accept both `--flag value` and `--flag=value`.
         std::string arg = argv[i];
+        std::string inline_value;
+        bool have_inline = false;
+        size_t eq = arg.find('=');
+        if (arg.compare(0, 2, "--") == 0 && eq != std::string::npos) {
+            inline_value = arg.substr(eq + 1);
+            arg.erase(eq);
+            have_inline = true;
+        }
         auto value = [&]() -> const char * {
+            if (have_inline)
+                return inline_value.c_str();
             return i + 1 < argc ? argv[++i] : nullptr;
         };
         if (arg == "--module") {
@@ -125,8 +150,26 @@ parse_args(int argc, char **argv, CliOptions &opt)
             if (!v)
                 return false;
             opt.campaign.journal_path = v;
+        } else if (arg == "--journal-flush-every") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.campaign.journal_flush_every =
+                std::strtoull(v, nullptr, 10);
         } else if (arg == "--resume") {
             opt.campaign.resume = true;
+        } else if (arg == "--trace-out") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.trace_out = v;
+        } else if (arg == "--metrics-out") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.metrics_out = v;
+        } else if (arg == "--metrics") {
+            opt.metrics_summary = true;
         } else if (arg == "--retries") {
             const char *v = value();
             if (!v)
@@ -156,6 +199,11 @@ main(int argc, char **argv)
         return 2;
     }
     opt.campaign.progress = !opt.quiet;
+
+    // Tracing must be live before the workflow so SAT/BMC/STA spans
+    // from campaign setup land in the same trace as the jobs.
+    if (!opt.trace_out.empty())
+        obs::trace_enable();
 
     std::printf("vega_campaign: module=%s jobs=%zu threads=%zu "
                 "seed=%llu\n",
@@ -224,10 +272,15 @@ main(int argc, char **argv)
     std::printf("  mean detection latency %.2f scheduler slots\n",
                 report.mean_latency_slots());
     std::printf("  %.2fs wall, %.1f jobs/s, %.0f sims/s, %zu "
-                "threads, %llu steals\n",
+                "threads, %llu steals, peak queue %llu\n",
                 report.timing.wall_seconds, report.timing.jobs_per_sec,
                 report.timing.sims_per_sec, report.timing.threads,
-                (unsigned long long)report.timing.steals);
+                (unsigned long long)report.timing.steals,
+                (unsigned long long)report.timing.peak_queue_depth);
+    if (report.timing.journal_flushes)
+        std::printf("  journal: %llu flushes, %llu bytes\n",
+                    (unsigned long long)report.timing.journal_flushes,
+                    (unsigned long long)report.timing.journal_bytes);
 
     // Write-temp-then-rename: a crash mid-write never leaves a
     // truncated report where a previous good one stood.
@@ -239,5 +292,34 @@ main(int argc, char **argv)
         return 1;
     }
     std::printf("report written to %s\n", opt.out.c_str());
+
+    // Observability exports come last so they cover the whole run.
+    if (!opt.trace_out.empty()) {
+        Expected<void> tw = obs::write_chrome_trace(opt.trace_out);
+        if (!tw) {
+            std::fprintf(stderr, "cannot write %s: %s\n",
+                         opt.trace_out.c_str(),
+                         tw.error().to_string().c_str());
+            return 1;
+        }
+        uint64_t dropped = obs::trace_dropped();
+        std::printf("trace written to %s%s\n", opt.trace_out.c_str(),
+                    dropped ? " (ring overflow: oldest spans dropped)"
+                            : "");
+    }
+    if (!opt.metrics_out.empty()) {
+        obs::MetricsSnapshot snap = obs::snapshot_metrics();
+        Expected<void> mw =
+            write_file_atomic(opt.metrics_out, snap.to_json() + "\n");
+        if (!mw) {
+            std::fprintf(stderr, "cannot write %s: %s\n",
+                         opt.metrics_out.c_str(),
+                         mw.error().to_string().c_str());
+            return 1;
+        }
+        std::printf("metrics written to %s\n", opt.metrics_out.c_str());
+    }
+    if (opt.metrics_summary)
+        std::fputs(obs::snapshot_metrics().summary().c_str(), stderr);
     return 0;
 }

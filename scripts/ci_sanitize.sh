@@ -23,4 +23,9 @@ cmake -S "$repo" -B "$build" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DVEGA_SANITIZE=ON
 cmake --build "$build" -j "$jobs"
+# The observability layer is the most concurrency-heavy code in the
+# tree (sharded counters, trace rings, the lock-light pool); run its
+# focused tests first so a data race there fails fast and readably.
+ctest --test-dir "$build" --output-on-failure -R 'Obs|ThreadPool' \
+    -j "$jobs"
 ctest --test-dir "$build" --output-on-failure -j "$jobs" "$@"

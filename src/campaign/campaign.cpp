@@ -10,10 +10,30 @@
 #include "campaign/thread_pool.h"
 #include "common/fs.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vega::campaign {
 
 namespace {
+
+/**
+ * Per-worker job counter (`campaign.jobs.w<N>`), resolved once per
+ * worker via thread-local caching — the registry lookup (a map probe
+ * under a mutex) only happens on each worker's first job.
+ */
+obs::Counter &
+worker_jobs_counter()
+{
+    static obs::Counter &fallback = obs::counter("campaign.jobs.main");
+    thread_local obs::Counter *c = [] {
+        int w = ThreadPool::current_worker();
+        if (w < 0)
+            return &fallback;
+        return &obs::counter("campaign.jobs.w" + std::to_string(w));
+    }();
+    return *c;
+}
 
 lift::FailureModelSpec
 fault_spec(const sta::EndpointPair &pair, lift::FaultConstant c)
@@ -161,7 +181,8 @@ try_run_campaign(const HwModule &module,
                 }
         }
         Expected<void> opened =
-            journal.open(cfg.journal_path, header, prior_ptr);
+            journal.open(cfg.journal_path, header, prior_ptr,
+                         cfg.journal_flush_every);
         if (!opened)
             return opened.error();
     }
@@ -185,6 +206,7 @@ try_run_campaign(const HwModule &module,
     for (size_t pi = 0; pi < npairs; ++pi) {
         for (size_t ci = 0; ci < nconst; ++ci) {
             pool.submit([&, pi, ci] {
+                VEGA_SPAN("campaign.characterize");
                 size_t idx = pi * nconst + ci;
                 try {
                     faults[idx] = lift::build_failing_netlist(
@@ -227,6 +249,11 @@ try_run_campaign(const HwModule &module,
         pool.submit([&, spec, idx] {
             if (stop.load(std::memory_order_relaxed))
                 return;
+            VEGA_SPAN("campaign.job");
+            static obs::Counter &jobs_counter =
+                obs::counter("campaign.jobs");
+            jobs_counter.inc();
+            worker_jobs_counter().inc();
             if (!char_error[idx].empty()) {
                 FailedJob f;
                 f.id = spec.id;
@@ -269,6 +296,9 @@ try_run_campaign(const HwModule &module,
                                           std::to_string(attempt) +
                                           ": non-standard exception");
                 }
+                static obs::Counter &retry_counter =
+                    obs::counter("campaign.retries");
+                retry_counter.inc();
                 // Fresh downstream randomness for the retry, still a
                 // pure function of (campaign seed, job id, attempt).
                 uint64_t stream = job_stream(
@@ -307,6 +337,11 @@ try_run_campaign(const HwModule &module,
         });
     }
     pool.wait_idle();
+    if (journal.is_open() && !journal_error) {
+        Expected<void> synced = journal.sync();
+        if (!synced)
+            journal_error = synced.error();
+    }
     if (journal_error)
         return *journal_error;
 
@@ -335,6 +370,9 @@ try_run_campaign(const HwModule &module,
         wall > 0 ? double(report.total_sim_cycles) / wall : 0.0;
     report.timing.threads = pool.size();
     report.timing.steals = pool.steals();
+    report.timing.peak_queue_depth = pool.peak_queued();
+    report.timing.journal_flushes = journal.flushes();
+    report.timing.journal_bytes = journal.bytes_written();
     if (meter)
         meter->finish();
     return report;

@@ -67,6 +67,13 @@ struct CampaignConfig
     // Fault tolerance.
     /** Checkpoint journal path; empty disables journaling. */
     std::string journal_path;
+    /**
+     * Journal group-commit size: the file is rewritten once per this
+     * many settled jobs (and once at the end). 1 = every record, the
+     * most crash-safe and the slowest; larger values amortize the
+     * O(journal size) rewrite at the cost of a wider crash window.
+     */
+    size_t journal_flush_every = 16;
     /** Reload an existing journal at journal_path and skip its jobs. */
     bool resume = false;
     /** Attempts per job (fresh seed each retry) before quarantine. */

@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "common/fs.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/test_case.h"
 
 namespace vega::campaign {
@@ -220,9 +222,11 @@ read_journal(const std::string &path)
 
 Expected<void>
 JournalWriter::open(const std::string &path, const JournalHeader &header,
-                    const JournalState *prior)
+                    const JournalState *prior, size_t flush_every)
 {
     path_ = path;
+    flush_every_ = flush_every < 1 ? 1 : flush_every;
+    unflushed_ = 0;
     content_ = std::string(kMagic) + "\n" + header.to_string() + "\n";
     if (prior) {
         for (const JobResult &r : prior->completed) {
@@ -235,8 +239,9 @@ JournalWriter::open(const std::string &path, const JournalHeader &header,
             if (!ok)
                 return ok;
         }
-        return {};
     }
+    // The header (and any resumed records) must be durable before new
+    // results land, whatever the group-commit size.
     return flush();
 }
 
@@ -252,7 +257,7 @@ JournalWriter::record(const JobResult &r)
        << r.sim_cycles << " " << (r.corrupts_workload ? 1 : 0) << " "
        << (r.escape ? 1 : 0) << " " << r.attempts << "\n";
     content_ += os.str();
-    return flush();
+    return after_record();
 }
 
 Expected<void>
@@ -268,12 +273,38 @@ JournalWriter::record(const FailedJob &f)
     os << "failed " << f.id << " " << f.pair_index << " " << f.attempts
        << " " << error_code_name(f.error.code) << " " << context << "\n";
     content_ += os.str();
+    return after_record();
+}
+
+Expected<void>
+JournalWriter::after_record()
+{
+    if (++unflushed_ >= flush_every_)
+        return flush();
+    return {};
+}
+
+Expected<void>
+JournalWriter::sync()
+{
+    if (unflushed_ == 0)
+        return {};
     return flush();
 }
 
 Expected<void>
 JournalWriter::flush()
 {
+    VEGA_SPAN("campaign.journal_flush");
+    unflushed_ = 0;
+    ++flushes_;
+    bytes_written_ += content_.size();
+    static obs::Counter &flush_counter =
+        obs::counter("campaign.journal_flushes");
+    static obs::Counter &byte_counter =
+        obs::counter("campaign.journal_bytes");
+    flush_counter.inc();
+    byte_counter.add(content_.size());
     return write_file_atomic(path_, content_);
 }
 

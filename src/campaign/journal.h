@@ -20,9 +20,14 @@
  *   failed <id> <pair> <attempts> <code> <context...>
  *
  * (config and job lines are single lines; wrapped here for width.)
- * Every append rewrites the file via write-temp-then-rename, so the
+ * Every flush rewrites the file via write-temp-then-rename, so the
  * on-disk journal is always a complete, parseable snapshot — a crash
- * can lose at most the in-flight append, never corrupt the file. The
+ * can lose at most the records buffered since the last flush, never
+ * corrupt the file. Flush granularity is group-commit: record()
+ * buffers, and the file is rewritten every @p flush_every records
+ * (default every record) plus once at sync(). Rewriting per record is
+ * O(n²) bytes over a campaign; batching amortizes that to O(n²/k)
+ * while keeping the at-most-k-records crash window explicit. The
  * config line fingerprints the campaign; resuming under a different
  * configuration is refused with JournalMismatch rather than silently
  * mixing incompatible results.
@@ -70,9 +75,11 @@ struct JournalState
 Expected<JournalState> read_journal(const std::string &path);
 
 /**
- * Appends job records, rewriting the file atomically on every record
- * so a crash at any instant leaves a valid journal on disk. Not
- * thread-safe; the campaign serializes appends behind a mutex.
+ * Appends job records with group-commit durability: the file is
+ * rewritten atomically every flush_every records and at sync(), so a
+ * crash at any instant leaves a valid journal on disk holding all but
+ * at most the last flush_every - 1 records. Not thread-safe; the
+ * campaign serializes appends behind a mutex.
  */
 class JournalWriter
 {
@@ -83,22 +90,37 @@ class JournalWriter
      * Start journaling to @p path with @p header, seeding the file
      * with @p prior records (the resume case). Truncates any existing
      * file — call read_journal first to recover its contents.
+     * @p flush_every sets the group-commit size (min 1).
      */
     Expected<void> open(const std::string &path,
                         const JournalHeader &header,
-                        const JournalState *prior = nullptr);
+                        const JournalState *prior = nullptr,
+                        size_t flush_every = 1);
 
     Expected<void> record(const JobResult &result);
     Expected<void> record(const FailedJob &failure);
 
+    /** Flush any buffered records; call before declaring success. */
+    Expected<void> sync();
+
     bool is_open() const { return !path_.empty(); }
     const std::string &path() const { return path_; }
 
+    /** Atomic rewrites performed so far (observability / tests). */
+    uint64_t flushes() const { return flushes_; }
+    /** Total bytes written across those rewrites. */
+    uint64_t bytes_written() const { return bytes_written_; }
+
   private:
     Expected<void> flush();
+    Expected<void> after_record();
 
     std::string path_;
     std::string content_;
+    size_t flush_every_ = 1;
+    size_t unflushed_ = 0;
+    uint64_t flushes_ = 0;
+    uint64_t bytes_written_ = 0;
 };
 
 } // namespace vega::campaign

@@ -82,6 +82,12 @@ struct CampaignTiming
     double sims_per_sec = 0.0;
     size_t threads = 1;
     uint64_t steals = 0;
+    /** High-water mark of tasks waiting in pool queues. */
+    uint64_t peak_queue_depth = 0;
+    /** Atomic journal rewrites (0 when journaling is off). */
+    uint64_t journal_flushes = 0;
+    /** Total bytes those rewrites wrote. */
+    uint64_t journal_bytes = 0;
 };
 
 struct CampaignReport

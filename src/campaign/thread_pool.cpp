@@ -1,5 +1,7 @@
 #include "campaign/thread_pool.h"
 
+#include "obs/metrics.h"
+
 namespace vega::campaign {
 
 namespace {
@@ -7,6 +9,13 @@ namespace {
 /** Which pool (and worker slot) the current thread belongs to. */
 thread_local const ThreadPool *tl_pool = nullptr;
 thread_local size_t tl_worker = 0;
+
+obs::Gauge &
+queue_depth_gauge()
+{
+    static obs::Gauge &g = obs::gauge("campaign.queue_depth");
+    return g;
+}
 
 } // namespace
 
@@ -36,6 +45,12 @@ ThreadPool::~ThreadPool()
         w.join();
 }
 
+int
+ThreadPool::current_worker()
+{
+    return tl_pool ? int(tl_worker) : -1;
+}
+
 void
 ThreadPool::submit(std::function<void()> task)
 {
@@ -43,14 +58,21 @@ ThreadPool::submit(std::function<void()> task)
                                  : rr_.fetch_add(1) % queues_.size();
     // Count before pushing so a worker can never decrement queued_
     // below the number of visible tasks.
-    queued_.fetch_add(1);
+    pending_.fetch_add(1);
+    uint64_t q = queued_.fetch_add(1) + 1;
+    uint64_t peak = peak_queued_.load(std::memory_order_relaxed);
+    while (q > peak && !peak_queued_.compare_exchange_weak(peak, q))
+        ;
+    queue_depth_gauge().record_max(int64_t(q));
     {
         std::lock_guard<std::mutex> lk(queues_[wid]->mu);
         queues_[wid]->tasks.push_back(std::move(task));
     }
+    // Empty critical section: orders the queued_ increment against a
+    // worker that checked the wait predicate and is about to sleep, so
+    // the notify below can never be lost.
     {
         std::lock_guard<std::mutex> lk(mu_);
-        ++pending_;
     }
     work_cv_.notify_one();
 }
@@ -76,6 +98,9 @@ ThreadPool::take_task(size_t wid, std::function<void()> &out)
             victim.tasks.pop_front();
             queued_.fetch_sub(1);
             steals_.fetch_add(1);
+            static obs::Counter &steal_counter =
+                obs::counter("campaign.steals");
+            steal_counter.inc();
             return true;
         }
     }
@@ -88,28 +113,25 @@ ThreadPool::worker_loop(size_t wid)
     tl_pool = this;
     tl_worker = wid;
     for (;;) {
-        {
-            std::unique_lock<std::mutex> lk(mu_);
-            work_cv_.wait(
-                lk, [&] { return stop_ || queued_.load() > 0; });
-        }
         std::function<void()> task;
         if (take_task(wid, task)) {
             task();
             executed_.fetch_add(1);
-            bool idle;
-            {
+            // Publish completion; wake wait_idle() only on the last
+            // task, and a sleeping sibling only when a finished task
+            // spawned new work.
+            if (pending_.fetch_sub(1) == 1) {
                 std::lock_guard<std::mutex> lk(mu_);
-                idle = --pending_ == 0;
-            }
-            if (idle)
                 idle_cv_.notify_all();
-            // A finished task may have spawned work: give a sleeping
-            // sibling a chance to pick it up.
+            }
             if (queued_.load() > 0)
                 work_cv_.notify_one();
         } else {
-            std::lock_guard<std::mutex> lk(mu_);
+            std::unique_lock<std::mutex> lk(mu_);
+            if (stop_)
+                return;
+            work_cv_.wait(
+                lk, [&] { return stop_ || queued_.load() > 0; });
             if (stop_)
                 return;
         }
@@ -120,7 +142,7 @@ void
 ThreadPool::wait_idle()
 {
     std::unique_lock<std::mutex> lk(mu_);
-    idle_cv_.wait(lk, [&] { return pending_ == 0; });
+    idle_cv_.wait(lk, [&] { return pending_.load() == 0; });
 }
 
 } // namespace vega::campaign

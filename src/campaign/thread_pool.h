@@ -8,6 +8,12 @@
  * from outside the pool are sprayed round-robin across the queues;
  * tasks submitted from inside a worker land on that worker's own deque.
  *
+ * The fast path is lock-light: submit touches only the target queue's
+ * mutex (plus an empty critical section on the global mutex to
+ * publish the wakeup), and a worker that finds work never takes the
+ * global mutex at all — it is acquired only to go to sleep or to
+ * signal the pending count hitting zero.
+ *
  * The pool makes no ordering promises, so campaign determinism never
  * relies on it: jobs write results into slots keyed by job id.
  */
@@ -47,6 +53,15 @@ class ThreadPool
     uint64_t executed() const { return executed_.load(); }
     /** Tasks a worker took from another worker's deque. */
     uint64_t steals() const { return steals_.load(); }
+    /** High-water mark of tasks waiting in queues. */
+    uint64_t peak_queued() const { return peak_queued_.load(); }
+
+    /**
+     * Worker slot of the calling thread in the pool it belongs to, or
+     * -1 when the caller is not a pool worker. Slots are dense [0, N),
+     * so per-worker metrics can key on them.
+     */
+    static int current_worker();
 
   private:
     struct WorkerQueue
@@ -62,15 +77,16 @@ class ThreadPool
     std::vector<std::unique_ptr<WorkerQueue>> queues_;
     std::vector<std::thread> workers_;
 
-    std::mutex mu_; ///< guards sleeping workers, pending_, stop_
+    std::mutex mu_; ///< guards sleeping workers and stop_
     std::condition_variable work_cv_;
     std::condition_variable idle_cv_;
-    uint64_t pending_ = 0; ///< submitted but not yet finished
     bool stop_ = false;
 
-    std::atomic<uint64_t> queued_{0}; ///< submitted but not yet taken
+    std::atomic<uint64_t> pending_{0}; ///< submitted, not yet finished
+    std::atomic<uint64_t> queued_{0};  ///< submitted, not yet taken
     std::atomic<uint64_t> executed_{0};
     std::atomic<uint64_t> steals_{0};
+    std::atomic<uint64_t> peak_queued_{0};
     std::atomic<size_t> rr_{0};
 };
 

@@ -1,12 +1,21 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace vega {
 
 namespace {
-LogLevel g_level = LogLevel::Info;
+
+/**
+ * The level lives in an atomic so worker threads can log while the
+ * main thread adjusts verbosity. -1 means "not yet initialized": the
+ * first reader resolves VEGA_LOG_LEVEL from the environment exactly
+ * once (a benign race — every thread computes the same value).
+ */
+std::atomic<int> g_level{-1};
 
 const char *
 level_name(LogLevel level)
@@ -19,39 +28,79 @@ level_name(LogLevel level)
     }
     return "?";
 }
+
+int
+resolve_level()
+{
+    int lvl = g_level.load(std::memory_order_relaxed);
+    if (lvl >= 0)
+        return lvl;
+    LogLevel parsed = LogLevel::Info;
+    const char *env = std::getenv("VEGA_LOG_LEVEL");
+    if (env && !parse_log_level(env, parsed))
+        std::fprintf(stderr,
+                     "[vega:warn] VEGA_LOG_LEVEL='%s' is not a level "
+                     "(debug|info|warn|error); using info\n",
+                     env);
+    lvl = static_cast<int>(parsed);
+    g_level.store(lvl, std::memory_order_relaxed);
+    return lvl;
+}
+
 } // namespace
+
+bool
+parse_log_level(const std::string &name, LogLevel &out)
+{
+    for (LogLevel l : {LogLevel::Debug, LogLevel::Info, LogLevel::Warn,
+                       LogLevel::Error})
+        if (name == level_name(l)) {
+            out = l;
+            return true;
+        }
+    return false;
+}
 
 void
 set_log_level(LogLevel level)
 {
-    g_level = level;
+    g_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 LogLevel
 log_level()
 {
-    return g_level;
+    return static_cast<LogLevel>(resolve_level());
 }
 
 void
 log(LogLevel level, const std::string &msg)
 {
-    if (static_cast<int>(level) < static_cast<int>(g_level))
+    if (static_cast<int>(level) < resolve_level())
         return;
-    std::fprintf(stderr, "[vega:%s] %s\n", level_name(level), msg.c_str());
+    // One fwrite per line: concurrent loggers may interleave whole
+    // lines but never splice characters, and stderr needs no flush.
+    std::string line = "[vega:";
+    line += level_name(level);
+    line += "] ";
+    line += msg;
+    line += '\n';
+    std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 void
 fatal(const std::string &msg)
 {
-    std::fprintf(stderr, "[vega:fatal] %s\n", msg.c_str());
+    std::string line = "[vega:fatal] " + msg + "\n";
+    std::fwrite(line.data(), 1, line.size(), stderr);
     std::exit(1);
 }
 
 void
 panic(const std::string &msg)
 {
-    std::fprintf(stderr, "[vega:panic] %s\n", msg.c_str());
+    std::string line = "[vega:panic] " + msg + "\n";
+    std::fwrite(line.data(), 1, line.size(), stderr);
     std::abort();
 }
 

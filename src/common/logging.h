@@ -15,11 +15,24 @@ namespace vega {
 
 enum class LogLevel { Debug, Info, Warn, Error };
 
-/** Set the minimum level that log() actually emits (default Info). */
+/**
+ * Set the minimum level that log() actually emits. The default is
+ * Info, or whatever the VEGA_LOG_LEVEL environment variable names
+ * (debug|info|warn|error) when the process first logs; an explicit
+ * set_log_level always wins over the environment. Both calls are
+ * thread-safe.
+ */
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/** Emit a log line to stderr if @p level passes the filter. */
+/** "debug"|"info"|"warn"|"error" => the level; anything else false. */
+bool parse_log_level(const std::string &name, LogLevel &out);
+
+/**
+ * Emit a log line to stderr if @p level passes the filter. Safe to
+ * call from any thread: each line is written with a single fwrite, so
+ * concurrent lines never splice mid-character.
+ */
 void log(LogLevel level, const std::string &msg);
 
 /** User-facing error: print and exit(1). */

@@ -2,6 +2,8 @@
 
 #include "common/logging.h"
 #include "formal/unroller.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vega::formal {
 
@@ -55,14 +57,39 @@ query_limits(const BmcOptions &opts)
 
 } // namespace
 
+namespace {
+
+/** Count one query outcome into the bmc.covered/unreachable/timeout
+ *  counters at whatever point check_cover settles on it. */
+void
+count_outcome(BmcStatus status)
+{
+    static obs::Counter &covered = obs::counter("bmc.covered");
+    static obs::Counter &unreachable = obs::counter("bmc.unreachable");
+    static obs::Counter &timeouts = obs::counter("bmc.timeouts");
+    switch (status) {
+      case BmcStatus::Covered:     covered.inc(); break;
+      case BmcStatus::Unreachable: unreachable.inc(); break;
+      case BmcStatus::Timeout:     timeouts.inc(); break;
+    }
+}
+
+} // namespace
+
 BmcResult
 check_cover(const Netlist &nl, NetId target, const BmcOptions &opts)
 {
+    VEGA_SPAN("bmc.check_cover");
+    static obs::Counter &frames_unrolled =
+        obs::counter("bmc.frames_unrolled");
+
     BmcResult result;
     result.conflicts = 0;
 
     // Phase 1: bounded search from reset, shortest trace first.
     for (int k = 1; k <= opts.max_frames; ++k) {
+        VEGA_SPAN("bmc.frame");
+        frames_unrolled.add(uint64_t(k));
         Unroller unroll(nl, /*free_initial=*/false);
         for (int f = 0; f < k; ++f)
             unroll.add_frame();
@@ -78,11 +105,13 @@ check_cover(const Netlist &nl, NetId target, const BmcOptions &opts)
             result.status = BmcStatus::Covered;
             result.frames = k;
             result.trace = extract_trace(nl, unroll, k);
+            count_outcome(result.status);
             return result;
         }
         if (res == sat::Solver::Result::Unknown) {
             result.status = BmcStatus::Timeout;
             result.frames = k;
+            count_outcome(result.status);
             return result;
         }
     }
@@ -92,6 +121,8 @@ check_cover(const Netlist &nl, NetId target, const BmcOptions &opts)
     // target? UNSAT generalizes over every reachable state (the shadow
     // invariant holds on all of them), proving the cover unreachable.
     {
+        VEGA_SPAN("bmc.unreachability");
+        frames_unrolled.add(2);
         Unroller unroll(nl, /*free_initial=*/true, opts.state_equalities);
         unroll.add_frame();
         unroll.add_frame();
@@ -107,10 +138,12 @@ check_cover(const Netlist &nl, NetId target, const BmcOptions &opts)
         if (res == sat::Solver::Result::Unsat) {
             result.status = BmcStatus::Unreachable;
             result.proven_by_induction = true;
+            count_outcome(result.status);
             return result;
         }
         if (res == sat::Solver::Result::Unknown) {
             result.status = BmcStatus::Timeout;
+            count_outcome(result.status);
             return result;
         }
     }
@@ -122,6 +155,7 @@ check_cover(const Netlist &nl, NetId target, const BmcOptions &opts)
     result.status = BmcStatus::Unreachable;
     result.proven_by_induction = false;
     result.frames = opts.max_frames;
+    count_outcome(result.status);
     return result;
 }
 
@@ -130,10 +164,13 @@ check_cover_escalating(const Netlist &nl, NetId target,
                        const BmcOptions &opts,
                        const EscalationPolicy &policy)
 {
+    static obs::Counter &escalations = obs::counter("bmc.escalations");
     EscalatedBmcResult out;
     BmcOptions attempt_opts = opts;
     int max_attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
     for (int attempt = 1;; ++attempt) {
+        if (attempt > 1)
+            escalations.inc();
         out.result = check_cover(nl, target, attempt_opts);
         out.attempts = attempt;
         out.total_conflicts += out.result.conflicts;

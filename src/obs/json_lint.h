@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Minimal strict JSON validity checker.
+ *
+ * Vega emits all of its artifacts (campaign reports, metrics
+ * snapshots, Chrome traces) as hand-rendered JSON; this is the
+ * matching consumer-side guard. It validates full RFC 8259 syntax —
+ * one top-level value, strings with escapes, numbers, nesting depth
+ * capped — without building a document tree, so CI can cheaply assert
+ * "this artifact parses" right after producing it.
+ */
+#pragma once
+
+#include <string>
+
+#include "common/error.h"
+
+namespace vega::obs {
+
+/**
+ * Validate that @p text is exactly one well-formed JSON value
+ * (trailing whitespace allowed). Errors come back as InvalidArgument
+ * with the byte offset of the first problem.
+ */
+Expected<void> json_validate(const std::string &text);
+
+} // namespace vega::obs

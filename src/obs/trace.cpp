@@ -1,0 +1,221 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+#include "common/fs.h"
+
+namespace vega::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+} // namespace detail
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** One thread's span ring. The owner and collectors share the mutex;
+ *  spans are coarse (a solve, a job), so the lock is uncontended in
+ *  practice. */
+struct ThreadBuf
+{
+    std::mutex mu;
+    std::vector<TraceEvent> ring;
+    size_t capacity = 0;
+    size_t next = 0;     ///< ring slot the next event lands in
+    uint64_t dropped = 0;
+    uint32_t tid = 0;
+    uint64_t generation = 0; ///< trace session this buffer last saw
+};
+
+struct TraceState
+{
+    std::mutex mu; ///< guards bufs / epoch / capacity / generation
+    std::vector<std::shared_ptr<ThreadBuf>> bufs;
+    Clock::time_point epoch = Clock::now();
+    size_t capacity = 1 << 16;
+    uint64_t generation = 0;
+    std::atomic<uint32_t> next_tid{1};
+};
+
+TraceState &
+state()
+{
+    static TraceState *s = new TraceState; // outlives static teardown
+    return *s;
+}
+
+/** The calling thread's buffer, registered globally on first use. */
+ThreadBuf &
+thread_buf()
+{
+    static thread_local std::shared_ptr<ThreadBuf> buf = [] {
+        TraceState &s = state();
+        auto b = std::make_shared<ThreadBuf>();
+        std::lock_guard<std::mutex> lk(s.mu);
+        b->tid = s.next_tid.fetch_add(1);
+        b->capacity = s.capacity;
+        b->generation = s.generation;
+        s.bufs.push_back(b);
+        return b;
+    }();
+    return *buf;
+}
+
+} // namespace
+
+namespace detail {
+
+uint64_t
+now_ns()
+{
+    return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        Clock::now() - state().epoch)
+                        .count());
+}
+
+void
+record_span(const char *name, uint64_t t0_ns)
+{
+    uint64_t t1 = now_ns();
+    TraceState &s = state();
+    ThreadBuf &b = thread_buf();
+    std::lock_guard<std::mutex> lk(b.mu);
+    // A buffer created before the current trace_enable() may hold
+    // events from the previous session; a generation mismatch says
+    // "start fresh" without trace_enable having to visit every buffer.
+    uint64_t gen;
+    size_t cap;
+    {
+        std::lock_guard<std::mutex> slk(s.mu);
+        gen = s.generation;
+        cap = s.capacity;
+    }
+    if (b.generation != gen) {
+        b.generation = gen;
+        b.capacity = cap;
+        b.ring.clear();
+        b.next = 0;
+        b.dropped = 0;
+    }
+    TraceEvent e;
+    e.name = name;
+    e.ts_ns = t0_ns;
+    e.dur_ns = t1 >= t0_ns ? t1 - t0_ns : 0;
+    e.tid = b.tid;
+    if (b.ring.size() < b.capacity) {
+        b.ring.push_back(e);
+    } else if (b.capacity > 0) {
+        b.ring[b.next] = e;
+        b.next = (b.next + 1) % b.capacity;
+        ++b.dropped;
+    } else {
+        ++b.dropped;
+    }
+}
+
+} // namespace detail
+
+void
+trace_enable(size_t events_per_thread)
+{
+    TraceState &s = state();
+    {
+        std::lock_guard<std::mutex> lk(s.mu);
+        ++s.generation;
+        s.capacity = events_per_thread;
+        s.epoch = Clock::now();
+    }
+    detail::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void
+trace_disable()
+{
+    detail::g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+uint64_t
+trace_dropped()
+{
+    TraceState &s = state();
+    std::vector<std::shared_ptr<ThreadBuf>> bufs;
+    uint64_t gen;
+    {
+        std::lock_guard<std::mutex> lk(s.mu);
+        bufs = s.bufs;
+        gen = s.generation;
+    }
+    uint64_t total = 0;
+    for (auto &b : bufs) {
+        std::lock_guard<std::mutex> lk(b->mu);
+        if (b->generation == gen)
+            total += b->dropped;
+    }
+    return total;
+}
+
+std::vector<TraceEvent>
+trace_collect()
+{
+    TraceState &s = state();
+    std::vector<std::shared_ptr<ThreadBuf>> bufs;
+    uint64_t gen;
+    {
+        std::lock_guard<std::mutex> lk(s.mu);
+        bufs = s.bufs;
+        gen = s.generation;
+    }
+    std::vector<TraceEvent> out;
+    for (auto &b : bufs) {
+        std::lock_guard<std::mutex> lk(b->mu);
+        if (b->generation != gen)
+            continue; // stale events from a previous session
+        // Oldest first: the ring wraps at `next`.
+        for (size_t i = 0; i < b->ring.size(); ++i)
+            out.push_back(b->ring[(b->next + i) % b->ring.size()]);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TraceEvent &a, const TraceEvent &b) {
+                  if (a.tid != b.tid)
+                      return a.tid < b.tid;
+                  if (a.ts_ns != b.ts_ns)
+                      return a.ts_ns < b.ts_ns;
+                  return a.dur_ns > b.dur_ns; // enclosing span first
+              });
+    return out;
+}
+
+std::string
+chrome_trace_json(const std::vector<TraceEvent> &events)
+{
+    std::string out;
+    out.reserve(128 + events.size() * 96);
+    out += "{\"traceEvents\":[";
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+           "\"name\":\"process_name\",\"args\":{\"name\":\"vega\"}}";
+    char buf[192];
+    for (const TraceEvent &e : events) {
+        std::snprintf(buf, sizeof buf,
+                      ",{\"ph\":\"X\",\"pid\":1,\"tid\":%u,"
+                      "\"name\":\"%s\",\"ts\":%.3f,\"dur\":%.3f}",
+                      e.tid, e.name ? e.name : "?",
+                      double(e.ts_ns) / 1e3, double(e.dur_ns) / 1e3);
+        out += buf;
+    }
+    out += "],\"displayTimeUnit\":\"ms\"}";
+    return out;
+}
+
+Expected<void>
+write_chrome_trace(const std::string &path)
+{
+    return write_file_atomic(path, chrome_trace_json(trace_collect()) +
+                                       "\n");
+}
+
+} // namespace vega::obs

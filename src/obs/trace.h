@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Scoped tracing spans recorded into thread-local ring buffers.
+ *
+ * Usage: drop `VEGA_SPAN("sat.solve");` at the top of a scope. When
+ * tracing is disabled (the default) the span costs a single branch on
+ * a relaxed atomic load — no clock read, no allocation, nothing. When
+ * enabled, entering and leaving the scope records one complete event
+ * (begin timestamp, duration, thread id) into the calling thread's
+ * ring buffer; a full ring overwrites its oldest events and counts
+ * them as dropped rather than blocking or growing.
+ *
+ * Buffers are registered globally on first use per thread and outlive
+ * the thread, so trace_collect() after worker joins still sees every
+ * event. Export with write_chrome_trace(): the output loads directly
+ * in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+ *
+ * Span names must be string literals (or otherwise outlive the
+ * tracer): events store the pointer, not a copy.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace vega::obs {
+
+struct TraceEvent
+{
+    const char *name = nullptr;
+    uint64_t ts_ns = 0;  ///< begin, relative to trace_enable()
+    uint64_t dur_ns = 0; ///< end - begin
+    uint32_t tid = 0;    ///< tracer-assigned sequential thread id
+};
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+void record_span(const char *name, uint64_t t0_ns);
+uint64_t now_ns();
+} // namespace detail
+
+/** True between trace_enable() and trace_disable(). */
+inline bool
+trace_enabled()
+{
+    return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/**
+ * Start recording spans. Clears previously collected events; each
+ * thread's ring holds up to @p events_per_thread events (oldest
+ * overwritten beyond that).
+ */
+void trace_enable(size_t events_per_thread = 1 << 16);
+
+/** Stop recording. Recorded events stay available for collection. */
+void trace_disable();
+
+/** Events overwritten because a thread's ring was full. */
+uint64_t trace_dropped();
+
+/**
+ * Copy out every recorded event, sorted by (tid, ts, -dur) so the
+ * events of one thread read as a properly nested span stack.
+ */
+std::vector<TraceEvent> trace_collect();
+
+/**
+ * Render @p events as Chrome trace-event JSON ("X" complete events,
+ * microsecond timestamps) loadable in Perfetto / chrome://tracing.
+ */
+std::string chrome_trace_json(const std::vector<TraceEvent> &events);
+
+/**
+ * Collect and write the trace to @p path via the atomic temp-then-
+ * rename path, so a crash mid-export never leaves a torn file.
+ */
+Expected<void> write_chrome_trace(const std::string &path);
+
+/**
+ * RAII span. Does nothing — one branch — when tracing is disabled at
+ * construction; otherwise records a complete event at destruction.
+ */
+class ScopedSpan
+{
+  public:
+    explicit ScopedSpan(const char *name)
+    {
+        if (trace_enabled()) {
+            name_ = name;
+            t0_ = detail::now_ns();
+        }
+    }
+    ~ScopedSpan()
+    {
+        if (name_)
+            detail::record_span(name_, t0_);
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    const char *name_ = nullptr;
+    uint64_t t0_ = 0;
+};
+
+} // namespace vega::obs
+
+#define VEGA_SPAN_CONCAT2(a, b) a##b
+#define VEGA_SPAN_CONCAT(a, b) VEGA_SPAN_CONCAT2(a, b)
+/** Trace the enclosing scope as one span named @p name (a literal). */
+#define VEGA_SPAN(name)                                                     \
+    ::vega::obs::ScopedSpan VEGA_SPAN_CONCAT(vega_span_, __LINE__)(name)

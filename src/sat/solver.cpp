@@ -5,8 +5,55 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vega::sat {
+
+namespace {
+
+/**
+ * Flushes this solve's counter deltas and solve-time histogram to the
+ * metrics registry on every exit path of solve(). All accounting
+ * happens once per solve call, so the CDCL hot loop stays untouched.
+ */
+struct SolveMetricsScope
+{
+    const Solver &solver;
+    uint64_t conflicts0, propagations0, decisions0, restarts0;
+    std::chrono::steady_clock::time_point t0;
+
+    explicit SolveMetricsScope(const Solver &s)
+        : solver(s), conflicts0(s.num_conflicts()),
+          propagations0(s.num_propagations()),
+          decisions0(s.num_decisions()), restarts0(s.num_restarts()),
+          t0(std::chrono::steady_clock::now())
+    {
+    }
+
+    ~SolveMetricsScope()
+    {
+        static obs::Counter &solves = obs::counter("sat.solves");
+        static obs::Counter &conflicts = obs::counter("sat.conflicts");
+        static obs::Counter &propagations =
+            obs::counter("sat.propagations");
+        static obs::Counter &decisions = obs::counter("sat.decisions");
+        static obs::Counter &restarts = obs::counter("sat.restarts");
+        static obs::Histogram &solve_seconds =
+            obs::histogram("sat.solve_seconds");
+        solves.inc();
+        conflicts.add(solver.num_conflicts() - conflicts0);
+        propagations.add(solver.num_propagations() - propagations0);
+        decisions.add(solver.num_decisions() - decisions0);
+        restarts.add(solver.num_restarts() - restarts0);
+        solve_seconds.observe(
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+    }
+};
+
+} // namespace
 
 Solver::Solver() = default;
 
@@ -344,6 +391,8 @@ Solver::solve(int64_t conflict_budget)
 Solver::Result
 Solver::solve(const SolveLimits &limits)
 {
+    VEGA_SPAN("sat.solve");
+    SolveMetricsScope metrics(*this);
     if (!ok_)
         return Result::Unsat;
     if (propagate() != kCrefUndef) {
@@ -421,6 +470,7 @@ Solver::solve(const SolveLimits &limits)
         if (conflicts_this_restart >= restart_limit) {
             conflicts_this_restart = 0;
             restart_limit = 100 * luby(++restart_num);
+            ++restarts_;
             backtrack_to(0);
             continue;
         }

@@ -96,6 +96,7 @@ class Solver
     uint64_t num_conflicts() const { return conflicts_; }
     uint64_t num_decisions() const { return decisions_; }
     uint64_t num_propagations() const { return propagations_; }
+    uint64_t num_restarts() const { return restarts_; }
 
   private:
     // Clause storage: all clauses live in one arena; a Cref is an offset.
@@ -172,6 +173,7 @@ class Solver
     uint64_t conflicts_ = 0;
     uint64_t decisions_ = 0;
     uint64_t propagations_ = 0;
+    uint64_t restarts_ = 0;
 };
 
 } // namespace vega::sat

@@ -1,8 +1,32 @@
 #include "sim/simulator.h"
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace vega {
+
+namespace {
+
+/**
+ * Process totals across every Simulator instance. One relaxed
+ * fetch_add per clock edge / settle — noise next to the topological
+ * cell-evaluation loop each of those implies.
+ */
+obs::Counter &
+cycles_counter()
+{
+    static obs::Counter &c = obs::counter("sim.cycles");
+    return c;
+}
+
+obs::Counter &
+evals_counter()
+{
+    static obs::Counter &c = obs::counter("sim.evals");
+    return c;
+}
+
+} // namespace
 
 Simulator::Simulator(const Netlist &nl)
     : nl_(nl), values_(nl.num_nets(), 0)
@@ -45,6 +69,7 @@ Simulator::eval()
 {
     if (!dirty_)
         return;
+    evals_counter().inc();
     for (CellId c : nl_.topo_order()) {
         const Cell &cell = nl_.cell(c);
         bool a = cell.num_inputs() > 0 ? values_[cell.in[0]] : false;
@@ -68,6 +93,7 @@ Simulator::step()
     for (size_t i = 0; i < dffs.size(); ++i)
         values_[nl_.cell(dffs[i]).out] = next[i];
     ++cycle_;
+    cycles_counter().inc();
     dirty_ = true;
     eval();
 }

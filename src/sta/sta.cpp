@@ -6,6 +6,8 @@
 #include <tuple>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sta/clock_analysis.h"
 
 namespace vega::sta {
@@ -70,6 +72,7 @@ struct Arrivals
 Arrivals
 propagate(const Netlist &nl, const AgedTiming &t)
 {
+    VEGA_SPAN("sta.arrival_propagation");
     Arrivals a;
     a.max_at.assign(nl.num_nets(), -1e30);
     a.min_at.assign(nl.num_nets(), 1e30);
@@ -213,6 +216,7 @@ StaResult
 run_sta(const HwModule &module, const AgedTiming &t,
         size_t max_paths_per_endpoint)
 {
+    VEGA_SPAN("sta.run");
     const Netlist &nl = module.netlist;
     Arrivals arr = propagate(nl, t);
 
@@ -223,6 +227,7 @@ run_sta(const HwModule &module, const AgedTiming &t,
     // Small epsilon so exact-equality boundaries don't flap.
     constexpr double kEps = 1e-9;
 
+    VEGA_SPAN("sta.path_enumeration");
     for (CellId capture : nl.dffs()) {
         const Cell &cell = nl.cell(capture);
         NetId d = cell.in[0];
@@ -267,6 +272,11 @@ run_sta(const HwModule &module, const AgedTiming &t,
               [](const EndpointPair &a, const EndpointPair &b) {
                   return a.worst.slack < b.worst.slack;
               });
+
+    static obs::Counter &runs = obs::counter("sta.runs");
+    static obs::Counter &paths = obs::counter("sta.paths_enumerated");
+    runs.inc();
+    paths.add(result.num_setup_violations + result.num_hold_violations);
     return result;
 }
 

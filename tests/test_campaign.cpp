@@ -8,6 +8,7 @@
 #include "campaign/engine.h"
 #include "campaign/thread_pool.h"
 #include "cpu/alu_ops.h"
+#include "obs/trace.h"
 #include "rtl/alu32.h"
 
 namespace vega::campaign {
@@ -230,6 +231,26 @@ TEST(Campaign, SameSeedIsByteIdenticalAtAnyThreadCount)
     EXPECT_EQ(j1, r8.to_json(false));
     EXPECT_EQ(r1.detected, r8.detected);
     EXPECT_EQ(r1.escapes, r8.escapes);
+}
+
+TEST(Campaign, TracingDoesNotPerturbDeterministicReport)
+{
+    // Observability must be a pure observer: the deterministic JSON
+    // with spans recording is byte-identical to a flags-off run.
+    const CampaignEnv &e = env();
+    CampaignReport off = run_campaign(e.module, e.pairs, e.suite,
+                                      small_config(2));
+    obs::trace_enable();
+    CampaignReport on = run_campaign(e.module, e.pairs, e.suite,
+                                     small_config(2));
+    obs::trace_disable();
+    EXPECT_EQ(off.to_json(false), on.to_json(false));
+    // And the run actually produced campaign.job spans.
+    bool saw_job_span = false;
+    for (const obs::TraceEvent &ev : obs::trace_collect())
+        if (std::string(ev.name) == "campaign.job")
+            saw_job_span = true;
+    EXPECT_TRUE(saw_job_span);
 }
 
 TEST(Campaign, CoversEveryPairAndClassifiesCoherently)

@@ -180,6 +180,50 @@ TEST(Journal, RoundTripsJobsAndFailures)
     std::remove(path.c_str());
 }
 
+TEST(Journal, GroupCommitFlushesEveryNRecordsAndOnSync)
+{
+    std::string path = tmp_path("journal_batched.log");
+    std::remove(path.c_str());
+
+    JournalWriter w;
+    ASSERT_TRUE(w.open(path, header_fixture(), nullptr, 4).ok());
+    uint64_t flushes_after_open = w.flushes();
+
+    auto on_disk = [&] {
+        Expected<JournalState> st = read_journal(path);
+        EXPECT_TRUE(st.ok()) << st.error().to_string();
+        return st.ok() ? st->completed.size() : size_t(0);
+    };
+
+    JobResult r;
+    r.constant = lift::FaultConstant::Zero;
+    r.policy = runtime::SchedulePolicy::Sequential;
+    for (uint64_t id = 0; id < 3; ++id) {
+        r.id = id;
+        ASSERT_TRUE(w.record(r).ok());
+    }
+    // Three records are buffered; the file still holds only the header.
+    EXPECT_EQ(on_disk(), 0u);
+    EXPECT_EQ(w.flushes(), flushes_after_open);
+
+    r.id = 3;
+    ASSERT_TRUE(w.record(r).ok());
+    // The fourth record tripped the group commit.
+    EXPECT_EQ(on_disk(), 4u);
+    EXPECT_EQ(w.flushes(), flushes_after_open + 1);
+
+    r.id = 4;
+    ASSERT_TRUE(w.record(r).ok());
+    EXPECT_EQ(on_disk(), 4u);
+    ASSERT_TRUE(w.sync().ok());
+    EXPECT_EQ(on_disk(), 5u);
+    // A second sync with nothing buffered is a no-op, not a rewrite.
+    uint64_t flushes_after_sync = w.flushes();
+    ASSERT_TRUE(w.sync().ok());
+    EXPECT_EQ(w.flushes(), flushes_after_sync);
+    std::remove(path.c_str());
+}
+
 TEST(Journal, GarbageIsJournalCorruptWithLineNumber)
 {
     std::string path = tmp_path("journal_garbage.log");
