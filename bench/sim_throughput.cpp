@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Simulation-core throughput: how much the EvalTape refactor buys.
+ *
+ * Three engines run the same stimulus on the real ALU32 and FPU32
+ * netlists:
+ *
+ *  - "scalar": a verbatim replica of the pre-tape Simulator (per-eval
+ *    topo_order() walk over AoS Cell structs), the refactor baseline;
+ *  - "tape":   today's 1-lane Simulator interpreting the compiled
+ *    instruction stream;
+ *  - "batch":  the 64-lane BatchSimulator, scored in lane-cycles/sec
+ *    (steps/sec x 64) since each step advances 64 simulations.
+ *
+ * Before timing, all three are spot-checked in lockstep so a speedup
+ * can never come from computing the wrong values. Results land in
+ * BENCH_sim.json in the working directory; `--smoke` shrinks the time
+ * budget for CI (numbers get noisy, schema and lockstep check do not).
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "common/rng.h"
+#include "sim/batch_sim.h"
+#include "sim/simulator.h"
+
+using namespace vega;
+
+namespace {
+
+/**
+ * The pre-refactor Simulator, kept alive here as the bench baseline:
+ * this is the exact eval/step loop (including the dirty-flag
+ * short-circuit) that shipped before the tape existed.
+ */
+struct LegacySim
+{
+    const Netlist &nl;
+    std::vector<uint8_t> values;
+    bool dirty = true;
+
+    explicit LegacySim(const Netlist &n) : nl(n), values(n.num_nets(), 0)
+    {
+        for (CellId c : nl.dffs())
+            values[nl.cell(c).out] = nl.cell(c).init ? 1 : 0;
+        eval();
+    }
+
+    void set_input(NetId net, bool v)
+    {
+        values[net] = v ? 1 : 0;
+        dirty = true;
+    }
+
+    void eval()
+    {
+        if (!dirty)
+            return;
+        for (CellId c : nl.topo_order()) {
+            const Cell &cell = nl.cell(c);
+            bool a = cell.num_inputs() > 0 ? values[cell.in[0]] : false;
+            bool b = cell.num_inputs() > 1 ? values[cell.in[1]] : false;
+            bool s = cell.num_inputs() > 2 ? values[cell.in[2]] : false;
+            values[cell.out] = eval_cell(cell.type, a, b, s) ? 1 : 0;
+        }
+        dirty = false;
+    }
+
+    void step()
+    {
+        eval();
+        auto dffs = nl.dffs();
+        std::vector<uint8_t> next;
+        next.reserve(dffs.size());
+        for (CellId c : dffs)
+            next.push_back(values[nl.cell(c).in[0]]);
+        for (size_t i = 0; i < dffs.size(); ++i)
+            values[nl.cell(dffs[i]).out] = next[i];
+        dirty = true;
+        eval();
+    }
+};
+
+double
+now_seconds()
+{
+    using clock = std::chrono::steady_clock;
+    static const clock::time_point t0 = clock::now();
+    return std::chrono::duration<double>(clock::now() - t0).count();
+}
+
+/**
+ * Steps/sec of @p step_fn: warm up, then run in chunks until the time
+ * budget is spent. @p drive_fn flips an input each chunk so the
+ * dirty-flag path never lets an engine coast on a settled state.
+ */
+template <typename StepFn, typename DriveFn>
+double
+measure_steps_per_sec(StepFn &&step_fn, DriveFn &&drive_fn,
+                      double budget_sec)
+{
+    const int kChunk = 16;
+    for (int i = 0; i < kChunk; ++i)
+        step_fn();
+    uint64_t steps = 0;
+    bool flip = false;
+    double start = now_seconds(), elapsed = 0.0;
+    do {
+        drive_fn(flip);
+        flip = !flip;
+        for (int i = 0; i < kChunk; ++i)
+            step_fn();
+        steps += kChunk;
+        elapsed = now_seconds() - start;
+    } while (elapsed < budget_sec);
+    return steps / elapsed;
+}
+
+/**
+ * Drive all three engines with identical random stimulus for a few
+ * cycles and demand bit-identical nets. Dies loudly on mismatch: a
+ * throughput number for a wrong simulator is worse than no number.
+ */
+bool
+lockstep_check(const Netlist &nl, LegacySim &legacy, Simulator &tape,
+               BatchSimulator &batch, uint64_t seed)
+{
+    Rng stim(seed);
+    auto inputs = nl.primary_inputs();
+    for (int t = 0; t < 8; ++t) {
+        for (NetId in : inputs) {
+            uint64_t plane = stim.next();
+            legacy.set_input(in, plane & 1);
+            tape.set_input(in, plane & 1);
+            batch.set_input(in, plane);
+        }
+        legacy.eval();
+        for (NetId n = 0; n < nl.num_nets(); ++n) {
+            bool l = legacy.values[n];
+            bool s = tape.value(n);
+            bool b0 = (batch.value(n) >> 0) & 1;
+            if (l != s || l != b0) {
+                std::printf("LOCKSTEP MISMATCH net %s cycle %d: "
+                            "legacy=%d tape=%d batch[0]=%d\n",
+                            nl.net(n).name.c_str(), t, int(l), int(s),
+                            int(b0));
+                return false;
+            }
+        }
+        legacy.step();
+        tape.step();
+        batch.step();
+    }
+    return true;
+}
+
+struct ModuleResult
+{
+    std::string name;
+    size_t cells = 0, nets = 0, instrs = 0;
+    double scalar_cps = 0, tape_cps = 0, batch_cps = 0;
+
+    double tape_speedup() const { return tape_cps / scalar_cps; }
+    double batch_speedup() const { return batch_cps / scalar_cps; }
+};
+
+ModuleResult
+bench_module(const std::string &name, const Netlist &nl,
+             double budget_sec)
+{
+    ModuleResult r;
+    r.name = name;
+    r.cells = nl.num_cells();
+    r.nets = nl.num_nets();
+
+    auto tape = std::make_shared<const EvalTape>(nl);
+    r.instrs = tape->num_instrs();
+
+    LegacySim legacy(nl);
+    Simulator scalar_tape(tape);
+    BatchSimulator batch(tape);
+    if (!lockstep_check(nl, legacy, scalar_tape, batch, 0x5eed))
+        std::exit(1);
+
+    auto inputs = nl.primary_inputs();
+    NetId flip_net = inputs.empty() ? kInvalidId : inputs.front();
+
+    r.scalar_cps = measure_steps_per_sec(
+        [&] { legacy.step(); },
+        [&](bool f) {
+            if (flip_net != kInvalidId)
+                legacy.set_input(flip_net, f);
+        },
+        budget_sec);
+    r.tape_cps = measure_steps_per_sec(
+        [&] { scalar_tape.step(); },
+        [&](bool f) {
+            if (flip_net != kInvalidId)
+                scalar_tape.set_input(flip_net, f);
+        },
+        budget_sec);
+    // Each batch step advances 64 independent simulations: score it in
+    // lane-cycles/sec so all three columns share a unit.
+    r.batch_cps = BatchSimulator::kLanes *
+                  measure_steps_per_sec(
+                      [&] { batch.step(); },
+                      [&](bool f) {
+                          if (flip_net != kInvalidId)
+                              batch.set_input(flip_net,
+                                              f ? ~uint64_t(0) : 0);
+                      },
+                      budget_sec);
+
+    std::printf("%-6s | %6zu cells | %6zu instrs | %11.0f | %11.0f "
+                "(%5.2fx) | %12.0f (%6.2fx)\n",
+                name.c_str(), r.cells, r.instrs, r.scalar_cps, r.tape_cps,
+                r.tape_speedup(), r.batch_cps, r.batch_speedup());
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        if (!std::strcmp(argv[i], "--smoke"))
+            smoke = true;
+    // Long enough per engine that chunked timing converges; smoke mode
+    // only proves the bench runs and the JSON is well-formed.
+    const double budget = smoke ? 0.02 : 1.0;
+
+    bench::banner(std::string("Simulator throughput: pre-tape scalar vs "
+                              "tape vs 64-lane batch") +
+                  (smoke ? " [smoke]" : ""));
+    std::printf("%-6s | %12s | %13s | %11s | %20s | %22s\n", "module",
+                "size", "tape", "scalar c/s", "tape c/s", "batch lane-c/s");
+
+    HwModule alu = rtl::make_alu32();
+    HwModule fpu = rtl::make_fpu32();
+    std::vector<ModuleResult> results;
+    results.push_back(bench_module("alu32", alu.netlist, budget));
+    results.push_back(bench_module("fpu32", fpu.netlist, budget));
+
+    std::string json = "{\"sim_throughput\":{\"smoke\":";
+    json += smoke ? "true" : "false";
+    json += ",\"lanes\":64,\"modules\":[";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const ModuleResult &r = results[i];
+        char buf[512];
+        std::snprintf(buf, sizeof buf,
+                      "%s{\"module\":\"%s\",\"cells\":%zu,\"nets\":%zu,"
+                      "\"tape_instrs\":%zu,\"scalar_cps\":%.0f,"
+                      "\"tape_cps\":%.0f,\"batch_lane_cps\":%.0f,"
+                      "\"tape_speedup\":%.3f,\"batch_speedup\":%.3f}",
+                      i ? "," : "", r.name.c_str(), r.cells, r.nets,
+                      r.instrs, r.scalar_cps, r.tape_cps, r.batch_cps,
+                      r.tape_speedup(), r.batch_speedup());
+        json += buf;
+    }
+    json += "]}}";
+    if (FILE *f = std::fopen("BENCH_sim.json", "w")) {
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("\nwrote BENCH_sim.json\n");
+    }
+    return 0;
+}

@@ -7,7 +7,11 @@
  * consecutive instructions hit the module back-to-back exactly as the
  * formal traces assume. Results are read by cloning the pipeline state
  * and advancing the clone past the output registers, leaving the real
- * timeline untouched.
+ * timeline untouched. The backend is inherently 1-lane (one
+ * architectural instruction stream), so it rides the scalar Simulator
+ * and picks up the compiled EvalTape underneath it transparently —
+ * the speculative save/tick/restore peek is slot-ordered state on the
+ * same tape, never a re-lowering.
  *
  * Observable fault behaviour surfaced to the ISS:
  *  - wrong results (architecturally visible, checked by test blocks);

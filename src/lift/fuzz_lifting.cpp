@@ -1,7 +1,9 @@
 #include "lift/fuzz_lifting.h"
 
+#include <bit>
+
 #include "common/rng.h"
-#include "sim/simulator.h"
+#include "sim/batch_sim.h"
 
 namespace vega::lift {
 
@@ -29,39 +31,65 @@ fuzz_cover(const ShadowInstrumentation &shadow, ModuleKind kind,
            const FuzzConfig &config)
 {
     const Netlist &nl = shadow.netlist;
-    Simulator sim(nl);
+    BatchSimulator sim(nl);
     Rng rng(config.seed);
     FuzzResult result;
+    constexpr int kLanes = BatchSimulator::kLanes;
+
+    // Record exactly what BMC records: every port bus, inputs first.
+    std::vector<std::string> buses;
+    for (const auto &bus : nl.input_bus_names())
+        buses.push_back(bus);
+    for (const auto &bus : nl.output_bus_names())
+        buses.push_back(bus);
 
     bool is_fpu = kind == ModuleKind::Fpu32;
-    for (size_t episode = 0; episode < config.max_episodes; ++episode) {
+    size_t batches = (config.max_episodes + kLanes - 1) / kLanes;
+    for (size_t batch = 0; batch < batches; ++batch) {
         sim.reset();
-        Waveform w;
+        // Per-cycle, per-bus lane planes, kept so the covering lane's
+        // waveform can be extracted once the mismatch plane fires.
+        std::vector<std::vector<std::vector<uint64_t>>> recorded;
         for (int t = 0; t < config.episode_len; ++t) {
-            uint32_t a = random_operand(rng, config.special_bias);
-            uint32_t b = random_operand(rng, config.special_bias);
-            uint32_t op = is_fpu ? uint32_t(rng.below(8))
-                                 : uint32_t(rng.below(10));
-            sim.set_bus("a", BitVec(32, a));
-            sim.set_bus("b", BitVec(32, b));
-            sim.set_bus("op", BitVec(is_fpu ? 3 : 4, op));
-            if (is_fpu) {
-                // Same restrictions as the formal path: no mid-trace
-                // clears; mostly-valid issue.
-                sim.set_bus("valid", BitVec(1, rng.chance(0.85) ? 1 : 0));
-                sim.set_bus("clear", BitVec(1, 0));
+            for (int lane = 0; lane < kLanes; ++lane) {
+                uint32_t a = random_operand(rng, config.special_bias);
+                uint32_t b = random_operand(rng, config.special_bias);
+                uint32_t op = is_fpu ? uint32_t(rng.below(8))
+                                     : uint32_t(rng.below(10));
+                sim.set_bus_lane("a", lane, BitVec(32, a));
+                sim.set_bus_lane("b", lane, BitVec(32, b));
+                sim.set_bus_lane("op", lane, BitVec(is_fpu ? 3 : 4, op));
+                if (is_fpu) {
+                    // Same restrictions as the formal path: no
+                    // mid-trace clears; mostly-valid issue.
+                    sim.set_bus_lane("valid", lane,
+                                     BitVec(1, rng.chance(0.85) ? 1 : 0));
+                }
             }
-            // Record exactly what BMC records: every port bus.
-            for (const auto &bus : nl.input_bus_names())
-                w.record(bus, sim.bus_value(bus));
-            for (const auto &bus : nl.output_bus_names())
-                w.record(bus, sim.bus_value(bus));
-            ++result.cycles;
-            bool hit = sim.value(shadow.mismatch);
-            if (hit) {
+            if (is_fpu)
+                sim.set_bus_all("clear", BitVec(1, 0));
+            recorded.emplace_back();
+            recorded.back().reserve(buses.size());
+            for (const std::string &bus : buses)
+                recorded.back().push_back(sim.bus_planes(bus));
+            result.cycles += kLanes;
+            uint64_t hits = sim.value(shadow.mismatch);
+            if (hits) {
+                int lane = std::countr_zero(hits);
+                Waveform w;
+                for (int tc = 0; tc <= t; ++tc) {
+                    for (size_t bi = 0; bi < buses.size(); ++bi) {
+                        const std::vector<uint64_t> &planes =
+                            recorded[tc][bi];
+                        BitVec v(planes.size());
+                        for (size_t i = 0; i < planes.size(); ++i)
+                            v.set(i, (planes[i] >> lane) & 1);
+                        w.record(buses[bi], v);
+                    }
+                }
                 result.found = true;
                 result.trace = std::move(w);
-                result.episodes = episode + 1;
+                result.episodes = batch * kLanes + size_t(lane) + 1;
                 return result;
             }
             sim.step();

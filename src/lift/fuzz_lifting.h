@@ -12,6 +12,12 @@
  * instruction construction. Fuzzing cannot prove unreachability — the
  * key limitation the paper's §3.3 argues formal methods remove — which
  * the `ablation_fuzz_vs_formal` bench quantifies.
+ *
+ * Episodes run 64 at a time on the bit-parallel BatchSimulator (one
+ * independent episode per lane); when the mismatch plane fires, the
+ * first covering lane's stimulus/response history is extracted into
+ * the Waveform. The episode budget is consumed in whole batches, so a
+ * hit may be attributed to any lane of the final batch.
  */
 #pragma once
 
@@ -41,7 +47,7 @@ struct FuzzResult
     Waveform trace;
     /** Episodes simulated before the hit (== max_episodes if none). */
     size_t episodes = 0;
-    /** Total simulated cycles across all episodes. */
+    /** Total simulated lane-cycles across all episodes. */
     uint64_t cycles = 0;
 };
 

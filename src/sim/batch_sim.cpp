@@ -1,0 +1,216 @@
+#include "sim/batch_sim.h"
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace vega {
+
+namespace {
+
+obs::Counter &
+batch_cycles_counter()
+{
+    static obs::Counter &c = obs::counter("sim.batch_cycles");
+    return c;
+}
+
+obs::Counter &
+lane_cycles_counter()
+{
+    static obs::Counter &c = obs::counter("sim.lane_cycles");
+    return c;
+}
+
+obs::Counter &
+batch_evals_counter()
+{
+    static obs::Counter &c = obs::counter("sim.batch_evals");
+    return c;
+}
+
+} // namespace
+
+BatchSimulator::BatchSimulator(const Netlist &nl)
+    : BatchSimulator(std::make_shared<const EvalTape>(nl))
+{
+}
+
+BatchSimulator::BatchSimulator(std::shared_ptr<const EvalTape> tape)
+    : tape_(std::move(tape))
+{
+    VEGA_CHECK(tape_ != nullptr, "BatchSimulator needs a tape");
+    planes_.assign(tape_->num_slots(), 0);
+    dff_next_.assign(tape_->dff_rules().size(), 0);
+    reset();
+}
+
+void
+BatchSimulator::reset()
+{
+    std::fill(planes_.begin(), planes_.end(), 0);
+    for (const EvalTape::DffRule &r : tape_->dff_rules())
+        planes_[r.q] = r.init ? ~uint64_t(0) : 0;
+    cycle_ = 0;
+    dirty_ = true;
+    eval();
+}
+
+void
+BatchSimulator::set_input(NetId net, uint64_t lanes)
+{
+    VEGA_CHECK(tape_->is_primary_input(net), "set_input on non-input net ",
+               netlist().net(net).name);
+    planes_[tape_->slot(net)] = lanes;
+    dirty_ = true;
+}
+
+void
+BatchSimulator::set_bus_lane(const std::string &bus, int lane,
+                             const BitVec &value)
+{
+    const std::vector<SlotId> &slots = tape_->bus_slots(bus);
+    VEGA_CHECK(slots.size() == value.width(), "bus width mismatch on ",
+               bus);
+    VEGA_CHECK(lane >= 0 && lane < kLanes, "lane out of range");
+    uint64_t bit = uint64_t(1) << lane;
+    for (size_t i = 0; i < slots.size(); ++i) {
+        if (value.get(i))
+            planes_[slots[i]] |= bit;
+        else
+            planes_[slots[i]] &= ~bit;
+    }
+    dirty_ = true;
+}
+
+void
+BatchSimulator::set_bus_all(const std::string &bus, const BitVec &value)
+{
+    const std::vector<SlotId> &slots = tape_->bus_slots(bus);
+    VEGA_CHECK(slots.size() == value.width(), "bus width mismatch on ",
+               bus);
+    for (size_t i = 0; i < slots.size(); ++i)
+        planes_[slots[i]] = value.get(i) ? ~uint64_t(0) : 0;
+    dirty_ = true;
+}
+
+void
+BatchSimulator::eval()
+{
+    if (!dirty_)
+        return;
+    batch_evals_counter().inc();
+    uint64_t *v = planes_.data();
+    for (const EvalTape::ConstRule &r : tape_->const_rules())
+        v[r.slot] = r.value ? ~uint64_t(0) : 0;
+
+    const size_t n = tape_->num_instrs();
+    const uint8_t *op = tape_->op().data();
+    const SlotId *i0 = tape_->in0().data();
+    const SlotId *i1 = tape_->in1().data();
+    const SlotId *i2 = tape_->in2().data();
+    const SlotId *o = tape_->out().data();
+    for (size_t i = 0; i < n; ++i) {
+        switch (CellType(op[i])) {
+          case CellType::Buf:
+            v[o[i]] = v[i0[i]];
+            break;
+          case CellType::Not:
+            v[o[i]] = ~v[i0[i]];
+            break;
+          case CellType::And2:
+            v[o[i]] = v[i0[i]] & v[i1[i]];
+            break;
+          case CellType::Or2:
+            v[o[i]] = v[i0[i]] | v[i1[i]];
+            break;
+          case CellType::Xor2:
+            v[o[i]] = v[i0[i]] ^ v[i1[i]];
+            break;
+          case CellType::Nand2:
+            v[o[i]] = ~(v[i0[i]] & v[i1[i]]);
+            break;
+          case CellType::Nor2:
+            v[o[i]] = ~(v[i0[i]] | v[i1[i]]);
+            break;
+          case CellType::Xnor2:
+            v[o[i]] = ~(v[i0[i]] ^ v[i1[i]]);
+            break;
+          case CellType::Mux2: {
+            uint64_t s = v[i2[i]];
+            v[o[i]] = (v[i0[i]] & ~s) | (v[i1[i]] & s);
+            break;
+          }
+          case CellType::Const0:
+          case CellType::Const1:
+          case CellType::Dff:
+            panic("non-combinational opcode in tape stream");
+        }
+    }
+    dirty_ = false;
+}
+
+void
+BatchSimulator::step()
+{
+    eval();
+    const std::vector<EvalTape::DffRule> &dffs = tape_->dff_rules();
+    for (size_t i = 0; i < dffs.size(); ++i)
+        dff_next_[i] = planes_[dffs[i].d];
+    for (size_t i = 0; i < dffs.size(); ++i)
+        planes_[dffs[i].q] = dff_next_[i];
+    ++cycle_;
+    batch_cycles_counter().inc();
+    lane_cycles_counter().add(kLanes);
+    dirty_ = true;
+    eval();
+}
+
+void
+BatchSimulator::run(uint64_t n)
+{
+    for (uint64_t i = 0; i < n; ++i)
+        step();
+}
+
+uint64_t
+BatchSimulator::value(NetId net)
+{
+    eval();
+    return planes_[tape_->slot(net)];
+}
+
+BitVec
+BatchSimulator::bus_value(const std::string &bus, int lane)
+{
+    eval();
+    VEGA_CHECK(lane >= 0 && lane < kLanes, "lane out of range");
+    const std::vector<SlotId> &slots = tape_->bus_slots(bus);
+    BitVec v(slots.size());
+    for (size_t i = 0; i < slots.size(); ++i)
+        v.set(i, (planes_[slots[i]] >> lane) & 1);
+    return v;
+}
+
+std::vector<uint64_t>
+BatchSimulator::bus_planes(const std::string &bus)
+{
+    eval();
+    const std::vector<SlotId> &slots = tape_->bus_slots(bus);
+    std::vector<uint64_t> out(slots.size());
+    for (size_t i = 0; i < slots.size(); ++i)
+        out[i] = planes_[slots[i]];
+    return out;
+}
+
+void
+BatchSimulator::restore_state(const std::vector<uint64_t> &state)
+{
+    VEGA_CHECK(state.size() == tape_->num_slots(),
+               "restore_state plane count ", state.size(),
+               " does not match netlist ", netlist().name(), " (",
+               tape_->num_slots(), " slots)");
+    planes_ = state;
+    dirty_ = true;
+}
+
+} // namespace vega

@@ -9,8 +9,8 @@ namespace {
 
 /**
  * Process totals across every Simulator instance. One relaxed
- * fetch_add per clock edge / settle — noise next to the topological
- * cell-evaluation loop each of those implies.
+ * fetch_add per clock edge / settle — noise next to the tape walk
+ * each of those implies.
  */
 obs::Counter &
 cycles_counter()
@@ -29,9 +29,16 @@ evals_counter()
 } // namespace
 
 Simulator::Simulator(const Netlist &nl)
-    : nl_(nl), values_(nl.num_nets(), 0)
+    : Simulator(std::make_shared<const EvalTape>(nl))
 {
-    nl_.topo_order(); // validate acyclicity up front
+}
+
+Simulator::Simulator(std::shared_ptr<const EvalTape> tape)
+    : tape_(std::move(tape))
+{
+    VEGA_CHECK(tape_ != nullptr, "Simulator needs a tape");
+    values_.assign(tape_->num_slots(), 0);
+    dff_next_.assign(tape_->dff_rules().size(), 0);
     reset();
 }
 
@@ -39,8 +46,8 @@ void
 Simulator::reset()
 {
     std::fill(values_.begin(), values_.end(), 0);
-    for (CellId c : nl_.dffs())
-        values_[nl_.cell(c).out] = nl_.cell(c).init ? 1 : 0;
+    for (const EvalTape::DffRule &r : tape_->dff_rules())
+        values_[r.q] = r.init;
     cycle_ = 0;
     dirty_ = true;
     eval();
@@ -49,19 +56,21 @@ Simulator::reset()
 void
 Simulator::set_input(NetId net, bool value)
 {
-    VEGA_CHECK(nl_.net(net).is_primary_input,
-               "set_input on non-input net ", nl_.net(net).name);
-    values_[net] = value ? 1 : 0;
+    VEGA_CHECK(tape_->is_primary_input(net), "set_input on non-input net ",
+               netlist().net(net).name);
+    values_[tape_->slot(net)] = value ? 1 : 0;
     dirty_ = true;
 }
 
 void
 Simulator::set_bus(const std::string &bus, const BitVec &value)
 {
-    const auto &nets = nl_.bus(bus);
-    VEGA_CHECK(nets.size() == value.width(), "bus width mismatch on ", bus);
-    for (size_t i = 0; i < nets.size(); ++i)
-        set_input(nets[i], value.get(i));
+    const std::vector<SlotId> &slots = tape_->bus_slots(bus);
+    VEGA_CHECK(slots.size() == value.width(), "bus width mismatch on ",
+               bus);
+    for (size_t i = 0; i < slots.size(); ++i)
+        values_[slots[i]] = value.get(i) ? 1 : 0;
+    dirty_ = true;
 }
 
 void
@@ -70,12 +79,50 @@ Simulator::eval()
     if (!dirty_)
         return;
     evals_counter().inc();
-    for (CellId c : nl_.topo_order()) {
-        const Cell &cell = nl_.cell(c);
-        bool a = cell.num_inputs() > 0 ? values_[cell.in[0]] : false;
-        bool b = cell.num_inputs() > 1 ? values_[cell.in[1]] : false;
-        bool s = cell.num_inputs() > 2 ? values_[cell.in[2]] : false;
-        values_[cell.out] = eval_cell(cell.type, a, b, s) ? 1 : 0;
+    uint8_t *v = values_.data();
+    for (const EvalTape::ConstRule &r : tape_->const_rules())
+        v[r.slot] = r.value;
+
+    const size_t n = tape_->num_instrs();
+    const uint8_t *op = tape_->op().data();
+    const SlotId *i0 = tape_->in0().data();
+    const SlotId *i1 = tape_->in1().data();
+    const SlotId *i2 = tape_->in2().data();
+    const SlotId *o = tape_->out().data();
+    for (size_t i = 0; i < n; ++i) {
+        switch (CellType(op[i])) {
+          case CellType::Buf:
+            v[o[i]] = v[i0[i]];
+            break;
+          case CellType::Not:
+            v[o[i]] = v[i0[i]] ^ 1;
+            break;
+          case CellType::And2:
+            v[o[i]] = v[i0[i]] & v[i1[i]];
+            break;
+          case CellType::Or2:
+            v[o[i]] = v[i0[i]] | v[i1[i]];
+            break;
+          case CellType::Xor2:
+            v[o[i]] = v[i0[i]] ^ v[i1[i]];
+            break;
+          case CellType::Nand2:
+            v[o[i]] = (v[i0[i]] & v[i1[i]]) ^ 1;
+            break;
+          case CellType::Nor2:
+            v[o[i]] = (v[i0[i]] | v[i1[i]]) ^ 1;
+            break;
+          case CellType::Xnor2:
+            v[o[i]] = (v[i0[i]] ^ v[i1[i]]) ^ 1;
+            break;
+          case CellType::Mux2:
+            v[o[i]] = v[i2[i]] ? v[i1[i]] : v[i0[i]];
+            break;
+          case CellType::Const0:
+          case CellType::Const1:
+          case CellType::Dff:
+            panic("non-combinational opcode in tape stream");
+        }
     }
     dirty_ = false;
 }
@@ -85,13 +132,11 @@ Simulator::step()
 {
     eval();
     // Capture all D pins, then commit all Qs (atomic clock edge).
-    auto dffs = nl_.dffs();
-    std::vector<uint8_t> next;
-    next.reserve(dffs.size());
-    for (CellId c : dffs)
-        next.push_back(values_[nl_.cell(c).in[0]]);
+    const std::vector<EvalTape::DffRule> &dffs = tape_->dff_rules();
     for (size_t i = 0; i < dffs.size(); ++i)
-        values_[nl_.cell(dffs[i]).out] = next[i];
+        dff_next_[i] = values_[dffs[i].d];
+    for (size_t i = 0; i < dffs.size(); ++i)
+        values_[dffs[i].q] = dff_next_[i];
     ++cycle_;
     cycles_counter().inc();
     dirty_ = true;
@@ -109,18 +154,29 @@ bool
 Simulator::value(NetId net)
 {
     eval();
-    return values_[net];
+    return values_[tape_->slot(net)];
 }
 
 BitVec
 Simulator::bus_value(const std::string &bus)
 {
     eval();
-    const auto &nets = nl_.bus(bus);
-    BitVec v(nets.size());
-    for (size_t i = 0; i < nets.size(); ++i)
-        v.set(i, values_[nets[i]]);
+    const std::vector<SlotId> &slots = tape_->bus_slots(bus);
+    BitVec v(slots.size());
+    for (size_t i = 0; i < slots.size(); ++i)
+        v.set(i, values_[slots[i]]);
     return v;
+}
+
+void
+Simulator::restore_state(const std::vector<uint8_t> &state)
+{
+    VEGA_CHECK(state.size() == netlist().num_nets(),
+               "restore_state size ", state.size(),
+               " does not match netlist ", netlist().name(), " (",
+               netlist().num_nets(), " nets)");
+    values_ = state;
+    dirty_ = true;
 }
 
 } // namespace vega

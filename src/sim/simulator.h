@@ -7,15 +7,24 @@
  * cycle by cycle. Semantics are standard synchronous two-phase evaluation:
  * combinational cells settle in topological order, then the clock edge
  * commits every DFF atomically.
+ *
+ * Internally this is a thin 1-lane interpreter over a compiled EvalTape
+ * (sim/eval_tape.h): the netlist is lowered once into a flat instruction
+ * stream, and eval() walks primitive index arrays instead of chasing Cell
+ * structs through topo_order(). The public API and cycle semantics are
+ * unchanged from the pre-tape simulator; the 64-lane variant over the same
+ * tape is sim/batch_sim.h.
  */
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/bitvec.h"
 #include "netlist/netlist.h"
+#include "sim/eval_tape.h"
 
 namespace vega {
 
@@ -24,7 +33,11 @@ class Simulator
   public:
     explicit Simulator(const Netlist &nl);
 
-    const Netlist &netlist() const { return nl_; }
+    /** Share a pre-built tape (must be non-null) instead of lowering. */
+    explicit Simulator(std::shared_ptr<const EvalTape> tape);
+
+    const Netlist &netlist() const { return tape_->netlist(); }
+    const EvalTape &tape() const { return *tape_; }
 
     /** Load DFF init values, zero all primary inputs, settle. */
     void reset();
@@ -52,18 +65,26 @@ class Simulator
 
     uint64_t cycle() const { return cycle_; }
 
-    /** Snapshot of all net values (for speculative pipeline reads). */
+    /**
+     * Snapshot of all net values (for speculative pipeline reads).
+     * Slot-ordered and opaque: only meaningful to restore_state() on a
+     * simulator over the same netlist.
+     */
     std::vector<uint8_t> save_state() const { return values_; }
-    void restore_state(const std::vector<uint8_t> &state)
-    {
-        values_ = state;
-        dirty_ = true;
-    }
+
+    /**
+     * Restore a snapshot. Panics if @p state does not match this
+     * netlist's net count — a wrong-sized vector means the snapshot
+     * came from a different netlist and would silently corrupt every
+     * downstream read.
+     */
+    void restore_state(const std::vector<uint8_t> &state);
 
   private:
-    const Netlist &nl_;
-    std::vector<uint8_t> values_; ///< per-net current value
-    bool dirty_ = true;           ///< inputs changed since last eval
+    std::shared_ptr<const EvalTape> tape_;
+    std::vector<uint8_t> values_;   ///< per-slot current value
+    std::vector<uint8_t> dff_next_; ///< edge-commit scratch
+    bool dirty_ = true;             ///< inputs changed since last eval
     uint64_t cycle_ = 0;
 };
 

@@ -6,6 +6,15 @@
  * free-running profiling clock (here: once per simulated cycle), and
  * aggregates the fraction of time each cell output rests at logical "1".
  * The resulting SP profile feeds the aging-aware STA.
+ *
+ * Two sampling paths share the same counters: the scalar path reads one
+ * Simulator (one sample per call), and the batched path popcounts a
+ * 64-lane BatchSimulator plane per cell (64 samples per call — one per
+ * lane). A profile accumulated from one 64-lane batch is bit-for-bit
+ * identical in ones/transitions/samples to 64 merged single-lane
+ * profiles over the same per-lane stimulus (pinned by
+ * SpProfiler.BatchSampleMatchesMergedLanes). The two paths must not be
+ * mixed within one profile: lane history is per-width.
  */
 #pragma once
 
@@ -13,6 +22,7 @@
 #include <vector>
 
 #include "netlist/netlist.h"
+#include "sim/batch_sim.h"
 #include "sim/simulator.h"
 
 namespace vega {
@@ -28,6 +38,8 @@ class SpProfile
     }
 
     size_t num_cells() const { return ones_.size(); }
+
+    /** Total samples; the batched path adds 64 (one per lane) per call. */
     uint64_t samples() const { return samples_; }
 
     /** SP of cell @p c: fraction of samples with output at "1". */
@@ -52,14 +64,25 @@ class SpProfile
     /** Record one sample of every cell output. */
     void sample(Simulator &sim);
 
+    /**
+     * Record one sample per lane (64 total) of every cell output by
+     * popcounting the lane planes. Not mixable with the scalar
+     * sample() in one profile.
+     */
+    void sample(BatchSimulator &sim);
+
     /** Merge another profile over the same netlist. */
     void merge(const SpProfile &other);
 
   private:
+    /** Which sample() width this profile has been fed (prev_ format). */
+    enum class SampleWidth : uint8_t { None, Scalar, Batch };
+
     std::vector<uint64_t> ones_;
     std::vector<uint64_t> transitions_;
-    std::vector<uint8_t> prev_;
+    std::vector<uint64_t> prev_; ///< lane planes; scalar uses bit 0
     uint64_t samples_;
+    SampleWidth width_ = SampleWidth::None;
 };
 
 /**
@@ -74,6 +97,26 @@ class SpProfile
 template <typename DriveFn>
 SpProfile
 profile_signal_probability(Simulator &sim, uint64_t cycles, DriveFn drive)
+{
+    SpProfile profile(sim.netlist().num_cells());
+    for (uint64_t t = 0; t < cycles; ++t) {
+        drive(sim, t);
+        sim.eval();
+        profile.sample(sim);
+        sim.step();
+    }
+    return profile;
+}
+
+/**
+ * Batched harness: 64 independent stimulus lanes per cycle, so
+ * @p cycles simulated cycles yield 64 * cycles samples. @p drive sets
+ * per-lane inputs (set_input / set_bus_lane) before each cycle.
+ */
+template <typename DriveFn>
+SpProfile
+profile_signal_probability_batch(BatchSimulator &sim, uint64_t cycles,
+                                 DriveFn drive)
 {
     SpProfile profile(sim.netlist().num_cells());
     for (uint64_t t = 0; t < cycles; ++t) {

@@ -77,7 +77,9 @@ run_aging_analysis(HwModule &module, const aging::AgingTimingLibrary &lib,
 
     // Signal Probability Simulation: replay the workload; ops for the
     // other functional unit appear as idle cycles, preserving realistic
-    // activity ratios.
+    // activity ratios. One recorded trace is one stimulus stream, so
+    // this stays on the scalar (1-lane) tape interpreter rather than
+    // the 64-lane batch profiler.
     Simulator sim(module.netlist);
     SpProfile profile(module.netlist.num_cells());
     size_t limit = config.max_trace == 0

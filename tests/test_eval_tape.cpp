@@ -1,0 +1,370 @@
+/**
+ * @file
+ * The compiled-tape contract: a freshly lowered EvalTape must behave
+ * exactly like the pre-tape levelized simulator (a reference
+ * interpreter of topo_order() + eval_cell lives below), and every lane
+ * of the 64-lane BatchSimulator must match an independent scalar run
+ * in lockstep — on random sequential netlists and on the real
+ * ALU32/FPU32 blocks. Save/restore round-trips and the batched
+ * SpProfile popcount path are pinned here too.
+ */
+#include "sim/eval_tape.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "netlist/builder.h"
+#include "rtl/alu32.h"
+#include "rtl/fpu32.h"
+#include "sim/batch_sim.h"
+#include "sim/simulator.h"
+#include "sim/sp_profiler.h"
+
+namespace vega {
+namespace {
+
+/**
+ * Random sequential netlist: a soup of gates over the inputs plus
+ * DFF-driven feedback nets, so batches exercise state commit as well
+ * as combinational settling.
+ */
+Netlist
+random_netlist(uint64_t seed, size_t n_inputs, size_t n_cells,
+               size_t n_ffs)
+{
+    Rng rng(seed);
+    Netlist nl("rand" + std::to_string(seed));
+    Builder b(nl);
+    auto ins = nl.add_input_bus("a", n_inputs);
+    std::vector<NetId> pool(ins.begin(), ins.end());
+
+    std::vector<NetId> fb;
+    for (size_t i = 0; i < n_ffs; ++i) {
+        NetId q = nl.new_net("fb" + std::to_string(i));
+        fb.push_back(q);
+        pool.push_back(q);
+    }
+
+    for (size_t i = 0; i < n_cells; ++i) {
+        NetId x = pool[rng.below(pool.size())];
+        NetId y = pool[rng.below(pool.size())];
+        NetId s = pool[rng.below(pool.size())];
+        NetId o = kInvalidId;
+        switch (rng.below(11)) {
+          case 0: o = b.buf(x); break;
+          case 1: o = b.not_(x); break;
+          case 2: o = b.and_(x, y); break;
+          case 3: o = b.or_(x, y); break;
+          case 4: o = b.xor_(x, y); break;
+          case 5: o = b.nand_(x, y); break;
+          case 6: o = b.nor_(x, y); break;
+          case 7: o = b.xnor_(x, y); break;
+          case 8: o = b.mux(x, y, s); break;
+          case 9: o = b.const0(); break;
+          case 10: o = b.const1(); break;
+        }
+        pool.push_back(o);
+    }
+
+    for (size_t i = 0; i < n_ffs; ++i)
+        nl.add_dff("ff" + std::to_string(i),
+                   pool[rng.below(pool.size())], fb[i], rng.chance(0.5));
+
+    Bus outs;
+    for (size_t i = 0; i < 8 && i < pool.size(); ++i)
+        outs.push_back(pool[pool.size() - 1 - i]);
+    nl.add_output_bus("r", outs);
+    return nl;
+}
+
+/**
+ * Reference interpreter replicating the pre-tape Simulator loop
+ * verbatim (per-cycle topo_order() walk over AoS cells): the
+ * regression oracle the compiled tape must match bit-for-bit.
+ */
+struct ReferenceSim
+{
+    const Netlist &nl;
+    std::vector<uint8_t> values;
+
+    explicit ReferenceSim(const Netlist &n) : nl(n), values(n.num_nets(), 0)
+    {
+        reset();
+    }
+
+    void reset()
+    {
+        std::fill(values.begin(), values.end(), 0);
+        for (CellId c : nl.dffs())
+            values[nl.cell(c).out] = nl.cell(c).init ? 1 : 0;
+        eval();
+    }
+
+    void eval()
+    {
+        for (CellId c : nl.topo_order()) {
+            const Cell &cell = nl.cell(c);
+            bool a = cell.num_inputs() > 0 ? values[cell.in[0]] : false;
+            bool b = cell.num_inputs() > 1 ? values[cell.in[1]] : false;
+            bool s = cell.num_inputs() > 2 ? values[cell.in[2]] : false;
+            values[cell.out] = eval_cell(cell.type, a, b, s) ? 1 : 0;
+        }
+    }
+
+    void step()
+    {
+        eval();
+        auto dffs = nl.dffs();
+        std::vector<uint8_t> next;
+        next.reserve(dffs.size());
+        for (CellId c : dffs)
+            next.push_back(values[nl.cell(c).in[0]]);
+        for (size_t i = 0; i < dffs.size(); ++i)
+            values[nl.cell(dffs[i]).out] = next[i];
+        eval();
+    }
+};
+
+TEST(EvalTape, LowersEveryNetToExactlyOneSlot)
+{
+    Netlist nl = random_netlist(11, 8, 200, 6);
+    EvalTape tape(nl);
+    EXPECT_EQ(tape.num_slots(), nl.num_nets());
+    std::vector<bool> seen(tape.num_slots(), false);
+    for (NetId n = 0; n < nl.num_nets(); ++n) {
+        SlotId s = tape.slot(n);
+        ASSERT_LT(s, tape.num_slots());
+        EXPECT_FALSE(seen[s]) << "slot " << s << " assigned twice";
+        seen[s] = true;
+    }
+    // Constants are hoisted out of the per-cycle stream; everything
+    // combinational and non-constant is in it, in some order.
+    size_t n_comb = 0, n_const = 0, n_dff = 0;
+    for (const Cell &c : nl.cells()) {
+        if (c.type == CellType::Dff)
+            ++n_dff;
+        else if (c.type == CellType::Const0 || c.type == CellType::Const1)
+            ++n_const;
+        else
+            ++n_comb;
+    }
+    EXPECT_EQ(tape.num_instrs(), n_comb);
+    EXPECT_EQ(tape.const_rules().size(), n_const);
+    EXPECT_EQ(tape.dff_rules().size(), n_dff);
+}
+
+TEST(EvalTape, MatchesPreTapeReferenceOnRandomNetlists)
+{
+    for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+        Netlist nl = random_netlist(seed, 10, 300, 8);
+        Simulator sim(nl);
+        ReferenceSim ref(nl);
+        Rng stim(seed * 977);
+        auto inputs = nl.primary_inputs();
+        for (int t = 0; t < 20; ++t) {
+            for (NetId in : inputs) {
+                bool v = stim.chance(0.5);
+                sim.set_input(in, v);
+                ref.values[in] = v ? 1 : 0;
+            }
+            sim.eval();
+            ref.eval();
+            for (NetId n = 0; n < nl.num_nets(); ++n)
+                ASSERT_EQ(sim.value(n), bool(ref.values[n]))
+                    << "seed " << seed << " cycle " << t << " net "
+                    << nl.net(n).name;
+            sim.step();
+            ref.step();
+        }
+    }
+}
+
+TEST(BatchSimulator, LockstepWithScalarOnRandomNetlists)
+{
+    for (uint64_t seed : {21u, 22u, 23u}) {
+        Netlist nl = random_netlist(seed, 6, 250, 10);
+        auto tape = std::make_shared<const EvalTape>(nl);
+        BatchSimulator batch(tape);
+        std::vector<std::unique_ptr<Simulator>> lanes;
+        for (int l = 0; l < BatchSimulator::kLanes; ++l)
+            lanes.push_back(std::make_unique<Simulator>(tape));
+
+        Rng stim(seed * 1319);
+        auto inputs = nl.primary_inputs();
+        for (int t = 0; t < 12; ++t) {
+            for (NetId in : inputs) {
+                uint64_t plane = stim.next();
+                batch.set_input(in, plane);
+                for (int l = 0; l < BatchSimulator::kLanes; ++l)
+                    lanes[l]->set_input(in, (plane >> l) & 1);
+            }
+            for (NetId n = 0; n < nl.num_nets(); ++n) {
+                uint64_t plane = batch.value(n);
+                for (int l = 0; l < BatchSimulator::kLanes; ++l)
+                    ASSERT_EQ((plane >> l) & 1,
+                              uint64_t(lanes[l]->value(n)))
+                        << "seed " << seed << " cycle " << t << " lane "
+                        << l << " net " << nl.net(n).name;
+            }
+            batch.step();
+            for (auto &lane : lanes)
+                lane->step();
+        }
+    }
+}
+
+/** All 64 lanes vs 64 scalar runs on a real block, via its port buses. */
+void
+lockstep_module(const Netlist &nl, bool is_fpu, uint64_t seed)
+{
+    auto tape = std::make_shared<const EvalTape>(nl);
+    BatchSimulator batch(tape);
+    std::vector<std::unique_ptr<Simulator>> lanes;
+    for (int l = 0; l < BatchSimulator::kLanes; ++l)
+        lanes.push_back(std::make_unique<Simulator>(tape));
+
+    Rng stim(seed);
+    std::vector<std::string> outs(nl.output_bus_names());
+    for (int t = 0; t < 6; ++t) {
+        for (int l = 0; l < BatchSimulator::kLanes; ++l) {
+            BitVec a(32, stim.next());
+            BitVec b(32, stim.next());
+            BitVec op(is_fpu ? 3 : 4, stim.below(is_fpu ? 8 : 10));
+            batch.set_bus_lane("a", l, a);
+            batch.set_bus_lane("b", l, b);
+            batch.set_bus_lane("op", l, op);
+            lanes[l]->set_bus("a", a);
+            lanes[l]->set_bus("b", b);
+            lanes[l]->set_bus("op", op);
+            if (is_fpu) {
+                BitVec valid(1, stim.chance(0.8) ? 1 : 0);
+                batch.set_bus_lane("valid", l, valid);
+                batch.set_bus_lane("clear", l, BitVec(1, 0));
+                lanes[l]->set_bus("valid", valid);
+                lanes[l]->set_bus("clear", BitVec(1, 0));
+            }
+        }
+        for (const std::string &bus : outs)
+            for (int l = 0; l < BatchSimulator::kLanes; ++l)
+                ASSERT_EQ(batch.bus_value(bus, l),
+                          lanes[l]->bus_value(bus))
+                    << "cycle " << t << " lane " << l << " bus " << bus;
+        batch.step();
+        for (auto &lane : lanes)
+            lane->step();
+    }
+}
+
+TEST(BatchSimulator, LockstepWithScalarOnAlu32)
+{
+    static HwModule m = rtl::make_alu32();
+    lockstep_module(m.netlist, false, 4242);
+}
+
+TEST(BatchSimulator, LockstepWithScalarOnFpu32)
+{
+    static HwModule m = rtl::make_fpu32();
+    lockstep_module(m.netlist, true, 2424);
+}
+
+TEST(BatchSimulator, SaveRestoreRoundTrip)
+{
+    Netlist nl = random_netlist(77, 6, 150, 8);
+    BatchSimulator sim(nl);
+    Rng stim(99);
+    auto inputs = nl.primary_inputs();
+    auto drive = [&](Rng &r) {
+        for (NetId in : inputs)
+            sim.set_input(in, r.next());
+    };
+    Rng first(5);
+    drive(first);
+    sim.run(4);
+    auto saved = sim.save_state();
+
+    Rng cont(6);
+    drive(cont);
+    sim.run(3);
+    std::vector<uint64_t> after;
+    for (NetId n = 0; n < nl.num_nets(); ++n)
+        after.push_back(sim.value(n));
+
+    sim.restore_state(saved);
+    Rng replay(6);
+    drive(replay);
+    sim.run(3);
+    for (NetId n = 0; n < nl.num_nets(); ++n)
+        EXPECT_EQ(sim.value(n), after[n]) << nl.net(n).name;
+}
+
+TEST(BatchSimulator, RestoreStateRejectsWrongSize)
+{
+    Netlist nl = random_netlist(78, 4, 40, 2);
+    BatchSimulator sim(nl);
+    std::vector<uint64_t> wrong(nl.num_nets() + 3, 0);
+    EXPECT_DEATH(sim.restore_state(wrong), "restore_state plane count");
+}
+
+TEST(SpProfiler, BatchSampleMatchesMergedLanes)
+{
+    // Profiling N cycles in one 64-lane batch must equal merging 64
+    // single-lane profiles bit-for-bit in ones/transitions/samples.
+    Netlist nl = random_netlist(55, 6, 200, 10);
+    auto tape = std::make_shared<const EvalTape>(nl);
+    auto inputs = nl.primary_inputs();
+    const uint64_t kCycles = 40;
+
+    // Pre-draw the stimulus planes so scalar lanes can replay bits.
+    Rng stim(31337);
+    std::vector<std::vector<uint64_t>> planes(kCycles);
+    for (auto &row : planes)
+        for (size_t i = 0; i < inputs.size(); ++i)
+            row.push_back(stim.next());
+
+    BatchSimulator batch(tape);
+    SpProfile batched = profile_signal_probability_batch(
+        batch, kCycles, [&](BatchSimulator &s, uint64_t t) {
+            for (size_t i = 0; i < inputs.size(); ++i)
+                s.set_input(inputs[i], planes[t][i]);
+        });
+
+    SpProfile merged(nl.num_cells());
+    for (int lane = 0; lane < BatchSimulator::kLanes; ++lane) {
+        Simulator sim(tape);
+        SpProfile p = profile_signal_probability(
+            sim, kCycles, [&](Simulator &s, uint64_t t) {
+                for (size_t i = 0; i < inputs.size(); ++i)
+                    s.set_input(inputs[i], (planes[t][i] >> lane) & 1);
+            });
+        merged.merge(p);
+    }
+
+    ASSERT_EQ(batched.samples(), merged.samples());
+    ASSERT_EQ(batched.samples(), kCycles * BatchSimulator::kLanes);
+    for (CellId c = 0; c < nl.num_cells(); ++c) {
+        // sp/activity are integer-counter ratios: exact doubles, so
+        // exact equality here means ones_/transitions_ are identical.
+        EXPECT_DOUBLE_EQ(batched.sp(c), merged.sp(c)) << "cell " << c;
+        EXPECT_DOUBLE_EQ(batched.activity(c), merged.activity(c))
+            << "cell " << c;
+    }
+}
+
+TEST(SpProfiler, MixedSampleWidthsAreRejected)
+{
+    Netlist nl = random_netlist(56, 4, 50, 2);
+    auto tape = std::make_shared<const EvalTape>(nl);
+    Simulator sim(tape);
+    BatchSimulator batch(tape);
+
+    SpProfile p(nl.num_cells());
+    p.sample(sim);
+    EXPECT_DEATH(p.sample(batch), "batch sample");
+
+    SpProfile q(nl.num_cells());
+    q.sample(batch);
+    EXPECT_DEATH(q.sample(sim), "scalar sample");
+}
+
+} // namespace
+} // namespace vega
