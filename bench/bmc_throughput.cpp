@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Formal-engine throughput: what incremental unrolling buys on the
+ * deepening loop.
+ *
+ * Both BMC engines run the identical lift-corpus workload — aged-STA
+ * endpoint pairs of the ALU32 and FPU32, shadow-instrumented exactly as
+ * run_error_lifting submits them. Each pair contributes its Table-4
+ * trace queries (usually covered at a shallow bound) plus a
+ * detection-latency obligation (unreachable: walks every bound before
+ * the free-state proof — the deepening-heavy half of the workload):
+ *
+ *  - "scratch":     a fresh Unroller + solver per bound (the historical
+ *                   engine, 1+2+...+K frame encodings per query);
+ *  - "incremental": one persistent solver per query, one frame appended
+ *                   per bound, bounds asked via activation-literal
+ *                   assumption solves (O(K) encodings, learned clauses
+ *                   carried across bounds).
+ *
+ * Before timing, every query's status/frames are cross-checked between
+ * the engines — a speedup on diverging results would be meaningless.
+ * Results land in BENCH_bmc.json; `--smoke` shrinks the workload for CI
+ * (numbers get noisy, schema and cross-check do not).
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "formal/bmc.h"
+#include "lift/failure_model.h"
+#include "netlist/builder.h"
+#include "lift/instruction_builder.h"
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+#include "sim/sp_profiler.h"
+#include "sta/sta.h"
+
+using namespace vega;
+
+namespace {
+
+double
+now_seconds()
+{
+    using clock = std::chrono::steady_clock;
+    static const clock::time_point t0 = clock::now();
+    return std::chrono::duration<double>(clock::now() - t0).count();
+}
+
+/** The test_lift aging recipe: tight calibration + parked-input SP so
+ *  STA yields real violating pairs without a full workload profile. */
+struct Corpus
+{
+    HwModule module;
+    std::vector<sta::EndpointPair> pairs;
+};
+
+Corpus
+build_corpus(ModuleKind kind)
+{
+    Corpus c;
+    c.module = kind == ModuleKind::Alu32 ? rtl::make_alu32()
+                                         : rtl::make_fpu32();
+    sta::calibrate_timing_scale(c.module, bench::timing_library(), 0.99);
+    Simulator sim(c.module.netlist);
+    SpProfile profile =
+        profile_signal_probability(sim, 64, [](Simulator &, uint64_t) {});
+    sta::AgedTiming aged = sta::compute_aged_timing(
+        c.module, profile, bench::timing_library(), 10.0);
+    c.pairs = sta::run_sta(c.module, aged).pairs;
+    return c;
+}
+
+/** One pre-built cover query of the workload. */
+struct Query
+{
+    Netlist netlist{"q"};
+    NetId target = kInvalidId;
+    formal::BmcOptions opts;
+};
+
+/**
+ * The detection-latency obligation on a shadow instrumentation: "is the
+ * mismatch still firing N cycles in?" — the target is the mismatch
+ * gated by a frame counter hitting N. With N past max_frames every
+ * bound is UNSAT (the counter is deterministic from reset, so unit
+ * propagation kills the target), the loop walks the whole deepening
+ * schedule, and the free-state phase closes it out. Cheap per-bound
+ * proofs make the query encoding-bound — exactly where O(K) vs O(K^2)
+ * frame encodings separate the engines.
+ */
+Query
+make_latency_query(lift::ShadowInstrumentation shadow, ModuleKind kind,
+                   int max_frames)
+{
+    Query q;
+    Netlist &nl = shadow.netlist;
+    Builder b(nl, "lat");
+    const int bits = 5;
+    const int n = max_frames + 2; // unreachable within the bound
+    std::vector<NetId> cnt;
+    for (int i = 0; i < bits; ++i)
+        cnt.push_back(nl.new_net("lat_q" + std::to_string(i)));
+    NetId carry = b.const1();
+    for (int i = 0; i < bits; ++i) {
+        NetId d = b.xor_(cnt[size_t(i)], carry);
+        carry = b.and_(cnt[size_t(i)], carry);
+        nl.add_dff("lat_ff" + std::to_string(i), d, cnt[size_t(i)], false);
+    }
+    std::vector<NetId> at_n;
+    for (int i = 0; i < bits; ++i)
+        at_n.push_back((n >> i) & 1 ? cnt[size_t(i)]
+                                    : b.not_(cnt[size_t(i)]));
+    NetId target = b.and_(shadow.mismatch, b.and_n(at_n));
+    nl.add_output_bus("latency_hit", {target});
+    q.target = target;
+    q.opts.max_frames = max_frames;
+    q.opts.assumes = lift::build_assumes(nl, kind);
+    q.opts.state_equalities = shadow.state_pairs;
+    q.netlist = std::move(nl);
+    return q;
+}
+
+std::vector<Query>
+build_queries(const Corpus &c, ModuleKind kind, size_t max_pairs,
+              int max_frames)
+{
+    std::vector<Query> qs;
+    size_t used = 0;
+    for (const sta::EndpointPair &pair : c.pairs) {
+        if (pair.launch == kInvalidId)
+            continue;
+        for (lift::FaultConstant fc :
+             {lift::FaultConstant::Zero, lift::FaultConstant::One}) {
+            lift::FailureModelSpec spec;
+            spec.launch = pair.launch;
+            spec.capture = pair.capture;
+            spec.is_setup = pair.is_setup;
+            spec.constant = fc;
+            lift::ShadowInstrumentation shadow =
+                lift::build_shadow_instrumentation(c.module.netlist, spec);
+
+            // The detection-latency obligation (unreachable, walks
+            // every bound) on one constant per pair...
+            if (fc == lift::FaultConstant::Zero)
+                qs.push_back(make_latency_query(shadow, kind, max_frames));
+
+            // ...plus the Table-4 trace query itself (usually covered
+            // at a shallow bound).
+            Query q;
+            q.opts.max_frames = max_frames;
+            q.opts.assumes = lift::build_assumes(shadow.netlist, kind);
+            q.opts.state_equalities = shadow.state_pairs;
+            q.target = shadow.mismatch;
+            q.netlist = std::move(shadow.netlist);
+            qs.push_back(std::move(q));
+        }
+        if (++used >= max_pairs)
+            break;
+    }
+    return qs;
+}
+
+struct EngineTotals
+{
+    double sec = 0;
+    uint64_t frames_encoded = 0;
+    uint64_t frames_reused = 0;
+    std::vector<formal::BmcResult> results;
+};
+
+EngineTotals
+run_engine(const std::vector<Query> &queries, formal::BmcEngine engine)
+{
+    EngineTotals t;
+    obs::Counter &encoded = obs::counter("bmc.frames_unrolled");
+    obs::Counter &reused = obs::counter("bmc.frames_reused");
+    uint64_t enc0 = encoded.value(), reu0 = reused.value();
+    for (const Query &q : queries) {
+        formal::BmcOptions opts = q.opts;
+        opts.engine = engine;
+        double start = now_seconds();
+        t.results.push_back(formal::check_cover(q.netlist, q.target, opts));
+        t.sec += now_seconds() - start;
+    }
+    t.frames_encoded = encoded.value() - enc0;
+    t.frames_reused = reused.value() - reu0;
+    return t;
+}
+
+struct ModuleResult
+{
+    std::string name;
+    size_t queries = 0;
+    int covered = 0, unreachable = 0, timeouts = 0;
+    EngineTotals scratch, incremental;
+
+    double speedup() const
+    {
+        return incremental.sec > 0 ? scratch.sec / incremental.sec : 0;
+    }
+};
+
+ModuleResult
+bench_module(ModuleKind kind, size_t max_pairs, int max_frames)
+{
+    ModuleResult r;
+    r.name = kind == ModuleKind::Alu32 ? "alu32" : "fpu32";
+    Corpus c = build_corpus(kind);
+    std::vector<Query> qs = build_queries(c, kind, max_pairs, max_frames);
+    r.queries = qs.size();
+
+    r.scratch = run_engine(qs, formal::BmcEngine::Scratch);
+    r.incremental = run_engine(qs, formal::BmcEngine::Incremental);
+
+    // Cross-check: identical verdicts or the timing is meaningless.
+    for (size_t i = 0; i < qs.size(); ++i) {
+        const formal::BmcResult &s = r.scratch.results[i];
+        const formal::BmcResult &n = r.incremental.results[i];
+        if (s.status != n.status || s.frames != n.frames ||
+            s.proven_by_induction != n.proven_by_induction) {
+            std::printf("ENGINE MISMATCH %s query %zu: scratch %s/%d vs "
+                        "incremental %s/%d\n",
+                        r.name.c_str(), i,
+                        formal::bmc_status_name(s.status), s.frames,
+                        formal::bmc_status_name(n.status), n.frames);
+            std::exit(1);
+        }
+        switch (s.status) {
+          case formal::BmcStatus::Covered:     ++r.covered; break;
+          case formal::BmcStatus::Unreachable: ++r.unreachable; break;
+          case formal::BmcStatus::Timeout:     ++r.timeouts; break;
+        }
+    }
+
+    std::printf("%-6s | %3zu queries (%2dS %2dUR %2dFF) | scratch %7.3fs "
+                "(%5llu frames) | incremental %7.3fs (%5llu frames, %llu "
+                "reused) | %5.2fx\n",
+                r.name.c_str(), r.queries, r.covered, r.unreachable,
+                r.timeouts, r.scratch.sec,
+                (unsigned long long)r.scratch.frames_encoded,
+                r.incremental.sec,
+                (unsigned long long)r.incremental.frames_encoded,
+                (unsigned long long)r.incremental.frames_reused,
+                r.speedup());
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        if (!std::strcmp(argv[i], "--smoke"))
+            smoke = true;
+
+    // Deepening-heavy bound: unreachable covers walk every bound before
+    // the free-state proof, which is where O(K) vs O(K^2) frame
+    // encodings (and carried learned clauses) separate the engines.
+    const int max_frames = smoke ? 4 : 12;
+    const size_t max_pairs = smoke ? 1 : 6;
+
+    bench::banner(std::string("BMC deepening throughput: scratch vs "
+                              "incremental engine") +
+                  (smoke ? " [smoke]" : ""));
+
+    std::vector<ModuleResult> results;
+    results.push_back(bench_module(ModuleKind::Alu32, max_pairs,
+                                   max_frames));
+    results.push_back(bench_module(ModuleKind::Fpu32,
+                                   smoke ? 1 : 4, max_frames));
+
+    double scratch_total = 0, incremental_total = 0;
+    for (const ModuleResult &r : results) {
+        scratch_total += r.scratch.sec;
+        incremental_total += r.incremental.sec;
+    }
+    double overall =
+        incremental_total > 0 ? scratch_total / incremental_total : 0;
+    std::printf("overall: scratch %.3fs vs incremental %.3fs -> %.2fx\n",
+                scratch_total, incremental_total, overall);
+
+    std::string json = "{\"bmc_throughput\":{\"smoke\":";
+    json += smoke ? "true" : "false";
+    char head[128];
+    std::snprintf(head, sizeof head, ",\"max_frames\":%d,\"modules\":[",
+                  max_frames);
+    json += head;
+    for (size_t i = 0; i < results.size(); ++i) {
+        const ModuleResult &r = results[i];
+        char buf[512];
+        std::snprintf(
+            buf, sizeof buf,
+            "%s{\"module\":\"%s\",\"queries\":%zu,\"covered\":%d,"
+            "\"unreachable\":%d,\"timeouts\":%d,\"scratch_sec\":%.4f,"
+            "\"incremental_sec\":%.4f,\"frames_scratch\":%llu,"
+            "\"frames_incremental\":%llu,\"frames_reused\":%llu,"
+            "\"speedup\":%.3f}",
+            i ? "," : "", r.name.c_str(), r.queries, r.covered,
+            r.unreachable, r.timeouts, r.scratch.sec, r.incremental.sec,
+            (unsigned long long)r.scratch.frames_encoded,
+            (unsigned long long)r.incremental.frames_encoded,
+            (unsigned long long)r.incremental.frames_reused, r.speedup());
+        json += buf;
+    }
+    char tail[64];
+    std::snprintf(tail, sizeof tail, "],\"speedup_overall\":%.3f}}",
+                  overall);
+    json += tail;
+    if (FILE *f = std::fopen("BENCH_bmc.json", "w")) {
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("\nwrote BENCH_bmc.json\n");
+    }
+    return 0;
+}

@@ -28,8 +28,10 @@ cmake --build "$build" -j "$jobs"
 # focused tests first so a data race there fails fast and readably.
 ctest --test-dir "$build" --output-on-failure -R 'Obs|ThreadPool' \
     -j "$jobs"
-# Simulator-throughput smoke: runs bench/sim_throughput --smoke (which
-# lockstep-checks the scalar/tape/batch engines under the sanitizers)
-# and validates the emitted BENCH_sim.json with vega_json_check.
+# Bench smoke: runs bench/sim_throughput --smoke (lockstep-checks the
+# scalar/tape/batch simulator engines under the sanitizers) and
+# bench/bmc_throughput --smoke (cross-checks the scratch and
+# incremental BMC engines query-by-query), then validates the emitted
+# BENCH_sim.json / BENCH_bmc.json with vega_json_check.
 ctest --test-dir "$build" --output-on-failure -L bench-smoke -j "$jobs"
 ctest --test-dir "$build" --output-on-failure -j "$jobs" "$@"

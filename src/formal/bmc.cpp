@@ -1,7 +1,9 @@
 #include "formal/bmc.h"
 
+#include <algorithm>
+#include <chrono>
+
 #include "common/logging.h"
-#include "formal/unroller.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -46,18 +48,37 @@ extract_trace(const Netlist &nl, const Unroller &unroll, int frames)
     return w;
 }
 
-sat::SolveLimits
-query_limits(const BmcOptions &opts)
+/**
+ * One loop-wide wall-clock deadline, shared by every SAT query of a
+ * check_cover call: each query is handed only the time remaining, so
+ * the whole call — not each query — honours wall_budget_seconds.
+ */
+class LoopDeadline
 {
-    sat::SolveLimits limits;
-    limits.conflict_budget = opts.conflict_budget;
-    limits.wall_seconds = opts.wall_budget_seconds;
-    return limits;
-}
+  public:
+    explicit LoopDeadline(double seconds) : armed_(seconds >= 0.0)
+    {
+        if (armed_)
+            end_ = Clock::now() +
+                   std::chrono::duration_cast<Clock::duration>(
+                       std::chrono::duration<double>(seconds));
+    }
 
-} // namespace
+    /** Seconds left for the next query; -1 when no deadline is armed. */
+    double remaining() const
+    {
+        if (!armed_)
+            return -1.0;
+        double left = std::chrono::duration<double>(end_ - Clock::now())
+                          .count();
+        return left > 0.0 ? left : 0.0;
+    }
 
-namespace {
+  private:
+    using Clock = std::chrono::steady_clock;
+    bool armed_;
+    Clock::time_point end_;
+};
 
 /** Count one query outcome into the bmc.covered/unreachable/timeout
  *  counters at whatever point check_cover settles on it. */
@@ -74,45 +95,68 @@ count_outcome(BmcStatus status)
     }
 }
 
-} // namespace
+/**
+ * Fresh-instance bound-@p k cover query from reset. This is both the
+ * scratch engine's inner step and the incremental engine's witness
+ * derivation after a Sat answer: satisfiability at a fixed bound is
+ * engine-independent, so routing both engines' traces through this one
+ * function makes their extracted waveforms identical by construction.
+ */
+sat::Solver::Result
+solve_reset_bound(const Netlist &nl, NetId target, const BmcOptions &opts,
+                  int k, int64_t conflict_budget, double wall_remaining,
+                  uint64_t &conflicts, Waveform *trace_out)
+{
+    Unroller unroll(nl, /*free_initial=*/false);
+    unroll.set_assumes(opts.assumes);
+    unroll.ensure_frames(k);
+    auto &solver = unroll.solver();
+    solver.add_clause(Lit(unroll.var(k - 1, target), false));
 
+    sat::SolveLimits limits;
+    limits.conflict_budget = conflict_budget;
+    limits.wall_seconds = wall_remaining;
+    auto res = solver.solve(limits);
+    conflicts += solver.num_conflicts();
+    if (res == sat::Solver::Result::Sat && trace_out)
+        *trace_out = extract_trace(nl, unroll, k);
+    return res;
+}
+
+/**
+ * Scratch deepening loop: a fresh Unroller + solver per bound. The
+ * historical engine, kept as the semantic reference for the regression
+ * tests and the baseline for bench/bmc_throughput.
+ */
 BmcResult
-check_cover(const Netlist &nl, NetId target, const BmcOptions &opts)
+check_cover_scratch(const Netlist &nl, NetId target, const BmcOptions &opts)
 {
     VEGA_SPAN("bmc.check_cover");
-    static obs::Counter &frames_unrolled =
-        obs::counter("bmc.frames_unrolled");
-
+    LoopDeadline deadline(opts.wall_budget_seconds);
     BmcResult result;
     result.conflicts = 0;
 
     // Phase 1: bounded search from reset, shortest trace first.
-    for (int k = 1; k <= opts.max_frames; ++k) {
-        VEGA_SPAN("bmc.frame");
-        frames_unrolled.add(uint64_t(k));
-        Unroller unroll(nl, /*free_initial=*/false);
-        for (int f = 0; f < k; ++f)
-            unroll.add_frame();
-        auto &solver = unroll.solver();
-        for (int f = 0; f < k; ++f)
-            for (NetId a : opts.assumes)
-                solver.add_clause(Lit(unroll.var(f, a), false));
-        solver.add_clause(Lit(unroll.var(k - 1, target), false));
-
-        auto res = solver.solve(query_limits(opts));
-        result.conflicts += solver.num_conflicts();
-        if (res == sat::Solver::Result::Sat) {
-            result.status = BmcStatus::Covered;
-            result.frames = k;
-            result.trace = extract_trace(nl, unroll, k);
-            count_outcome(result.status);
-            return result;
-        }
-        if (res == sat::Solver::Result::Unknown) {
-            result.status = BmcStatus::Timeout;
-            result.frames = k;
-            count_outcome(result.status);
-            return result;
+    {
+        VEGA_SPAN("bmc.deepen");
+        for (int k = 1; k <= opts.max_frames; ++k) {
+            VEGA_SPAN("bmc.frame");
+            auto res = solve_reset_bound(nl, target, opts, k,
+                                         opts.conflict_budget,
+                                         deadline.remaining(),
+                                         result.conflicts, &result.trace);
+            if (res == sat::Solver::Result::Sat) {
+                result.status = BmcStatus::Covered;
+                result.frames = k;
+                count_outcome(result.status);
+                return result;
+            }
+            if (res == sat::Solver::Result::Unknown) {
+                result.status = BmcStatus::Timeout;
+                result.frames = k;
+                count_outcome(result.status);
+                return result;
+            }
         }
     }
 
@@ -122,18 +166,17 @@ check_cover(const Netlist &nl, NetId target, const BmcOptions &opts)
     // invariant holds on all of them), proving the cover unreachable.
     {
         VEGA_SPAN("bmc.unreachability");
-        frames_unrolled.add(2);
         Unroller unroll(nl, /*free_initial=*/true, opts.state_equalities);
-        unroll.add_frame();
-        unroll.add_frame();
+        unroll.set_assumes(opts.assumes);
+        unroll.ensure_frames(2);
         auto &solver = unroll.solver();
-        for (int f = 0; f < 2; ++f)
-            for (NetId a : opts.assumes)
-                solver.add_clause(Lit(unroll.var(f, a), false));
         solver.add_clause(Lit(unroll.var(0, target), false),
                           Lit(unroll.var(1, target), false));
 
-        auto res = solver.solve(query_limits(opts));
+        sat::SolveLimits limits;
+        limits.conflict_budget = opts.conflict_budget;
+        limits.wall_seconds = deadline.remaining();
+        auto res = solver.solve(limits);
         result.conflicts += solver.num_conflicts();
         if (res == sat::Solver::Result::Unsat) {
             result.status = BmcStatus::Unreachable;
@@ -159,6 +202,157 @@ check_cover(const Netlist &nl, NetId target, const BmcOptions &opts)
     return result;
 }
 
+} // namespace
+
+CoverSession::CoverSession(const Netlist &nl, NetId target,
+                           const BmcOptions &opts)
+    : nl_(nl), target_(target), opts_(opts),
+      reset_unroller_(nl, /*free_initial=*/false)
+{
+    reset_unroller_.set_assumes(opts_.assumes);
+}
+
+BmcResult
+CoverSession::run()
+{
+    return run(opts_.conflict_budget, opts_.wall_budget_seconds);
+}
+
+BmcResult
+CoverSession::run(int64_t conflict_budget, double wall_budget_seconds)
+{
+    if (settled_)
+        return settled_result_;
+
+    VEGA_SPAN("bmc.check_cover");
+    static obs::Counter &frames_reused = obs::counter("bmc.frames_reused");
+    static obs::Counter &incremental_solves =
+        obs::counter("bmc.incremental_solves");
+
+    LoopDeadline deadline(wall_budget_seconds);
+    BmcResult result;
+    result.conflicts = 0;
+    auto settle = [&](const BmcResult &r) {
+        settled_ = true;
+        settled_result_ = r;
+        // A replayed settled result charges no further conflicts.
+        settled_result_.conflicts = 0;
+    };
+
+    // Phase 1: deepen on the persistent instance, shortest trace first.
+    // Bound k is the assumption query solve({act_k}); Unsat retires the
+    // bound and appends one more frame, Unknown leaves everything in
+    // place for the next (escalated) run.
+    {
+        VEGA_SPAN("bmc.deepen");
+        while (!phase1_done_) {
+            int k = next_bound_;
+            if (k > opts_.max_frames) {
+                phase1_done_ = true;
+                break;
+            }
+            VEGA_SPAN("bmc.frame");
+            frames_reused.add(static_cast<uint64_t>(
+                std::min(reset_unroller_.num_frames(), k)));
+            reset_unroller_.ensure_frames(k);
+            Lit act = reset_unroller_.cover_activation(k - 1, target_);
+
+            sat::SolveLimits limits;
+            limits.conflict_budget = conflict_budget;
+            limits.wall_seconds = deadline.remaining();
+            incremental_solves.inc();
+            auto &solver = reset_unroller_.solver();
+            uint64_t before = solver.num_conflicts();
+            auto res = solver.solve({act}, limits);
+            result.conflicts += solver.num_conflicts() - before;
+
+            if (res == sat::Solver::Result::Sat) {
+                // Canonicalize the witness through the scratch engine's
+                // bound-k query so both engines extract byte-identical
+                // waveforms (bound-k satisfiability is engine-
+                // independent; only the particular model is not).
+                auto wres = solve_reset_bound(
+                    nl_, target_, opts_, k, conflict_budget,
+                    deadline.remaining(), result.conflicts, &result.trace);
+                if (wres == sat::Solver::Result::Unknown) {
+                    result.status = BmcStatus::Timeout;
+                    result.frames = k;
+                    count_outcome(result.status);
+                    return result; // resumable: retry bound k
+                }
+                VEGA_CHECK(wres == sat::Solver::Result::Sat,
+                           "bmc: canonical witness vanished at bound ", k);
+                result.status = BmcStatus::Covered;
+                result.frames = k;
+                count_outcome(result.status);
+                settle(result);
+                return result;
+            }
+            if (res == sat::Solver::Result::Unknown) {
+                result.status = BmcStatus::Timeout;
+                result.frames = k;
+                count_outcome(result.status);
+                return result; // resumable: retry bound k
+            }
+            // Unsat at bound k: retire the bound's activation literal
+            // and deepen. Clauses learned here keep pruning bound k+1.
+            reset_unroller_.retire(act);
+            next_bound_ = k + 1;
+        }
+    }
+
+    // Phase 2: free-state unreachability (see check_cover_scratch). The
+    // instance persists across runs so an escalated retry re-solves it
+    // with learned clauses intact.
+    {
+        VEGA_SPAN("bmc.unreachability");
+        if (!free_unroller_) {
+            free_unroller_ = std::make_unique<Unroller>(
+                nl_, /*free_initial=*/true, opts_.state_equalities);
+            free_unroller_->set_assumes(opts_.assumes);
+            free_unroller_->ensure_frames(2);
+            free_unroller_->solver().add_clause(
+                Lit(free_unroller_->var(0, target_), false),
+                Lit(free_unroller_->var(1, target_), false));
+        }
+        sat::SolveLimits limits;
+        limits.conflict_budget = conflict_budget;
+        limits.wall_seconds = deadline.remaining();
+        auto &solver = free_unroller_->solver();
+        uint64_t before = solver.num_conflicts();
+        auto res = solver.solve(limits);
+        result.conflicts += solver.num_conflicts() - before;
+        if (res == sat::Solver::Result::Unsat) {
+            result.status = BmcStatus::Unreachable;
+            result.proven_by_induction = true;
+            count_outcome(result.status);
+            settle(result);
+            return result;
+        }
+        if (res == sat::Solver::Result::Unknown) {
+            result.status = BmcStatus::Timeout;
+            count_outcome(result.status);
+            return result; // resumable: re-solve phase 2
+        }
+    }
+
+    result.status = BmcStatus::Unreachable;
+    result.proven_by_induction = false;
+    result.frames = opts_.max_frames;
+    count_outcome(result.status);
+    settle(result);
+    return result;
+}
+
+BmcResult
+check_cover(const Netlist &nl, NetId target, const BmcOptions &opts)
+{
+    if (opts.engine == BmcEngine::Scratch)
+        return check_cover_scratch(nl, target, opts);
+    CoverSession session(nl, target, opts);
+    return session.run();
+}
+
 EscalatedBmcResult
 check_cover_escalating(const Netlist &nl, NetId target,
                        const BmcOptions &opts,
@@ -166,22 +360,45 @@ check_cover_escalating(const Netlist &nl, NetId target,
 {
     static obs::Counter &escalations = obs::counter("bmc.escalations");
     EscalatedBmcResult out;
-    BmcOptions attempt_opts = opts;
     int max_attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+
+    if (opts.engine == BmcEngine::Scratch) {
+        BmcOptions attempt_opts = opts;
+        for (int attempt = 1;; ++attempt) {
+            if (attempt > 1)
+                escalations.inc();
+            out.result = check_cover(nl, target, attempt_opts);
+            out.attempts = attempt;
+            out.total_conflicts += out.result.conflicts;
+            if (out.result.status != BmcStatus::Timeout ||
+                attempt >= max_attempts)
+                return out;
+            // Escalate: grow both budgets geometrically for the retry.
+            attempt_opts.conflict_budget = int64_t(
+                double(attempt_opts.conflict_budget) * policy.budget_growth);
+            if (attempt_opts.wall_budget_seconds >= 0.0)
+                attempt_opts.wall_budget_seconds *= policy.budget_growth;
+        }
+    }
+
+    // Incremental: every rung of the ladder resumes the same session —
+    // frames and learned clauses survive the escalation, so attempt n+1
+    // continues the timed-out bound instead of re-unrolling 1..k.
+    CoverSession session(nl, target, opts);
+    int64_t budget = opts.conflict_budget;
+    double wall = opts.wall_budget_seconds;
     for (int attempt = 1;; ++attempt) {
         if (attempt > 1)
             escalations.inc();
-        out.result = check_cover(nl, target, attempt_opts);
+        out.result = session.run(budget, wall);
         out.attempts = attempt;
         out.total_conflicts += out.result.conflicts;
         if (out.result.status != BmcStatus::Timeout ||
             attempt >= max_attempts)
             return out;
-        // Escalate: grow both budgets geometrically for the retry.
-        attempt_opts.conflict_budget = int64_t(
-            double(attempt_opts.conflict_budget) * policy.budget_growth);
-        if (attempt_opts.wall_budget_seconds >= 0.0)
-            attempt_opts.wall_budget_seconds *= policy.budget_growth;
+        budget = int64_t(double(budget) * policy.budget_growth);
+        if (wall >= 0.0)
+            wall *= policy.budget_growth;
     }
 }
 

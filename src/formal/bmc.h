@@ -13,17 +13,36 @@
  *                 generalizes every reachable state, or by exhausting the
  *                 bound on these feed-forward pipeline modules.
  *  - Timeout:     the SAT solver exceeded its conflict budget.
+ *
+ * Two engines implement the deepening loop (selected by
+ * BmcOptions::engine):
+ *
+ *  - Incremental (default): one long-lived Unroller whose persistent
+ *    solver accumulates frames and learned clauses; bound k is the
+ *    assumption query solve({act_k}) on a per-bound activation literal.
+ *    Total frame encodings are O(K), and conflicts learned at bound k
+ *    prune bound k+1. Mirrors how the paper's industrial model checker
+ *    amortizes deepening. On a Sat answer the witness is re-derived
+ *    through the same fresh-instance query the scratch engine runs, so
+ *    both engines return byte-identical waveforms.
+ *  - Scratch: a fresh Unroller + solver per bound (the historical
+ *    engine, kept as the semantic reference and benchmark baseline).
  */
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
+#include "formal/unroller.h"
 #include "netlist/netlist.h"
 #include "sim/waveform.h"
 
 namespace vega::formal {
+
+/** Deepening-loop implementation selector; see the file comment. */
+enum class BmcEngine { Incremental, Scratch };
 
 struct BmcOptions
 {
@@ -32,9 +51,12 @@ struct BmcOptions
     /** SAT conflict budget per query; exceeded => Timeout ("FF"). */
     int64_t conflict_budget = 3000000;
     /**
-     * Wall-clock budget per SAT query in seconds; exceeded => Timeout.
-     * Negative disables the deadline (the default): the conflict budget
-     * alone bounds the query.
+     * Wall-clock budget in seconds for the *whole* check_cover call;
+     * exceeded => Timeout. One loop-wide deadline is armed at entry and
+     * every SAT query receives only the remaining time, so the call
+     * cannot take max_frames × the configured budget. Negative disables
+     * the deadline (the default): the conflict budget alone bounds each
+     * query.
      */
     double wall_budget_seconds = -1.0;
     /**
@@ -47,6 +69,8 @@ struct BmcOptions
      * unreachability check.
      */
     std::vector<std::pair<NetId, NetId>> state_equalities;
+    /** Deepening-loop engine. */
+    BmcEngine engine = BmcEngine::Incremental;
 };
 
 enum class BmcStatus { Covered, Unreachable, Timeout };
@@ -60,6 +84,7 @@ struct BmcResult
     int frames = 0;
     /** Input and output bus values per cycle (Covered only). */
     Waveform trace;
+    /** Conflicts spent by this call (this run, for a resumed session). */
     uint64_t conflicts = 0;
     /** Unreachable only: proven by the induction-style free-state check. */
     bool proven_by_induction = false;
@@ -73,6 +98,46 @@ struct BmcResult
  */
 BmcResult check_cover(const Netlist &nl, NetId target,
                       const BmcOptions &opts);
+
+/**
+ * A resumable incremental cover query: the state behind the Incremental
+ * engine, exposed so retry ladders can escalate budgets *without*
+ * discarding the unrolled frames and learned clauses.
+ *
+ * run() executes (or resumes) the deepening loop under the given
+ * budgets. A Timeout answer does not settle the session: calling run()
+ * again retries from the exact bound that timed out, on the same solver
+ * — the escalated attempt starts where the starved one stopped instead
+ * of re-encoding 1..k frames. Covered/Unreachable answers settle the
+ * session; further run() calls return the cached result.
+ */
+class CoverSession
+{
+  public:
+    CoverSession(const Netlist &nl, NetId target, const BmcOptions &opts);
+
+    /** Run or resume with the budgets given at construction. */
+    BmcResult run();
+
+    /** Run or resume under explicit budgets (an escalation rung). */
+    BmcResult run(int64_t conflict_budget, double wall_budget_seconds);
+
+    /** True once a Covered/Unreachable answer has been reached. */
+    bool settled() const { return settled_; }
+
+  private:
+    const Netlist &nl_;
+    NetId target_;
+    BmcOptions opts_;
+    /** Phase 1: reset-state deepening, one frame appended per bound. */
+    Unroller reset_unroller_;
+    /** Phase 2: free-state unreachability instance (built lazily). */
+    std::unique_ptr<Unroller> free_unroller_;
+    int next_bound_ = 1;
+    bool phase1_done_ = false;
+    bool settled_ = false;
+    BmcResult settled_result_;
+};
 
 /**
  * Retry policy for check_cover_escalating: on Timeout, re-run with the
@@ -99,9 +164,13 @@ struct EscalatedBmcResult
 /**
  * check_cover wrapped in retry-with-escalation: each Timeout retries
  * with budgets scaled by policy.budget_growth, up to
- * policy.max_attempts attempts. A result that is still Timeout after
- * the final attempt is the caller's signal to degrade (fuzz fallback)
- * or record a structured Exhausted outcome.
+ * policy.max_attempts attempts. With the Incremental engine the
+ * attempts share one CoverSession, so a retry resumes the timed-out
+ * bound with a bigger budget instead of re-unrolling from scratch;
+ * with the Scratch engine each attempt is an independent check_cover.
+ * A result that is still Timeout after the final attempt is the
+ * caller's signal to degrade (fuzz fallback) or record a structured
+ * Exhausted outcome.
  */
 EscalatedBmcResult check_cover_escalating(const Netlist &nl, NetId target,
                                           const BmcOptions &opts,

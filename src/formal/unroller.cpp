@@ -1,6 +1,7 @@
 #include "formal/unroller.h"
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace vega::formal {
 
@@ -13,9 +14,20 @@ Unroller::Unroller(const Netlist &nl, bool free_initial,
 {
 }
 
+void
+Unroller::set_assumes(const std::vector<NetId> &assumes)
+{
+    VEGA_CHECK(frames_.empty(), "set_assumes after frames were added");
+    assumes_ = assumes;
+}
+
 int
 Unroller::add_frame()
 {
+    static obs::Counter &frames_unrolled =
+        obs::counter("bmc.frames_unrolled");
+    frames_unrolled.inc();
+
     FrameVars frame;
     frame.net_var.assign(nl_.num_nets(), -1);
     int f = static_cast<int>(frames_.size());
@@ -48,8 +60,25 @@ Unroller::add_frame()
         }
     }
 
+    // Assume nets hold in every frame; a permanent part of the frame.
+    for (NetId a : assumes_)
+        solver_.add_clause(Lit(frame.net_var[a], false));
+
     frames_.push_back(std::move(frame));
     return f;
+}
+
+sat::Lit
+Unroller::cover_activation(int frame, NetId target)
+{
+    VEGA_CHECK(frame < num_frames(), "cover_activation beyond last frame");
+    for (const CoverAct &ca : cover_acts_)
+        if (ca.frame == frame && ca.target == target)
+            return ca.act;
+    Lit act(solver_.new_var(), false);
+    solver_.add_clause(~act, Lit(var(frame, target), false));
+    cover_acts_.push_back({frame, target, act});
+    return act;
 }
 
 } // namespace vega::formal

@@ -1,6 +1,7 @@
 /**
  * @file
- * k-frame unrolling of a sequential netlist into a single SAT instance.
+ * Incremental k-frame unrolling of a sequential netlist into one
+ * long-lived SAT instance.
  */
 #pragma once
 
@@ -14,12 +15,31 @@
 namespace vega::formal {
 
 /**
- * Unrolls a netlist frame by frame into an owned solver.
+ * Unrolls a netlist frame by frame into an owned, persistent solver.
+ *
+ * The unroller is a long-lived object: frames are appended with
+ * ensure_frames()/add_frame() and every clause ever added (including
+ * the solver's learned clauses) stays valid, so a deepening BMC loop
+ * encodes each frame exactly once instead of re-encoding 1+2+…+K
+ * frames across bounds.
+ *
+ * Bound-specific constraints go through *activation literals*: for a
+ * cover target at frame k, cover_activation(k, target) allocates a
+ * fresh literal `act` and adds the clause `¬act ∨ target@k`, so the
+ * bound-k query is `solver().solve({act})` — Unsat under the
+ * assumption leaves the instance reusable for bound k+1, and
+ * retire(act) (the unit clause `¬act`) permanently satisfies the
+ * bound's clause once it is refuted.
  *
  * Frame 0 state is either the reset state (DFF init values as unit
  * clauses) or free variables, optionally with pairwise equality
  * constraints (used to tie shadow-replica registers to their originals
  * in the inductive unreachability check, §3.3.2/§3.3.4).
+ *
+ * Assume nets (BmcOptions::assumes) are registered once via
+ * set_assumes() before the first frame; add_frame() then pins each of
+ * them to 1 in every frame it encodes, so the per-frame assume units
+ * are part of the frame itself rather than re-added per bound.
  */
 class Unroller
 {
@@ -32,10 +52,39 @@ class Unroller
     Unroller(const Netlist &nl, bool free_initial,
              const std::vector<std::pair<NetId, NetId>> &state_equalities = {});
 
+    /**
+     * Register the nets pinned to 1 in every frame. Must be called
+     * before the first add_frame(); the constraint is permanent, so
+     * every query on this unroller shares it.
+     */
+    void set_assumes(const std::vector<NetId> &assumes);
+
     /** Append one more frame; returns its index. */
     int add_frame();
 
+    /** Append frames until at least @p k exist. */
+    void ensure_frames(int k)
+    {
+        while (num_frames() < k)
+            add_frame();
+    }
+
     int num_frames() const { return static_cast<int>(frames_.size()); }
+
+    /**
+     * Activation literal for the cover clause `target@frame`: allocates
+     * `act` and adds `¬act ∨ target@frame` on first use, and returns
+     * the cached literal on repeat calls (so an escalated retry of the
+     * same bound reuses the same clause). The frame must already exist.
+     */
+    sat::Lit cover_activation(int frame, NetId target);
+
+    /**
+     * Permanently disable an activation literal (unit clause `¬act`),
+     * satisfying its cover clause. Call after the bound is refuted so
+     * the dead clause cannot pollute later propagation.
+     */
+    void retire(sat::Lit act) { solver_.add_clause(~act); }
 
     sat::Solver &solver() { return solver_; }
 
@@ -57,6 +106,15 @@ class Unroller
     std::vector<FrameVars> frames_;
     bool free_initial_;
     std::vector<std::pair<NetId, NetId>> state_equalities_;
+    std::vector<NetId> assumes_;
+
+    struct CoverAct
+    {
+        int frame;
+        NetId target;
+        sat::Lit act;
+    };
+    std::vector<CoverAct> cover_acts_;
 };
 
 } // namespace vega::formal

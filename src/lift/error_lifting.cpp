@@ -238,6 +238,9 @@ run_error_lifting(const HwModule &module,
                 formal::EscalationPolicy policy;
                 policy.max_attempts = config.formal_attempts;
                 policy.budget_growth = config.formal_budget_growth;
+                // Under the incremental engine the escalation rungs
+                // resume one CoverSession (frames + learned clauses
+                // survive each retry); see check_cover_escalating.
                 formal::EscalatedBmcResult esc = formal::check_cover_escalating(
                     shadow.netlist, shadow.mismatch, opts, policy);
                 bmc = std::move(esc.result);

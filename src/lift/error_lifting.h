@@ -52,6 +52,9 @@ struct LiftConfig
 
     // Retry-with-degradation ladder for the formal engine. Defaults
     // reproduce the single-attempt baseline; the campaign CLI opts in.
+    // With the (default) incremental BMC engine the rungs share one
+    // CoverSession: a retry resumes the timed-out bound on the same
+    // solver with a bigger budget instead of re-unrolling from scratch.
     /** Formal attempts per configuration; Timeouts retry with the
      *  conflict/wall budget multiplied by formal_budget_growth. */
     int formal_attempts = 1;

@@ -20,13 +20,14 @@ namespace {
 struct SolveMetricsScope
 {
     const Solver &solver;
-    uint64_t conflicts0, propagations0, decisions0, restarts0;
+    uint64_t conflicts0, propagations0, decisions0, restarts0, learned0;
     std::chrono::steady_clock::time_point t0;
 
     explicit SolveMetricsScope(const Solver &s)
         : solver(s), conflicts0(s.num_conflicts()),
           propagations0(s.num_propagations()),
           decisions0(s.num_decisions()), restarts0(s.num_restarts()),
+          learned0(s.num_learned_clauses()),
           t0(std::chrono::steady_clock::now())
     {
     }
@@ -39,6 +40,8 @@ struct SolveMetricsScope
             obs::counter("sat.propagations");
         static obs::Counter &decisions = obs::counter("sat.decisions");
         static obs::Counter &restarts = obs::counter("sat.restarts");
+        static obs::Counter &learned =
+            obs::counter("sat.learned_clauses");
         static obs::Histogram &solve_seconds =
             obs::histogram("sat.solve_seconds");
         solves.inc();
@@ -46,6 +49,7 @@ struct SolveMetricsScope
         propagations.add(solver.num_propagations() - propagations0);
         decisions.add(solver.num_decisions() - decisions0);
         restarts.add(solver.num_restarts() - restarts0);
+        learned.add(solver.num_learned_clauses() - learned0);
         solve_seconds.observe(
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - t0)
@@ -391,19 +395,33 @@ Solver::solve(int64_t conflict_budget)
 Solver::Result
 Solver::solve(const SolveLimits &limits)
 {
+    return solve(std::vector<Lit>{}, limits);
+}
+
+Solver::Result
+Solver::solve(const std::vector<Lit> &assumptions,
+              const SolveLimits &limits)
+{
     VEGA_SPAN("sat.solve");
     SolveMetricsScope metrics(*this);
+    if (!assumptions.empty()) {
+        static obs::Counter &assumption_solves =
+            obs::counter("sat.assumption_solves");
+        assumption_solves.inc();
+    }
+    conflict_.clear();
     if (!ok_)
         return Result::Unsat;
+    VEGA_CHECK(trail_lim_.empty(), "solve re-entered mid-search");
     if (propagate() != kCrefUndef) {
         ok_ = false;
         return Result::Unsat;
     }
 
+    const uint64_t conflicts0 = conflicts_;
     int64_t restart_num = 0;
     int64_t restart_limit = 100 * luby(restart_num);
     int64_t conflicts_this_restart = 0;
-    uint64_t next_reduce = 4000;
     std::vector<Lit> learnt;
 
     // Wall-clock deadline, checked every kDeadlineCheckInterval conflicts
@@ -418,6 +436,7 @@ Solver::solve(const SolveLimits &limits)
                                      limits.wall_seconds))
             : Clock::time_point::max();
 
+    Result result = Result::Unknown;
     for (;;) {
         Cref conflict = propagate();
         if (conflict != kCrefUndef) {
@@ -425,11 +444,13 @@ Solver::solve(const SolveLimits &limits)
             ++conflicts_this_restart;
             if (trail_lim_.empty()) {
                 ok_ = false;
-                return Result::Unsat;
+                result = Result::Unsat;
+                break;
             }
             int back_level = 0;
             analyze(conflict, learnt, back_level);
             backtrack_to(back_level);
+            ++learned_total_;
             if (learnt.size() == 1) {
                 enqueue(learnt[0], kCrefUndef);
             } else {
@@ -453,16 +474,16 @@ Solver::solve(const SolveLimits &limits)
             }
             decay_activity();
 
+            const uint64_t spent = conflicts_ - conflicts0;
             if (limits.conflict_budget >= 0 &&
-                conflicts_ >= static_cast<uint64_t>(limits.conflict_budget))
-                return Result::Unknown;
-            if (has_deadline &&
-                conflicts_ % kDeadlineCheckInterval == 0 &&
+                spent >= static_cast<uint64_t>(limits.conflict_budget))
+                break; // Unknown
+            if (has_deadline && spent % kDeadlineCheckInterval == 0 &&
                 Clock::now() >= deadline)
-                return Result::Unknown;
-            if (conflicts_ >= next_reduce) {
+                break; // Unknown
+            if (conflicts_ >= next_reduce_) {
                 reduce_db();
-                next_reduce += 4000 + 300 * (next_reduce / 4000);
+                next_reduce_ += 4000 + 300 * (next_reduce_ / 4000);
             }
             continue;
         }
@@ -475,19 +496,88 @@ Solver::solve(const SolveLimits &limits)
             continue;
         }
 
-        Lit next = pick_branch();
+        // Extend the assumption prefix: one decision level per
+        // assumption, before any free decision. An already-true
+        // assumption still claims a (empty) level so backjumps keep
+        // every assumption decided; a false one is the final conflict.
+        Lit next = Lit();
+        bool assumption_failed = false;
+        while (trail_lim_.size() < assumptions.size()) {
+            Lit p = assumptions[trail_lim_.size()];
+            uint8_t v = value(p);
+            if (v == kTrue) {
+                trail_lim_.push_back(static_cast<int>(trail_.size()));
+            } else if (v == kFalse) {
+                analyze_final(p);
+                assumption_failed = true;
+                break;
+            } else {
+                next = p;
+                break;
+            }
+        }
+        if (assumption_failed) {
+            result = Result::Unsat;
+            break;
+        }
         if (next.x < 0)
-            return Result::Sat; // complete assignment
+            next = pick_branch();
+        if (next.x < 0) {
+            result = Result::Sat; // complete assignment
+            break;
+        }
         ++decisions_;
         trail_lim_.push_back(static_cast<int>(trail_.size()));
         enqueue(next, kCrefUndef);
     }
+
+    // Snapshot the model, then rewind to the root so the instance stays
+    // extendable (add_clause / new frames / the next assumption solve).
+    if (result == Result::Sat)
+        model_.assign(assigns_.begin(), assigns_.end());
+    backtrack_to(0);
+    return result;
+}
+
+/**
+ * The final-conflict analysis of an assumption solve: @p failed is the
+ * assumption literal found false while extending the prefix. Walks the
+ * implication trail backwards from ~failed, expanding reasons, until
+ * only decisions (which above the root are exactly the earlier
+ * assumptions) remain; those plus @p failed form a jointly-unsat subset
+ * of the assumptions.
+ */
+void
+Solver::analyze_final(Lit failed)
+{
+    conflict_.clear();
+    conflict_.push_back(failed);
+    if (trail_lim_.empty() || level_[failed.var()] == 0)
+        return; // contradicted at the root: {failed} alone suffices
+    seen_[failed.var()] = 1;
+    for (int i = static_cast<int>(trail_.size()) - 1;
+         i >= trail_lim_[0]; --i) {
+        Var v = trail_[i].var();
+        if (!seen_[v])
+            continue;
+        if (reason_[v] == kCrefUndef) {
+            conflict_.push_back(trail_[i]);
+        } else {
+            const Lit *ls = clause_lits(reason_[v]);
+            int sz = clause_size(reason_[v]);
+            for (int k = 0; k < sz; ++k)
+                if (level_[ls[k].var()] > 0)
+                    seen_[ls[k].var()] = 1;
+        }
+        seen_[v] = 0;
+    }
+    seen_[failed.var()] = 0;
 }
 
 bool
 Solver::model_value(Var v) const
 {
-    return assigns_[v] == kTrue;
+    return static_cast<size_t>(v) < model_.size() && model_[v] == kTrue;
 }
 
 // ---- activity heap -------------------------------------------------------

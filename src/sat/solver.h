@@ -10,6 +10,15 @@
  * A conflict budget turns long proofs into Result::Unknown, which the
  * Error Lifting phase reports as the paper's "FF" (formal failure/timeout)
  * outcome.
+ *
+ * The solver is *incremental*: every solve() exits at the root decision
+ * level, so callers may keep adding variables and clauses after a solve
+ * and re-solve — learned clauses, variable activities, and saved phases
+ * all persist across calls. solve(assumptions, ...) decides the given
+ * literals before the free search; an Unsat answer under assumptions
+ * does not poison the instance (failed_assumptions() names a subset of
+ * the assumptions that is jointly contradictory), which is what the BMC
+ * unroller's per-bound activation literals are built on.
  */
 #pragma once
 
@@ -72,7 +81,9 @@ class Solver
 
     /**
      * Add a clause (empty clause makes the instance trivially unsat).
-     * Returns false if the solver is already in an unsat state.
+     * Returns false if the solver is already in an unsat state. Legal
+     * between solve() calls: the solver always returns to the root
+     * level, so new clauses join the existing (learned) database.
      */
     bool add_clause(std::vector<Lit> lits);
 
@@ -90,6 +101,25 @@ class Solver
     /** Solve under both a conflict budget and a wall-clock deadline. */
     Result solve(const SolveLimits &limits);
 
+    /**
+     * Solve under @p assumptions: each literal is decided (in order)
+     * before the free search, so Result::Sat guarantees a model where
+     * every assumption holds, and Result::Unsat means the clauses are
+     * contradictory *under the assumptions* — the instance itself stays
+     * usable, and failed_assumptions() reports which assumptions were
+     * involved. Limits are interpreted per call: the conflict budget
+     * bounds conflicts spent in this solve, not lifetime conflicts.
+     */
+    Result solve(const std::vector<Lit> &assumptions,
+                 const SolveLimits &limits = {});
+
+    /**
+     * After an Unsat answer from solve(assumptions): a subset of the
+     * assumptions that the solver proved jointly contradictory (the
+     * final conflict). Empty when the instance is unsat outright.
+     */
+    const std::vector<Lit> &failed_assumptions() const { return conflict_; }
+
     /** Model value of @p v after Result::Sat. */
     bool model_value(Var v) const;
 
@@ -97,6 +127,7 @@ class Solver
     uint64_t num_decisions() const { return decisions_; }
     uint64_t num_propagations() const { return propagations_; }
     uint64_t num_restarts() const { return restarts_; }
+    uint64_t num_learned_clauses() const { return learned_total_; }
 
   private:
     // Clause storage: all clauses live in one arena; a Cref is an offset.
@@ -132,6 +163,7 @@ class Solver
     void enqueue(Lit l, Cref reason);
     Cref propagate();
     void analyze(Cref conflict, std::vector<Lit> &learnt, int &backtrack);
+    void analyze_final(Lit failed);
     void backtrack_to(int level);
     Lit pick_branch();
     void bump_var(Var v);
@@ -169,11 +201,22 @@ class Solver
 
     std::vector<uint8_t> seen_; ///< scratch for analyze()
 
+    /** Model snapshot taken at the moment of a Sat answer (the search
+     *  state itself is rewound to the root so the instance stays
+     *  extendable). */
+    std::vector<uint8_t> model_;
+    /** Failed-assumption set of the last assumption-Unsat answer. */
+    std::vector<Lit> conflict_;
+
     bool ok_ = true;
     uint64_t conflicts_ = 0;
     uint64_t decisions_ = 0;
     uint64_t propagations_ = 0;
     uint64_t restarts_ = 0;
+    uint64_t learned_total_ = 0;
+    /** Learned-DB reduction point; persists so incremental re-solves
+     *  keep one schedule instead of reducing on every early conflict. */
+    uint64_t next_reduce_ = 4000;
 };
 
 } // namespace vega::sat

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <vector>
 
@@ -296,6 +297,158 @@ TEST(SatSolver, WallClockDeadlineIgnoredWhenUnset)
     SolveLimits limits;
     EXPECT_EQ(s.solve(limits), Solver::Result::Sat);
     EXPECT_TRUE(s.model_value(b));
+}
+
+TEST(SatSolver, AssumptionsHoldInModel)
+{
+    Solver s;
+    Var a = s.new_var(), b = s.new_var();
+    s.add_clause(pos(a), pos(b));
+    ASSERT_EQ(s.solve({neg(a)}), Solver::Result::Sat);
+    EXPECT_FALSE(s.model_value(a));
+    EXPECT_TRUE(s.model_value(b));
+    // Same instance, opposite assumption: no rebuild needed.
+    ASSERT_EQ(s.solve({pos(a)}), Solver::Result::Sat);
+    EXPECT_TRUE(s.model_value(a));
+}
+
+TEST(SatSolver, AssumptionUnsatDoesNotPoisonInstance)
+{
+    Solver s;
+    Var a = s.new_var(), b = s.new_var();
+    s.add_clause(neg(a), pos(b)); // a -> b
+    EXPECT_EQ(s.solve({pos(a), neg(b)}), Solver::Result::Unsat);
+    // failed_assumptions is a subset of the assumptions.
+    for (Lit l : s.failed_assumptions())
+        EXPECT_TRUE(l == pos(a) || l == neg(b));
+    EXPECT_FALSE(s.failed_assumptions().empty());
+    // The instance itself is still satisfiable, and still extendable.
+    EXPECT_EQ(s.solve(), Solver::Result::Sat);
+    s.add_clause(pos(a));
+    ASSERT_EQ(s.solve(), Solver::Result::Sat);
+    EXPECT_TRUE(s.model_value(b));
+}
+
+TEST(SatSolver, RootFalsifiedAssumptionFails)
+{
+    Solver s;
+    Var a = s.new_var();
+    s.add_clause(neg(a));
+    EXPECT_EQ(s.solve({pos(a)}), Solver::Result::Unsat);
+    ASSERT_EQ(s.failed_assumptions().size(), 1u);
+    EXPECT_EQ(s.failed_assumptions()[0], pos(a));
+    // Not poisoned: the instance without the assumption is Sat.
+    EXPECT_EQ(s.solve(), Solver::Result::Sat);
+}
+
+TEST(SatSolver, LearnedClausesPersistAcrossSolves)
+{
+    // Pigeonhole under assumptions: the refutation is learned once and
+    // the instance stays reusable, so the counter only grows.
+    Solver s;
+    const int P = 5, H = 4;
+    std::vector<std::vector<Var>> x(P, std::vector<Var>(H));
+    for (int p = 0; p < P; ++p)
+        for (int h = 0; h < H; ++h)
+            x[p][h] = s.new_var();
+    Var gate = s.new_var(); // activation literal guarding the at-least-one rows
+    for (int p = 0; p < P; ++p) {
+        std::vector<Lit> clause{neg(gate)};
+        for (int h = 0; h < H; ++h)
+            clause.push_back(pos(x[p][h]));
+        s.add_clause(clause);
+    }
+    for (int h = 0; h < H; ++h)
+        for (int p1 = 0; p1 < P; ++p1)
+            for (int p2 = p1 + 1; p2 < P; ++p2)
+                s.add_clause(neg(x[p1][h]), neg(x[p2][h]));
+
+    EXPECT_EQ(s.solve({pos(gate)}), Solver::Result::Unsat);
+    uint64_t learned_first = s.num_learned_clauses();
+    EXPECT_GT(learned_first, 0u);
+    // Re-ask: still Unsat, still usable, learned count monotone.
+    EXPECT_EQ(s.solve({pos(gate)}), Solver::Result::Unsat);
+    EXPECT_GE(s.num_learned_clauses(), learned_first);
+    // And without the gate the instance is satisfiable.
+    EXPECT_EQ(s.solve(), Solver::Result::Sat);
+}
+
+/**
+ * Cross-check assumption solving against the reference semantics: on a
+ * shared incremental instance, solve({a...}) must give the same
+ * sat/unsat answer as a scratch solver with the assumptions added as
+ * unit clauses — and a Sat model must satisfy clauses and assumptions.
+ */
+TEST(SatSolver, AssumptionsCrossCheckScratchUnits)
+{
+    Rng rng(2026);
+    for (int round = 0; round < 6; ++round) {
+        const int n = 40;
+        std::vector<std::vector<Lit>> clauses;
+        for (int c = 0; c < 150; ++c) {
+            std::vector<Lit> clause;
+            int width = 2 + int(rng.below(3));
+            for (int k = 0; k < width; ++k)
+                clause.push_back(Lit(Var(rng.below(n)), rng.chance(0.5)));
+            clauses.push_back(clause);
+        }
+
+        Solver inc;
+        for (int i = 0; i < n; ++i)
+            inc.new_var();
+        for (const auto &clause : clauses)
+            inc.add_clause(clause);
+
+        // Many assumption sets against the one incremental instance.
+        for (int q = 0; q < 8; ++q) {
+            std::vector<Lit> assumptions;
+            for (int k = 0; k < 3; ++k)
+                assumptions.push_back(
+                    Lit(Var(rng.below(n)), rng.chance(0.5)));
+
+            Solver scratch;
+            for (int i = 0; i < n; ++i)
+                scratch.new_var();
+            for (const auto &clause : clauses)
+                scratch.add_clause(clause);
+            bool scratch_ok = true;
+            for (Lit l : assumptions)
+                scratch_ok = scratch.add_clause(l) && scratch_ok;
+            auto want = !scratch_ok ? Solver::Result::Unsat
+                                    : scratch.solve();
+
+            auto got = inc.solve(assumptions);
+            ASSERT_EQ(got, want) << "round " << round << " query " << q;
+
+            if (got == Solver::Result::Sat) {
+                for (Lit l : assumptions)
+                    EXPECT_EQ(inc.model_value(l.var()), !l.sign());
+                for (const auto &clause : clauses) {
+                    bool sat = false;
+                    for (Lit l : clause)
+                        if (inc.model_value(l.var()) != l.sign())
+                            sat = true;
+                    EXPECT_TRUE(sat);
+                }
+            } else {
+                // The failed set must itself be unsat as unit clauses.
+                Solver check;
+                for (int i = 0; i < n; ++i)
+                    check.new_var();
+                for (const auto &clause : clauses)
+                    check.add_clause(clause);
+                bool consistent = true;
+                for (Lit l : inc.failed_assumptions()) {
+                    EXPECT_TRUE(std::find(assumptions.begin(),
+                                          assumptions.end(),
+                                          l) != assumptions.end());
+                    consistent = check.add_clause(l) && consistent;
+                }
+                if (consistent)
+                    EXPECT_EQ(check.solve(), Solver::Result::Unsat);
+            }
+        }
+    }
 }
 
 TEST(SatSolver, AdderEquivalenceUnsat)
