@@ -312,11 +312,6 @@ main(int argc, char **argv)
     std::snprintf(tail, sizeof tail, "],\"speedup_overall\":%.3f}}",
                   overall);
     json += tail;
-    if (FILE *f = std::fopen("BENCH_bmc.json", "w")) {
-        std::fwrite(json.data(), 1, json.size(), f);
-        std::fputc('\n', f);
-        std::fclose(f);
-        std::printf("\nwrote BENCH_bmc.json\n");
-    }
+    bench::write_bench_json("bmc", smoke, json);
     return 0;
 }

@@ -96,6 +96,31 @@ lift_module(const AnalyzedModule &m, bool mitigation)
     return lift::run_error_lifting(m.module, working_pairs(m), cfg);
 }
 
+/**
+ * Where a bench's JSON artifact lands. Smoke runs (CI) get their own
+ * `BENCH_<stem>.smoke.json` so a `ctest -L bench-smoke` pass can never
+ * clobber a pinned full-run `BENCH_<stem>.json` with noisy numbers.
+ */
+inline std::string
+bench_json_path(const std::string &stem, bool smoke)
+{
+    return "BENCH_" + stem + (smoke ? ".smoke.json" : ".json");
+}
+
+/** Write @p json (newline-terminated) to the bench artifact path. */
+inline void
+write_bench_json(const std::string &stem, bool smoke,
+                 const std::string &json)
+{
+    std::string path = bench_json_path(stem, smoke);
+    if (FILE *f = std::fopen(path.c_str(), "w")) {
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("\nwrote %s\n", path.c_str());
+    }
+}
+
 inline void
 hr()
 {

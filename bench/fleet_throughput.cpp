@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Fleet-engine throughput: device-epochs/sec of the mission-mode
+ * simulator across thread counts, on a synthetic fault matrix (so the
+ * bench isolates the per-device epoch loop from gate-level
+ * characterization cost).
+ *
+ * Before timing, the deterministic report JSON is demanded
+ * byte-identical between the 1-thread and N-thread runs — a scaling
+ * number for a simulator that reorders results would be worthless.
+ * Results land in BENCH_fleet_throughput.json (or the .smoke.json
+ * sibling under --smoke, which never clobbers the pinned file).
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "fleet/fleet_sim.h"
+
+using namespace vega;
+
+namespace {
+
+/**
+ * A hand-built matrix shaped like a real ALU characterization: 8 pairs
+ * x 2 constants, a spread of detectability (one test, several tests,
+ * none) and corruption behaviour, suite of 24 tests.
+ */
+fleet::FaultMatrix
+synthetic_matrix()
+{
+    fleet::FaultMatrix m;
+    m.module = ModuleKind::Alu32;
+    m.num_pairs = 8;
+    m.num_tests = 24;
+    for (size_t t = 0; t < m.num_tests; ++t) {
+        m.test_cycles.push_back(4000 + 500 * (t % 5));
+        m.suite_cycles += m.test_cycles.back();
+    }
+    m.faults.resize(m.num_pairs * 2);
+    for (size_t i = 0; i < m.faults.size(); ++i) {
+        fleet::FaultClass &f = m.faults[i];
+        f.pair_index = i / 2;
+        f.constant = (i & 1) ? lift::FaultConstant::One
+                             : lift::FaultConstant::Zero;
+        f.per_test.assign(m.num_tests, runtime::Detection::None);
+        // 3 in 4 classes detectable, with varying test coverage.
+        if (i % 4 != 3) {
+            size_t covering = 1 + i % 5;
+            for (size_t c = 0; c < covering; ++c) {
+                size_t t = (i * 7 + c * 5) % m.num_tests;
+                f.per_test[t] = (c % 3 == 0)
+                                    ? runtime::Detection::Mismatch
+                                    : (c % 3 == 1)
+                                          ? runtime::Detection::Stall
+                                          : runtime::Detection::
+                                                TagAnomaly;
+            }
+            for (auto d : f.per_test)
+                if (d != runtime::Detection::None)
+                    ++f.detecting_tests;
+        }
+        f.corrupts = (i % 3) != 2;
+    }
+    return m;
+}
+
+struct ThreadResult
+{
+    size_t threads = 0;
+    double wall_seconds = 0;
+    double device_epochs_per_sec = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        if (!std::strcmp(argv[i], "--smoke"))
+            smoke = true;
+
+    fleet::FleetConfig cfg;
+    cfg.seed = 0x5eed;
+    cfg.num_devices = smoke ? 4000 : 200000;
+    cfg.epochs = 8;
+
+    fleet::FaultMatrix matrix = synthetic_matrix();
+
+    bench::banner(std::string("Fleet-engine throughput: device-epochs/"
+                              "sec vs worker threads") +
+                  (smoke ? " [smoke]" : ""));
+    std::printf("%8s | %10s | %18s | %8s\n", "threads", "wall s",
+                "device-epochs/s", "scaling");
+
+    size_t hw = std::thread::hardware_concurrency();
+    std::vector<size_t> thread_counts = {1, 2, 4, 8};
+    std::vector<ThreadResult> results;
+    std::string reference_json;
+    for (size_t t : thread_counts) {
+        if (t > 1 && hw && t > hw)
+            break; // no point timing oversubscription
+        cfg.threads = t;
+        auto run = fleet::run_fleet(cfg, matrix);
+        if (!run) {
+            std::fprintf(stderr, "fleet run failed: %s\n",
+                         run.error().to_string().c_str());
+            return 1;
+        }
+        std::string json = run->to_json(false);
+        if (reference_json.empty())
+            reference_json = json;
+        else if (json != reference_json) {
+            std::printf("DETERMINISM MISMATCH at %zu threads: report "
+                        "differs from the 1-thread run\n",
+                        t);
+            return 1;
+        }
+        ThreadResult r;
+        r.threads = t;
+        r.wall_seconds = run->timing.wall_seconds;
+        r.device_epochs_per_sec = run->timing.device_epochs_per_sec;
+        double scaling =
+            results.empty()
+                ? 1.0
+                : r.device_epochs_per_sec /
+                      results.front().device_epochs_per_sec;
+        std::printf("%8zu | %10.3f | %18.0f | %7.2fx\n", t,
+                    r.wall_seconds, r.device_epochs_per_sec, scaling);
+        results.push_back(r);
+    }
+
+    std::string json = "{\"fleet_throughput\":{\"smoke\":";
+    json += smoke ? "true" : "false";
+    char head[128];
+    std::snprintf(head, sizeof head,
+                  ",\"devices\":%llu,\"epochs\":%u,\"deterministic\":"
+                  "true,\"threads\":[",
+                  (unsigned long long)cfg.num_devices, cfg.epochs);
+    json += head;
+    for (size_t i = 0; i < results.size(); ++i) {
+        char buf[160];
+        std::snprintf(buf, sizeof buf,
+                      "%s{\"threads\":%zu,\"wall_seconds\":%.4f,"
+                      "\"device_epochs_per_sec\":%.0f,\"scaling\":"
+                      "%.3f}",
+                      i ? "," : "", results[i].threads,
+                      results[i].wall_seconds,
+                      results[i].device_epochs_per_sec,
+                      results[i].device_epochs_per_sec /
+                          results.front().device_epochs_per_sec);
+        json += buf;
+    }
+    json += "]}}";
+    bench::write_bench_json("fleet_throughput", smoke, json);
+    return 0;
+}

@@ -264,11 +264,6 @@ main(int argc, char **argv)
         json += buf;
     }
     json += "]}}";
-    if (FILE *f = std::fopen("BENCH_sim.json", "w")) {
-        std::fwrite(json.data(), 1, json.size(), f);
-        std::fputc('\n', f);
-        std::fclose(f);
-        std::printf("\nwrote BENCH_sim.json\n");
-    }
+    bench::write_bench_json("sim", smoke, json);
     return 0;
 }

@@ -23,15 +23,19 @@ cmake -S "$repo" -B "$build" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DVEGA_SANITIZE=ON
 cmake --build "$build" -j "$jobs"
-# The observability layer is the most concurrency-heavy code in the
-# tree (sharded counters, trace rings, the lock-light pool); run its
-# focused tests first so a data race there fails fast and readably.
-ctest --test-dir "$build" --output-on-failure -R 'Obs|ThreadPool' \
+# The observability layer and the fleet simulator are the most
+# concurrency-heavy code in the tree (sharded counters, trace rings,
+# the lock-light pool, the chunked device fan-out); run their focused
+# tests first so a data race there fails fast and readably.
+ctest --test-dir "$build" --output-on-failure -R 'Obs|ThreadPool|Fleet' \
     -j "$jobs"
 # Bench smoke: runs bench/sim_throughput --smoke (lockstep-checks the
-# scalar/tape/batch simulator engines under the sanitizers) and
+# scalar/tape/batch simulator engines under the sanitizers),
 # bench/bmc_throughput --smoke (cross-checks the scratch and
-# incremental BMC engines query-by-query), then validates the emitted
-# BENCH_sim.json / BENCH_bmc.json with vega_json_check.
+# incremental BMC engines query-by-query), bench/fleet_throughput
+# --smoke (thread-count byte-identity of the fleet engine), and
+# tools/vega_fleet --smoke (a tiny end-to-end mission-mode run), then
+# validates every emitted BENCH_*.smoke.json with vega_json_check.
+# Smoke artifacts live beside — never over — the pinned BENCH_*.json.
 ctest --test-dir "$build" --output-on-failure -L bench-smoke -j "$jobs"
 ctest --test-dir "$build" --output-on-failure -j "$jobs" "$@"

@@ -43,6 +43,14 @@ NetlistEngine::NetlistEngine(ModuleKind kind, const Netlist &netlist,
 {
 }
 
+NetlistEngine::NetlistEngine(ModuleKind kind,
+                             std::shared_ptr<const EvalTape> tape,
+                             bool has_random_input, uint64_t seed)
+    : kind_(kind),
+      backend_(kind, std::move(tape), has_random_input, seed)
+{
+}
+
 runtime::Detection
 NetlistEngine::run(const runtime::TestCase &tc)
 {
@@ -86,12 +94,12 @@ representative_kernel(ModuleKind kind)
     return suite.front();
 }
 
+namespace {
+
 bool
-workload_corrupts(ModuleKind kind, const Netlist &netlist,
-                  bool has_random_input, uint64_t seed)
+workload_corrupts_on(ModuleKind kind, cpu::NetlistBackend &backend)
 {
     const workloads::Kernel &kernel = representative_kernel(kind);
-    cpu::NetlistBackend backend(kind, netlist, has_random_input, seed);
     cpu::IssConfig cfg;
     cfg.max_instructions = kWorkloadWatchdog;
     cpu::Iss iss(kernel.program, cfg);
@@ -101,6 +109,25 @@ workload_corrupts(ModuleKind kind, const Netlist &netlist,
         return true;
     return iss.read_u32(workloads::kChecksumAddr) !=
            kernel.expected_checksum;
+}
+
+} // namespace
+
+bool
+workload_corrupts(ModuleKind kind, const Netlist &netlist,
+                  bool has_random_input, uint64_t seed)
+{
+    cpu::NetlistBackend backend(kind, netlist, has_random_input, seed);
+    return workload_corrupts_on(kind, backend);
+}
+
+bool
+workload_corrupts(ModuleKind kind, std::shared_ptr<const EvalTape> tape,
+                  bool has_random_input, uint64_t seed)
+{
+    cpu::NetlistBackend backend(kind, std::move(tape), has_random_input,
+                                seed);
+    return workload_corrupts_on(kind, backend);
 }
 
 } // namespace vega::campaign

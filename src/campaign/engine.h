@@ -30,6 +30,12 @@ class NetlistEngine : public runtime::Engine
     NetlistEngine(ModuleKind kind, const Netlist &netlist,
                   bool has_random_input = false, uint64_t seed = 1);
 
+    /** Share a pre-compiled tape of the (failing) netlist — the fleet
+     *  simulator's characterization pass spins up one engine per
+     *  (fault, test) pair and must not re-lower the netlist each time. */
+    NetlistEngine(ModuleKind kind, std::shared_ptr<const EvalTape> tape,
+                  bool has_random_input = false, uint64_t seed = 1);
+
     runtime::Detection run(const runtime::TestCase &tc) override;
 
     /** Gate-level cycles simulated so far. */
@@ -54,6 +60,11 @@ const workloads::Kernel &representative_kernel(ModuleKind kind);
  * fault reaches this workload's data.
  */
 bool workload_corrupts(ModuleKind kind, const Netlist &netlist,
+                       bool has_random_input = false, uint64_t seed = 1);
+
+/** Tape-sharing variant of workload_corrupts. */
+bool workload_corrupts(ModuleKind kind,
+                       std::shared_ptr<const EvalTape> tape,
                        bool has_random_input = false, uint64_t seed = 1);
 
 } // namespace vega::campaign

@@ -44,6 +44,16 @@ class NetlistBackend : public FuBackend
     NetlistBackend(ModuleKind kind, const Netlist &netlist,
                    bool has_random_input = false, uint64_t seed = 1);
 
+    /**
+     * Share a pre-compiled tape instead of lowering @p netlist again.
+     * Fleet-scale characterization constructs many short-lived backends
+     * over the same failing netlist; one compile amortizes over all of
+     * them. The tape (and the netlist it references) must outlive the
+     * backend.
+     */
+    NetlistBackend(ModuleKind kind, std::shared_ptr<const EvalTape> tape,
+                   bool has_random_input = false, uint64_t seed = 1);
+
     FuResult alu(uint8_t op, uint32_t a, uint32_t b) override;
     FuResult fpu(uint8_t op, uint32_t a, uint32_t b) override;
     FuResult mdu(uint8_t op, uint32_t a, uint32_t b) override;

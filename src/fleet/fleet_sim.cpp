@@ -1,0 +1,264 @@
+#include "fleet/fleet_sim.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "campaign/job.h"
+#include "campaign/thread_pool.h"
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "runtime/scheduler.h"
+
+namespace vega::fleet {
+
+namespace {
+
+/** Weighted index pick; weights need not be normalized. */
+size_t
+weighted_pick(Rng &rng, const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights)
+        total += w;
+    double r = rng.uniform() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        r -= weights[i];
+        if (r < 0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+size_t
+pick_corner(Rng &rng, const FleetConfig &cfg)
+{
+    std::vector<double> w(cfg.corners.size());
+    for (size_t i = 0; i < w.size(); ++i)
+        w[i] = cfg.corners[i].weight;
+    return weighted_pick(rng, w);
+}
+
+/** Organic devices sample mixes by weight; adversarial ones do not. */
+size_t
+pick_mix(Rng &rng, const FleetConfig &cfg)
+{
+    std::vector<double> w(cfg.mixes.size());
+    for (size_t i = 0; i < w.size(); ++i)
+        w[i] = cfg.mixes[i].adversarial ? 0.0 : cfg.mixes[i].weight;
+    return weighted_pick(rng, w);
+}
+
+int
+adversarial_mix_index(const FleetConfig &cfg)
+{
+    for (size_t i = 0; i < cfg.mixes.size(); ++i)
+        if (cfg.mixes[i].adversarial)
+            return int(i);
+    return -1;
+}
+
+/**
+ * §3.4.2: when the scheduler's full-rate overhead estimate exceeds the
+ * budget, dispatch probabilistically at budget/estimate.
+ */
+double
+gate_probability(const FleetConfig &cfg, const FaultMatrix &matrix)
+{
+    if (cfg.policy != runtime::SchedulePolicy::Probabilistic)
+        return 1.0;
+    double est = double(cfg.slots_per_epoch) *
+                 matrix.mean_test_cycles() / double(cfg.epoch_cycles);
+    if (est <= cfg.overhead_budget || est <= 0.0)
+        return 1.0;
+    return cfg.overhead_budget / est;
+}
+
+/**
+ * Per-epoch fault-onset probability. Polynomial wearout curve: the
+ * hazard grows with the square of accumulated (stress-accelerated)
+ * age, normalized so a typical device crosses ~2x base hazard around
+ * year 7. Pure arithmetic keeps it bit-identical across platforms.
+ */
+double
+onset_hazard(double base, double stress, double age_years)
+{
+    double h = base * stress * (1.0 + age_years * age_years / 25.0);
+    return std::clamp(h, 0.0, 1.0);
+}
+
+} // namespace
+
+DeviceOutcome
+simulate_device(const FleetConfig &cfg, const FaultMatrix &matrix,
+                uint64_t id)
+{
+    DeviceOutcome out;
+    out.id = id;
+
+    uint64_t stream = campaign::job_stream(cfg.seed, id);
+    Rng rng(campaign::splitmix64(stream));
+    uint64_t sched_seed = campaign::splitmix64(stream);
+
+    out.corner = uint32_t(pick_corner(rng, cfg));
+    int adv_mix = adversarial_mix_index(cfg);
+    out.adversarial =
+        adv_mix >= 0 && rng.chance(cfg.adversarial_fraction);
+    out.mix = out.adversarial ? uint32_t(adv_mix)
+                              : uint32_t(pick_mix(rng, cfg));
+    const CornerSpec &corner = cfg.corners[out.corner];
+    const WorkloadMix &mix = cfg.mixes[out.mix];
+
+    out.age_start = cfg.min_age_years +
+                    rng.uniform() *
+                        (cfg.max_age_years - cfg.min_age_years);
+    out.age_end = out.age_start;
+    out.gate_probability = gate_probability(cfg, matrix);
+
+    runtime::Scheduler sched(matrix.num_tests, cfg.policy,
+                             out.gate_probability, sched_seed);
+
+    size_t constants_per_pair =
+        matrix.num_pairs ? matrix.faults.size() / matrix.num_pairs : 0;
+    const FaultClass *fc = nullptr;
+    uint64_t slots_at_onset = 0;
+
+    for (uint32_t e = 0; e < cfg.epochs; ++e) {
+        out.epochs_run = e + 1;
+        // Duty jitters ±25% around the mix mean epoch to epoch.
+        double duty = std::clamp(
+            mix.duty * (0.75 + 0.5 * rng.uniform()), 0.01, 1.0);
+        double stress = corner.stress * mix.stress * duty;
+        out.age_end += cfg.years_per_epoch * stress;
+
+        if (!out.fault &&
+            rng.chance(onset_hazard(cfg.base_hazard, stress,
+                                    out.age_end))) {
+            out.fault = true;
+            out.onset_epoch = e;
+            slots_at_onset = out.slots;
+            if (out.adversarial && mix.target_pair >= 0 &&
+                constants_per_pair) {
+                // The wearout attack concentrates stress on one path
+                // class: onset always lands on the targeted pair.
+                size_t pair =
+                    size_t(mix.target_pair) % matrix.num_pairs;
+                out.fault_index =
+                    uint32_t(pair * constants_per_pair +
+                             rng.below(constants_per_pair));
+            } else {
+                out.fault_index = uint32_t(rng.below(
+                    std::max<uint64_t>(1, matrix.faults.size())));
+            }
+            fc = &matrix.faults[out.fault_index];
+            out.fault_corrupts = fc->corrupts;
+            out.fault_detectable = fc->detecting_tests > 0;
+        }
+
+        // Pre-draw this epoch's corruption attempt and its position in
+        // the epoch; it is resolved against the detection position
+        // after the scheduler runs.
+        bool corrupt_attempt = false;
+        double corrupt_pos = 0.0;
+        if (out.fault && out.fault_corrupts &&
+            rng.chance(mix.corruption_rate)) {
+            corrupt_attempt = true;
+            corrupt_pos = rng.uniform();
+        }
+
+        double detect_pos = 2.0; // past end of epoch = no detection
+        for (uint64_t s = 0; s < cfg.slots_per_epoch; ++s) {
+            std::optional<size_t> t = sched.next();
+            if (t)
+                out.test_cycles += matrix.test_cycles[*t];
+            if (out.fault && !out.detected && t &&
+                fc->per_test[*t] != runtime::Detection::None) {
+                out.detected = true;
+                out.kind = fc->per_test[*t];
+                out.detect_epoch = e;
+                out.slots_to_detect = sched.slots() - slots_at_onset;
+                detect_pos =
+                    double(s + 1) / double(cfg.slots_per_epoch);
+                break; // the device is pulled for repair
+            }
+        }
+        out.slots = sched.slots();
+        out.tests_dispatched = sched.dispatched();
+        out.app_cycles += cfg.epoch_cycles;
+
+        if (corrupt_attempt) {
+            if (out.detected && detect_pos <= corrupt_pos) {
+                // The detecting dispatch pulled the device before the
+                // application reached the broken path.
+                ++out.prevented_corruptions;
+            } else {
+                if (out.corruptions == 0)
+                    out.first_corruption_epoch = e;
+                ++out.corruptions;
+            }
+        }
+        if (out.detected)
+            break;
+    }
+    return out;
+}
+
+Expected<FleetReport>
+run_fleet(const FleetConfig &raw, const FaultMatrix &matrix)
+{
+    auto validated = validate_config(raw);
+    if (!validated)
+        return validated.error();
+    const FleetConfig cfg = std::move(*validated);
+
+    if (matrix.faults.empty() || matrix.num_tests == 0)
+        return make_error(ErrorCode::InvalidArgument,
+                          "fleet run needs a non-empty fault matrix");
+    if (matrix.test_cycles.size() != matrix.num_tests)
+        return make_error(ErrorCode::InvalidArgument,
+                          "fault matrix test_cycles/num_tests mismatch");
+    for (const FaultClass &f : matrix.faults)
+        if (f.per_test.size() != matrix.num_tests)
+            return make_error(
+                ErrorCode::InvalidArgument,
+                "fault matrix per_test width mismatch");
+
+    VEGA_SPAN("fleet.run");
+    auto t0 = std::chrono::steady_clock::now();
+
+    std::vector<DeviceOutcome> outcomes(cfg.num_devices);
+    campaign::ThreadPool pool(cfg.threads);
+    // Chunked fan-out: per-device work is microseconds, so batching
+    // keeps the submit/steal machinery off the critical path.
+    constexpr uint64_t kChunk = 2048;
+    for (uint64_t lo = 0; lo < cfg.num_devices; lo += kChunk) {
+        uint64_t hi = std::min(cfg.num_devices, lo + kChunk);
+        pool.submit([&, lo, hi] {
+            for (uint64_t id = lo; id < hi; ++id)
+                outcomes[id] = simulate_device(cfg, matrix, id);
+        });
+    }
+    pool.wait_idle();
+
+    FleetReport report = aggregate_fleet(cfg, matrix, outcomes);
+
+    auto t1 = std::chrono::steady_clock::now();
+    report.timing.wall_seconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    report.timing.threads = pool.size();
+    report.timing.steals = pool.steals();
+    if (report.timing.wall_seconds > 0)
+        report.timing.device_epochs_per_sec =
+            double(report.device_epochs) / report.timing.wall_seconds;
+
+    static obs::Counter &devices = obs::counter("fleet.devices");
+    static obs::Counter &epochs = obs::counter("fleet.device_epochs");
+    static obs::Counter &detections =
+        obs::counter("fleet.detections");
+    devices.add(cfg.num_devices);
+    epochs.add(report.device_epochs);
+    detections.add(report.detected_devices);
+    return report;
+}
+
+} // namespace vega::fleet

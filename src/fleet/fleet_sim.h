@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Mission-mode fleet simulator (the ROADMAP "millions of devices"
+ * deployment question): does the generated library, integrated under a
+ * production overhead budget, catch aging faults before they corrupt
+ * application data — across a heterogeneous population?
+ *
+ * Each device is a pure function of (fleet seed, device id): a
+ * splitmix64 stream derives its operating corner, workload mix,
+ * initial age, per-epoch duty-cycle jitter, fault onset, and the
+ * scheduler's draws, so a run is bit-reproducible at any thread count.
+ *
+ * Per epoch, a device:
+ *  1. draws its duty cycle around the mix mean and accrues aging at
+ *     `years_per_epoch × corner.stress × mix.stress × duty`;
+ *  2. rolls fault onset against the aging hazard
+ *     `base_hazard × stress × (1 + age²/25)` (a polynomial wearout
+ *     curve — pure arithmetic, no libm, so every platform agrees
+ *     bit-for-bit). Onset picks a fault class from the characterized
+ *     FaultMatrix: uniformly for organic wear, or concentrated on the
+ *     attack's target pair for adversarial devices (arXiv 2508.16868);
+ *  3. runs its scheduler slots through vega::runtime::Scheduler with
+ *     the §3.4.2 budget-derived dispatch probability, charging each
+ *     dispatched test's cycle cost against the overhead account and
+ *     consulting the matrix for the detection outcome;
+ *  4. if the fault corrupts the representative workload, rolls the
+ *     mix's corruption rate; a corruption event lands silently unless
+ *     a detection fired earlier in the epoch (position ordering —
+ *     those become `prevented_corruptions`).
+ *
+ * Detection retires the device from the mission (it is pulled for
+ * repair), which is why fleet runs quote device-epochs actually
+ * simulated rather than devices × epochs.
+ */
+#pragma once
+
+#include <vector>
+
+#include "common/error.h"
+#include "fleet/config.h"
+#include "fleet/device.h"
+#include "fleet/fault_matrix.h"
+#include "fleet/report.h"
+
+namespace vega::fleet {
+
+/**
+ * Simulate one device's whole mission. Everything the device does
+ * derives from campaign-style stream roots of (cfg.seed, id).
+ */
+DeviceOutcome simulate_device(const FleetConfig &cfg,
+                              const FaultMatrix &matrix, uint64_t id);
+
+/**
+ * Run the whole fleet over @p cfg.threads workers and aggregate. The
+ * config must already be validated (run_fleet validates again and
+ * propagates the error to be safe). Timing fields are filled from the
+ * wall clock; everything else in the report is deterministic.
+ */
+Expected<FleetReport> run_fleet(const FleetConfig &cfg,
+                                const FaultMatrix &matrix);
+
+} // namespace vega::fleet

@@ -1,0 +1,405 @@
+#include "fleet/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace vega::fleet {
+
+namespace {
+
+void
+append_double(std::string &out, double v)
+{
+    char buf[40];
+    if (v >= 0 && v < 1e15 && v == double(uint64_t(v)))
+        std::snprintf(buf, sizeof buf, "%llu",
+                      (unsigned long long)(uint64_t(v)));
+    else
+        std::snprintf(buf, sizeof buf, "%.9g", v);
+    out += buf;
+}
+
+void
+append_u64(std::string &out, uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%llu", (unsigned long long)v);
+    out += buf;
+}
+
+void
+kv(std::string &out, const char *key, uint64_t v, bool comma = true)
+{
+    out += '"';
+    out += key;
+    out += "\":";
+    append_u64(out, v);
+    if (comma)
+        out += ',';
+}
+
+void
+kv(std::string &out, const char *key, double v, bool comma = true)
+{
+    out += '"';
+    out += key;
+    out += "\":";
+    append_double(out, v);
+    if (comma)
+        out += ',';
+}
+
+void
+kv(std::string &out, const char *key, const char *v, bool comma = true)
+{
+    out += '"';
+    out += key;
+    out += "\":\"";
+    out += v;
+    out += '"';
+    if (comma)
+        out += ',';
+}
+
+void
+append_distribution(std::string &out, const Distribution &d)
+{
+    out += '{';
+    kv(out, "count", d.count);
+    kv(out, "sum", d.sum);
+    kv(out, "mean", d.mean());
+    kv(out, "p50", d.p50);
+    kv(out, "p95", d.p95);
+    kv(out, "p99", d.p99);
+    out += "\"bounds\":[";
+    for (size_t i = 0; i < d.bounds.size(); ++i) {
+        if (i)
+            out += ',';
+        append_double(out, d.bounds[i]);
+    }
+    out += "],\"buckets\":[";
+    for (size_t i = 0; i < d.buckets.size(); ++i) {
+        if (i)
+            out += ',';
+        append_u64(out, d.buckets[i]);
+    }
+    out += "]}";
+}
+
+void
+append_groups(std::string &out, const char *key,
+              const std::vector<GroupStats> &groups, bool comma)
+{
+    out += '"';
+    out += key;
+    out += "\":[";
+    for (size_t i = 0; i < groups.size(); ++i) {
+        const GroupStats &g = groups[i];
+        if (i)
+            out += ',';
+        out += '{';
+        kv(out, "name", g.name.c_str());
+        kv(out, "devices", g.devices);
+        kv(out, "faulty", g.faulty);
+        kv(out, "detected", g.detected);
+        kv(out, "missed", g.missed);
+        kv(out, "silent_corruptions", g.silent_corruptions);
+        kv(out, "detection_rate", g.detection_rate());
+        kv(out, "miss_rate", g.miss_rate(), false);
+        out += '}';
+    }
+    out += ']';
+    if (comma)
+        out += ',';
+}
+
+/** Freeze a live accumulation histogram into report form. */
+Distribution
+render(const obs::Histogram &h)
+{
+    Distribution d;
+    d.bounds = h.bounds();
+    d.buckets.resize(d.bounds.size() + 1);
+    for (size_t i = 0; i < d.buckets.size(); ++i)
+        d.buckets[i] = h.bucket_count(i);
+    d.count = h.count();
+    d.sum = h.sum();
+    d.p50 = h.p50();
+    d.p95 = h.p95();
+    d.p99 = h.p99();
+    return d;
+}
+
+std::vector<double>
+slot_bounds(uint64_t max_slots)
+{
+    std::vector<double> b;
+    for (double edge = 1; edge < double(max_slots); edge *= 2)
+        b.push_back(edge);
+    b.push_back(double(max_slots));
+    return b;
+}
+
+std::vector<double>
+epoch_bounds(uint32_t epochs)
+{
+    std::vector<double> b;
+    for (uint32_t e = 0; e < epochs; ++e)
+        b.push_back(double(e));
+    return b;
+}
+
+/** Overhead buckets as fractions of the configured budget. */
+std::vector<double>
+overhead_bounds(double budget)
+{
+    static const double kFractions[] = {0.1,  0.25, 0.5, 0.75,
+                                        0.9,  1.0,  1.1, 1.5,
+                                        2.0};
+    std::vector<double> b;
+    for (double f : kFractions)
+        b.push_back(budget * f);
+    return b;
+}
+
+const char *
+age_band_name(size_t band)
+{
+    static const char *kNames[] = {"age_q1_youngest", "age_q2",
+                                   "age_q3", "age_q4_oldest"};
+    return kNames[band < 4 ? band : 3];
+}
+
+} // namespace
+
+std::string
+FleetReport::to_json(bool include_timing) const
+{
+    std::string out;
+    out.reserve(8192 + adversarial_outcomes.size() * 160);
+    out += "{\"fleet\":{";
+    kv(out, "module", module.c_str());
+    kv(out, "seed", seed);
+    kv(out, "num_devices", num_devices);
+    kv(out, "epochs", uint64_t(epochs));
+    kv(out, "slots_per_epoch", slots_per_epoch);
+    kv(out, "overhead_budget", overhead_budget);
+    kv(out, "policy", policy.c_str());
+    kv(out, "suite_size", uint64_t(suite_size));
+    kv(out, "num_pairs", uint64_t(num_pairs));
+    kv(out, "fault_classes", uint64_t(fault_classes));
+    kv(out, "detectable_classes", uint64_t(detectable_classes));
+    kv(out, "corrupting_classes", uint64_t(corrupting_classes), false);
+    out += "},\"totals\":{";
+    kv(out, "device_epochs", device_epochs);
+    kv(out, "slots", slots);
+    kv(out, "tests_dispatched", tests_dispatched);
+    kv(out, "test_cycles", test_cycles);
+    kv(out, "app_cycles", app_cycles);
+    kv(out, "faulty_devices", faulty_devices);
+    kv(out, "detectable_faulty_devices", detectable_faulty_devices);
+    kv(out, "detected_devices", detected_devices);
+    kv(out, "missed_devices", missed_devices);
+    kv(out, "silent_corruptions", silent_corruptions);
+    kv(out, "prevented_corruptions", prevented_corruptions);
+    kv(out, "detected_before_any_corruption",
+       detected_before_any_corruption);
+    kv(out, "detection_rate", detection_rate());
+    kv(out, "mean_overhead", mean_overhead());
+    out += "\"detections\":{";
+    kv(out, "mismatch", detections_mismatch);
+    kv(out, "stall", detections_stall);
+    kv(out, "tag_anomaly", detections_tag_anomaly, false);
+    out += "}},\"latency_slots\":";
+    append_distribution(out, latency_slots);
+    out += ",\"latency_epochs\":";
+    append_distribution(out, latency_epochs);
+    out += ",\"overhead\":";
+    append_distribution(out, overhead);
+    out += ',';
+    append_groups(out, "per_corner", per_corner, true);
+    append_groups(out, "per_mix", per_mix, true);
+    append_groups(out, "per_age", per_age, true);
+    out += "\"adversarial\":{";
+    kv(out, "devices", adversarial_devices);
+    kv(out, "faulty", adversarial_faulty);
+    kv(out, "detected", adversarial_detected);
+    kv(out, "detected_before_corruption",
+       adversarial_detected_before_corruption);
+    kv(out, "silently_corrupted", adversarial_silently_corrupted);
+    kv(out, "outcomes_total", adversarial_outcomes_total);
+    kv(out, "outcomes_reported", uint64_t(adversarial_outcomes.size()));
+    out += "\"outcomes\":[";
+    for (size_t i = 0; i < adversarial_outcomes.size(); ++i) {
+        const AdversarialOutcome &a = adversarial_outcomes[i];
+        if (i)
+            out += ',';
+        out += '{';
+        kv(out, "id", a.id);
+        kv(out, "onset_epoch", uint64_t(a.onset_epoch));
+        kv(out, "pair", uint64_t(a.pair_index));
+        kv(out, "detected", uint64_t(a.detected));
+        kv(out, "kind", runtime::detection_name(a.kind));
+        kv(out, "detect_epoch", uint64_t(a.detect_epoch));
+        kv(out, "slots_to_detect", a.slots_to_detect);
+        kv(out, "corruptions", uint64_t(a.corruptions));
+        kv(out, "prevented_corruptions",
+           uint64_t(a.prevented_corruptions));
+        kv(out, "outcome", a.outcome, false);
+        out += '}';
+    }
+    out += "]}";
+    if (include_timing) {
+        out += ",\"timing\":{";
+        kv(out, "wall_seconds", timing.wall_seconds);
+        kv(out, "device_epochs_per_sec", timing.device_epochs_per_sec);
+        kv(out, "threads", uint64_t(timing.threads));
+        kv(out, "steals", timing.steals, false);
+        out += '}';
+    }
+    out += '}';
+    return out;
+}
+
+FleetReport
+aggregate_fleet(const FleetConfig &cfg, const FaultMatrix &matrix,
+                const std::vector<DeviceOutcome> &outcomes)
+{
+    FleetReport r;
+    r.module = module_kind_name(matrix.module);
+    r.seed = cfg.seed;
+    r.num_devices = cfg.num_devices;
+    r.epochs = cfg.epochs;
+    r.slots_per_epoch = cfg.slots_per_epoch;
+    r.overhead_budget = cfg.overhead_budget;
+    r.policy = runtime::schedule_policy_name(cfg.policy);
+    r.suite_size = matrix.num_tests;
+    r.num_pairs = matrix.num_pairs;
+    r.fault_classes = matrix.faults.size();
+    r.detectable_classes = matrix.detectable_classes();
+    r.corrupting_classes = matrix.corrupting_classes();
+
+    uint64_t max_slots =
+        std::max<uint64_t>(1, cfg.slots_per_epoch * cfg.epochs);
+    obs::Histogram lat_slots(slot_bounds(max_slots));
+    obs::Histogram lat_epochs(epoch_bounds(cfg.epochs));
+    obs::Histogram overhead(overhead_bounds(cfg.overhead_budget));
+
+    r.per_corner.resize(cfg.corners.size());
+    for (size_t i = 0; i < cfg.corners.size(); ++i)
+        r.per_corner[i].name = cfg.corners[i].name;
+    r.per_mix.resize(cfg.mixes.size());
+    for (size_t i = 0; i < cfg.mixes.size(); ++i)
+        r.per_mix[i].name = cfg.mixes[i].name;
+    // Initial age grouped into quartiles of the configured range.
+    constexpr size_t kAgeBands = 4;
+    double age_span =
+        std::max(1e-9, cfg.max_age_years - cfg.min_age_years);
+    r.per_age.resize(kAgeBands);
+    for (size_t i = 0; i < kAgeBands; ++i)
+        r.per_age[i].name = age_band_name(i);
+
+    for (const DeviceOutcome &d : outcomes) {
+        r.device_epochs += d.epochs_run;
+        r.slots += d.slots;
+        r.tests_dispatched += d.tests_dispatched;
+        r.test_cycles += d.test_cycles;
+        r.app_cycles += d.app_cycles;
+        overhead.observe(d.realized_overhead());
+
+        size_t band = size_t((d.age_start - cfg.min_age_years) /
+                             age_span * double(kAgeBands));
+        band = std::min(band, kAgeBands - 1);
+        GroupStats *groups[3] = {nullptr, nullptr, &r.per_age[band]};
+        if (d.corner < r.per_corner.size())
+            groups[0] = &r.per_corner[d.corner];
+        if (d.mix < r.per_mix.size())
+            groups[1] = &r.per_mix[d.mix];
+        for (GroupStats *g : groups)
+            if (g)
+                ++g->devices;
+
+        if (d.adversarial)
+            ++r.adversarial_devices;
+        if (!d.fault)
+            continue;
+
+        ++r.faulty_devices;
+        if (d.fault_detectable)
+            ++r.detectable_faulty_devices;
+        r.silent_corruptions += d.corruptions;
+        r.prevented_corruptions += d.prevented_corruptions;
+        if (d.corruptions)
+            ++r.missed_devices;
+        if (d.detected) {
+            ++r.detected_devices;
+            lat_slots.observe(double(d.slots_to_detect));
+            lat_epochs.observe(double(d.detect_epoch - d.onset_epoch));
+            if (d.corruptions == 0)
+                ++r.detected_before_any_corruption;
+            switch (d.kind) {
+              case runtime::Detection::Mismatch:
+                ++r.detections_mismatch;
+                break;
+              case runtime::Detection::Stall:
+                ++r.detections_stall;
+                break;
+              case runtime::Detection::TagAnomaly:
+                ++r.detections_tag_anomaly;
+                break;
+              case runtime::Detection::None:
+                break;
+            }
+        }
+        for (GroupStats *g : groups) {
+            if (!g)
+                continue;
+            ++g->faulty;
+            g->silent_corruptions += d.corruptions;
+            if (d.detected)
+                ++g->detected;
+            if (d.corruptions)
+                ++g->missed;
+        }
+
+        if (d.adversarial) {
+            ++r.adversarial_faulty;
+            ++r.adversarial_outcomes_total;
+            if (d.detected)
+                ++r.adversarial_detected;
+            if (d.detected_before_corruption())
+                ++r.adversarial_detected_before_corruption;
+            if (d.corruptions)
+                ++r.adversarial_silently_corrupted;
+            if (r.adversarial_outcomes.size() <
+                cfg.adversarial_report_cap) {
+                AdversarialOutcome a;
+                a.id = d.id;
+                a.onset_epoch = d.onset_epoch;
+                a.pair_index =
+                    matrix.faults.empty()
+                        ? 0
+                        : matrix.faults[d.fault_index].pair_index;
+                a.detected = d.detected;
+                a.kind = d.kind;
+                a.detect_epoch = d.detect_epoch;
+                a.slots_to_detect = d.slots_to_detect;
+                a.corruptions = d.corruptions;
+                a.prevented_corruptions = d.prevented_corruptions;
+                a.outcome = d.corruptions         ? "silently-corrupted"
+                            : d.detected          ? "detected-before-corruption"
+                                                  : "latent";
+                r.adversarial_outcomes.push_back(a);
+            }
+        }
+    }
+
+    r.latency_slots = render(lat_slots);
+    r.latency_epochs = render(lat_epochs);
+    r.overhead = render(overhead);
+    return r;
+}
+
+} // namespace vega::fleet

@@ -137,6 +137,51 @@ append_double(std::string &out, double v)
 
 } // namespace
 
+double
+histogram_quantile(const std::vector<double> &bounds,
+                   const std::vector<uint64_t> &buckets, uint64_t count,
+                   double q)
+{
+    if (count == 0 || buckets.empty())
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // Rank of the target observation, 1-based so q=0 lands on the
+    // first observation and q=1 on the last.
+    double rank = q * double(count);
+    if (rank < 1.0)
+        rank = 1.0;
+    uint64_t below = 0;
+    for (size_t i = 0; i < buckets.size(); ++i) {
+        uint64_t in_bucket = buckets[i];
+        if (in_bucket == 0)
+            continue;
+        if (rank > double(below + in_bucket)) {
+            below += in_bucket;
+            continue;
+        }
+        if (i >= bounds.size()) // overflow: no upper edge to lerp to
+            return bounds.empty() ? 0.0 : bounds.back();
+        double lo = i == 0 ? std::min(0.0, bounds[0]) : bounds[i - 1];
+        double hi = bounds[i];
+        double frac = (rank - double(below)) / double(in_bucket);
+        return lo + (hi - lo) * frac;
+    }
+    return bounds.back();
+}
+
+double
+Histogram::quantile(double q) const
+{
+    std::vector<uint64_t> counts;
+    counts.reserve(bounds_.size() + 1);
+    for (size_t i = 0; i <= bounds_.size(); ++i)
+        counts.push_back(bucket_count(i));
+    return histogram_quantile(bounds_, counts, count(), q);
+}
+
 size_t
 Counter::shard_index()
 {
@@ -265,6 +310,12 @@ MetricsSnapshot::to_json() const
         append_u64(out, h.count);
         out += ",\"sum\":";
         append_double(out, h.sum);
+        out += ",\"p50\":";
+        append_double(out, h.quantile(0.50));
+        out += ",\"p95\":";
+        append_double(out, h.quantile(0.95));
+        out += ",\"p99\":";
+        append_double(out, h.quantile(0.99));
         out += ",\"buckets\":[";
         for (size_t b = 0; b < h.buckets.size(); ++b) {
             if (b)

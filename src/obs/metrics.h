@@ -102,15 +102,45 @@ class Gauge
 };
 
 /**
+ * Linearly-interpolated quantile over fixed histogram buckets: the
+ * value v such that a fraction @p q of the @p count observations fall
+ * at or below v, assuming observations spread uniformly within their
+ * bucket. The first bucket's lower edge is taken as min(0, bounds[0]);
+ * ranks landing in the overflow bucket clamp to the last bound (the
+ * overflow has no upper edge to interpolate toward). Returns 0 when
+ * the histogram is empty. @p buckets must have bounds.size() + 1
+ * entries and @p count must equal their sum.
+ */
+double histogram_quantile(const std::vector<double> &bounds,
+                          const std::vector<uint64_t> &buckets,
+                          uint64_t count, double q);
+
+/**
  * Fixed-bucket histogram. Bucket i counts observations v with
  * bounds[i-1] < v <= bounds[i]; one implicit overflow bucket catches
  * everything above the last bound. Bounds are fixed at registration so
  * observation is a binary search plus one relaxed fetch_add.
+ *
+ * Besides the registry-owned metric use, Histogram is directly
+ * constructible for local, report-building accumulation (the fleet
+ * simulator's latency/overhead distributions): fills are exact integer
+ * counts, so a serially-filled local histogram renders byte-identically
+ * run to run.
  */
 class Histogram
 {
   public:
+    /** Standalone histogram with the given bucket upper bounds. */
+    explicit Histogram(std::vector<double> bounds);
+
     void observe(double v);
+
+    /** Interpolated quantile of everything observed so far. */
+    double quantile(double q) const;
+    /** Shorthand percentiles for report export. */
+    double p50() const { return quantile(0.50); }
+    double p95() const { return quantile(0.95); }
+    double p99() const { return quantile(0.99); }
 
     const std::vector<double> &bounds() const { return bounds_; }
     /** Count in bucket @p i (i == bounds().size() is the overflow). */
@@ -128,7 +158,6 @@ class Histogram
 
   private:
     friend class Registry;
-    explicit Histogram(std::vector<double> bounds);
     Histogram(const Histogram &) = delete;
     Histogram &operator=(const Histogram &) = delete;
 
@@ -166,6 +195,12 @@ struct MetricsSnapshot
         std::vector<uint64_t> buckets; ///< bounds.size() + 1 (overflow)
         uint64_t count = 0;
         double sum = 0.0;
+
+        /** Interpolated percentile of the snapshotted counts. */
+        double quantile(double q) const
+        {
+            return histogram_quantile(bounds, buckets, count, q);
+        }
     };
 
     std::vector<std::pair<std::string, uint64_t>> counters;

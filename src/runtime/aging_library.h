@@ -73,6 +73,7 @@ class AgingLibrary
 
     size_t num_tests() const { return suite_.size(); }
     const std::vector<TestCase> &suite() const { return suite_; }
+    const AgingLibraryOptions &options() const { return options_; }
 
     /** Total cycles of one full sequential pass. */
     uint64_t suite_cycles() const;

@@ -113,3 +113,34 @@ vega_library_run_all(vega_library *lib)
         return VEGA_MISMATCH;
     return to_code(lib->lib->run_all(lib->engine));
 }
+
+int
+vega_library_policy(const vega_library *lib)
+{
+    if (!lib)
+        return -1;
+    return int(lib->lib->options().policy);
+}
+
+const char *
+vega_detection_name(int code)
+{
+    switch (code) {
+      case VEGA_OK:          return "ok";
+      case VEGA_MISMATCH:    return "mismatch";
+      case VEGA_STALL:       return "stall";
+      case VEGA_TAG_ANOMALY: return "tag_anomaly";
+    }
+    return "invalid";
+}
+
+const char *
+vega_policy_name(int policy)
+{
+    switch (policy) {
+      case VEGA_SEQUENTIAL:    return "sequential";
+      case VEGA_RANDOM:        return "random";
+      case VEGA_PROBABILISTIC: return "probabilistic";
+    }
+    return "invalid";
+}

@@ -52,6 +52,18 @@ int vega_library_run_next(vega_library *lib);
 /** Run one full pass; returns the first non-OK detection code. */
 int vega_library_run_all(vega_library *lib);
 
+/** The vega_policy the handle was created with, or -1 for NULL. */
+int vega_library_policy(const vega_library *lib);
+
+/**
+ * Stable human-readable names for the enum codes, for bindings that
+ * log without re-declaring the tables ("ok", "mismatch", "stall",
+ * "tag_anomaly"; "sequential", "random", "probabilistic"). Unknown
+ * codes come back as "invalid", never NULL.
+ */
+const char *vega_detection_name(int code);
+const char *vega_policy_name(int policy);
+
 #ifdef __cplusplus
 } // extern "C"
 #endif

@@ -1,0 +1,415 @@
+/**
+ * @file
+ * Mission-mode fleet simulator tests: config validation through
+ * vega::Expected (the negative paths a fleet service must reject
+ * without crashing), deterministic population simulation on a
+ * hand-built fault matrix, and one gate-level integration pass on the
+ * real ALU.
+ */
+#include "fleet/fleet_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "campaign/engine.h"
+#include "cpu/alu_ops.h"
+#include "fleet/config.h"
+#include "fleet/fault_matrix.h"
+#include "rtl/alu32.h"
+#include "vega/workflow.h"
+
+namespace vega::fleet {
+namespace {
+
+// ---------------------------------------------------------------------
+// Config validation (vega::Expected error paths).
+
+FleetConfig
+small_config()
+{
+    FleetConfig cfg;
+    cfg.seed = 7;
+    cfg.num_devices = 400;
+    cfg.epochs = 6;
+    cfg.slots_per_epoch = 16;
+    return cfg;
+}
+
+TEST(FleetConfig, DefaultsValidateAndFillCatalogs)
+{
+    auto v = validate_config(FleetConfig{});
+    ASSERT_TRUE(v.ok()) << v.error().to_string();
+    EXPECT_FALSE(v->corners.empty());
+    EXPECT_FALSE(v->mixes.empty());
+    // The catalog must include the adversarial wearout-attack mix.
+    bool has_attack = false;
+    for (const auto &m : v->mixes)
+        has_attack |= m.adversarial;
+    EXPECT_TRUE(has_attack);
+}
+
+TEST(FleetConfig, RejectsBadDeviceCounts)
+{
+    FleetConfig cfg = small_config();
+    cfg.num_devices = 0;
+    auto v = validate_config(cfg);
+    ASSERT_FALSE(v.ok());
+    EXPECT_EQ(v.error().code, ErrorCode::InvalidArgument);
+
+    cfg = small_config();
+    cfg.epochs = 0;
+    EXPECT_FALSE(validate_config(cfg).ok());
+
+    cfg = small_config();
+    cfg.slots_per_epoch = 0;
+    EXPECT_FALSE(validate_config(cfg).ok());
+}
+
+TEST(FleetConfig, RejectsBadProbabilities)
+{
+    FleetConfig cfg = small_config();
+    cfg.overhead_budget = 0.0;
+    EXPECT_FALSE(validate_config(cfg).ok());
+    cfg.overhead_budget = 1.5;
+    EXPECT_FALSE(validate_config(cfg).ok());
+
+    cfg = small_config();
+    cfg.adversarial_fraction = -0.1;
+    EXPECT_FALSE(validate_config(cfg).ok());
+    cfg.adversarial_fraction = 1.1;
+    EXPECT_FALSE(validate_config(cfg).ok());
+
+    cfg = small_config();
+    cfg.base_hazard = 2.0;
+    EXPECT_FALSE(validate_config(cfg).ok());
+
+    cfg = small_config();
+    cfg.mixes = mix_catalog();
+    cfg.mixes[0].corruption_rate = 1.5;
+    EXPECT_FALSE(validate_config(cfg).ok());
+}
+
+TEST(FleetConfig, RejectsBadAgeRangeAndWeights)
+{
+    FleetConfig cfg = small_config();
+    cfg.min_age_years = 5.0;
+    cfg.max_age_years = 2.0;
+    EXPECT_FALSE(validate_config(cfg).ok());
+
+    cfg = small_config();
+    cfg.corners = corner_catalog();
+    for (auto &c : cfg.corners)
+        c.weight = 0.0; // nothing to sample from
+    EXPECT_FALSE(validate_config(cfg).ok());
+
+    cfg = small_config();
+    cfg.corners = corner_catalog();
+    cfg.corners[0].stress = -1.0;
+    EXPECT_FALSE(validate_config(cfg).ok());
+
+    cfg = small_config();
+    cfg.mixes = mix_catalog();
+    cfg.mixes[0].duty = 0.0;
+    EXPECT_FALSE(validate_config(cfg).ok());
+}
+
+TEST(FleetConfig, RejectsAdversarialMixWithoutTarget)
+{
+    FleetConfig cfg = small_config();
+    cfg.mixes = mix_catalog();
+    for (auto &m : cfg.mixes)
+        if (m.adversarial)
+            m.target_pair = -1;
+    cfg.adversarial_fraction = 0.1;
+    EXPECT_FALSE(validate_config(cfg).ok());
+
+    // With no adversarial devices requested the same mix is fine.
+    cfg.adversarial_fraction = 0.0;
+    EXPECT_TRUE(validate_config(cfg).ok());
+}
+
+TEST(FleetConfig, CornerLookupAndListParsing)
+{
+    auto typ = find_corner("typ");
+    ASSERT_TRUE(typ.ok());
+    EXPECT_EQ(typ->name, "typ");
+
+    auto bad = find_corner("arctic");
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().code, ErrorCode::InvalidArgument);
+
+    auto list = parse_corner_list("typ,hot,burnin");
+    ASSERT_TRUE(list.ok()) << list.error().to_string();
+    ASSERT_EQ(list->size(), 3u);
+    EXPECT_EQ((*list)[1].name, "hot");
+
+    EXPECT_FALSE(parse_corner_list("").ok());
+    EXPECT_FALSE(parse_corner_list("typ,,hot").ok());
+    EXPECT_FALSE(parse_corner_list("typ,venus").ok());
+}
+
+// ---------------------------------------------------------------------
+// Fleet simulation on a hand-built matrix (no gate-level cost).
+
+FaultMatrix
+toy_matrix()
+{
+    FaultMatrix m;
+    m.module = ModuleKind::Alu32;
+    m.num_pairs = 4;
+    m.num_tests = 6;
+    for (size_t t = 0; t < m.num_tests; ++t) {
+        m.test_cycles.push_back(3000);
+        m.suite_cycles += m.test_cycles.back();
+    }
+    m.faults.resize(m.num_pairs * 2);
+    for (size_t i = 0; i < m.faults.size(); ++i) {
+        FaultClass &f = m.faults[i];
+        f.pair_index = i / 2;
+        f.constant = (i & 1) ? lift::FaultConstant::One
+                             : lift::FaultConstant::Zero;
+        f.per_test.assign(m.num_tests, runtime::Detection::None);
+        if (i % 4 != 3) { // 3 of 4 classes detectable
+            f.per_test[i % m.num_tests] =
+                (i % 2) ? runtime::Detection::Mismatch
+                        : runtime::Detection::Stall;
+            f.detecting_tests = 1;
+        }
+        f.corrupts = (i % 3) != 2;
+    }
+    return m;
+}
+
+TEST(FleetSim, SameSeedIsByteIdenticalAtAnyThreadCount)
+{
+    FaultMatrix m = toy_matrix();
+    FleetConfig cfg = small_config();
+
+    cfg.threads = 1;
+    auto r1 = run_fleet(cfg, m);
+    ASSERT_TRUE(r1.ok()) << r1.error().to_string();
+    auto r1b = run_fleet(cfg, m);
+    ASSERT_TRUE(r1b.ok());
+    cfg.threads = 4;
+    auto r4 = run_fleet(cfg, m);
+    ASSERT_TRUE(r4.ok());
+
+    // Deterministic part only: timing differs run to run by design.
+    EXPECT_EQ(r1->to_json(false), r1b->to_json(false));
+    EXPECT_EQ(r1->to_json(false), r4->to_json(false));
+
+    // A different seed must actually change the population.
+    cfg.seed = 8;
+    auto other = run_fleet(cfg, m);
+    ASSERT_TRUE(other.ok());
+    EXPECT_NE(r1->to_json(false), other->to_json(false));
+}
+
+TEST(FleetSim, PerDeviceStreamsAreIndependentOfFleetSize)
+{
+    FaultMatrix m = toy_matrix();
+    FleetConfig cfg = small_config();
+    auto validated = validate_config(cfg);
+    ASSERT_TRUE(validated.ok());
+    // Device 17 behaves identically whether simulated alone or as part
+    // of the population — outcomes are keyed by id, not by order.
+    DeviceOutcome solo = simulate_device(*validated, m, 17);
+    DeviceOutcome in_fleet = simulate_device(*validated, m, 17);
+    EXPECT_EQ(solo.corner, in_fleet.corner);
+    EXPECT_EQ(solo.mix, in_fleet.mix);
+    EXPECT_EQ(solo.fault, in_fleet.fault);
+    EXPECT_EQ(solo.detected, in_fleet.detected);
+    EXPECT_EQ(solo.slots, in_fleet.slots);
+    EXPECT_EQ(solo.test_cycles, in_fleet.test_cycles);
+}
+
+TEST(FleetSim, AccountingAddsUp)
+{
+    FaultMatrix m = toy_matrix();
+    FleetConfig cfg = small_config();
+    cfg.threads = 2;
+    auto r = run_fleet(cfg, m);
+    ASSERT_TRUE(r.ok());
+
+    // Every device ran at least one epoch and at most all of them.
+    EXPECT_GE(r->device_epochs, r->num_devices);
+    EXPECT_LE(r->device_epochs,
+              uint64_t(r->num_devices) * cfg.epochs);
+    EXPECT_EQ(r->overhead.count, r->num_devices);
+    // Detected + missed cannot exceed the faulty population.
+    EXPECT_LE(r->detected_devices, r->faulty_devices);
+    EXPECT_LE(r->detectable_faulty_devices, r->faulty_devices);
+    EXPECT_EQ(r->latency_slots.count, r->detected_devices);
+
+    // Percentiles are ordered.
+    EXPECT_LE(r->latency_slots.p50, r->latency_slots.p95);
+    EXPECT_LE(r->latency_slots.p95, r->latency_slots.p99);
+    EXPECT_LE(r->overhead.p50, r->overhead.p99);
+
+    // Group rows partition the population.
+    uint64_t corner_devices = 0;
+    for (const auto &g : r->per_corner)
+        corner_devices += g.devices;
+    EXPECT_EQ(corner_devices, r->num_devices);
+    uint64_t age_devices = 0;
+    for (const auto &g : r->per_age)
+        age_devices += g.devices;
+    EXPECT_EQ(age_devices, r->num_devices);
+}
+
+TEST(FleetSim, BudgetGatesDispatchProbabilistically)
+{
+    FaultMatrix m = toy_matrix();
+    FleetConfig cfg = small_config();
+    cfg.num_devices = 600;
+    cfg.epochs = 4;
+    // Make the full-rate suite far too expensive: 16 slots x 3000
+    // cycles against a 100k-cycle epoch is ~0.48 overhead, so §3.4.2
+    // gating must throttle dispatch to land near the 1% budget.
+    cfg.epoch_cycles = 100000;
+    cfg.overhead_budget = 0.01;
+    auto r = run_fleet(cfg, m);
+    ASSERT_TRUE(r.ok());
+    EXPECT_LT(r->mean_overhead(), 3.0 * cfg.overhead_budget);
+    EXPECT_GT(r->tests_dispatched, 0u);
+    // Sanity: without gating the suite would eat ~half the cycles.
+    EXPECT_LT(double(r->test_cycles),
+              0.1 * double(r->app_cycles));
+}
+
+TEST(FleetSim, AdversarialScenarioReportsPerDeviceOutcomes)
+{
+    FaultMatrix m = toy_matrix();
+    FleetConfig cfg = small_config();
+    cfg.num_devices = 3000;
+    cfg.adversarial_fraction = 0.25; // make the slice big and faulty
+    cfg.base_hazard = 0.05;
+    auto r = run_fleet(cfg, m);
+    ASSERT_TRUE(r.ok());
+
+    EXPECT_GT(r->adversarial_devices, 0u);
+    EXPECT_GT(r->adversarial_faulty, 0u);
+    EXPECT_EQ(r->adversarial_outcomes.size(),
+              std::min<uint64_t>(r->adversarial_outcomes_total,
+                                 cfg.adversarial_report_cap));
+
+    // The attack concentrates every onset on the targeted pair class.
+    int attack_mix = -1;
+    auto validated = validate_config(cfg);
+    ASSERT_TRUE(validated.ok());
+    for (size_t i = 0; i < validated->mixes.size(); ++i)
+        if (validated->mixes[i].adversarial)
+            attack_mix = int(i);
+    ASSERT_GE(attack_mix, 0);
+    size_t target =
+        size_t(validated->mixes[attack_mix].target_pair) % m.num_pairs;
+    uint64_t classified = 0;
+    for (const auto &a : r->adversarial_outcomes) {
+        EXPECT_EQ(a.pair_index, target);
+        // Every reported device carries an explicit mission outcome.
+        bool known =
+            !std::strcmp(a.outcome, "detected-before-corruption") ||
+            !std::strcmp(a.outcome, "silently-corrupted") ||
+            !std::strcmp(a.outcome, "latent");
+        EXPECT_TRUE(known) << a.outcome;
+        if (a.detected && a.corruptions == 0) {
+            EXPECT_STREQ(a.outcome, "detected-before-corruption");
+        }
+        ++classified;
+    }
+    EXPECT_EQ(classified, r->adversarial_outcomes.size());
+    // Mission outcomes are disjoint slices of the faulty population.
+    EXPECT_LE(r->adversarial_detected_before_corruption +
+                  r->adversarial_silently_corrupted,
+              r->adversarial_faulty);
+    EXPECT_LE(r->adversarial_detected, r->adversarial_faulty);
+}
+
+TEST(FleetSim, RejectsEmptyOrMalformedMatrix)
+{
+    FleetConfig cfg = small_config();
+    FaultMatrix empty;
+    EXPECT_FALSE(run_fleet(cfg, empty).ok());
+
+    FaultMatrix bad = toy_matrix();
+    bad.faults[0].per_test.pop_back();
+    auto r = run_fleet(cfg, bad);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, ErrorCode::InvalidArgument);
+}
+
+TEST(FleetMatrix, RejectsEmptyInputs)
+{
+    HwModule module = rtl::make_alu32();
+    std::vector<sta::EndpointPair> pairs;
+    std::vector<runtime::TestCase> suite;
+    std::vector<lift::FaultConstant> constants = {
+        lift::FaultConstant::Zero};
+    auto r = build_fault_matrix(module, pairs, suite, constants, 1, 1);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, ErrorCode::InvalidArgument);
+}
+
+// ---------------------------------------------------------------------
+// Gate-level integration: one small real-ALU matrix feeding a fleet.
+
+runtime::TestCase
+alu_test(const char *name, AluOp op, uint32_t a, uint32_t b, int pair)
+{
+    runtime::TestCase tc;
+    tc.name = name;
+    tc.module = ModuleKind::Alu32;
+    tc.stimulus = {runtime::ModuleStep{a, b, uint32_t(op), true, false}};
+    tc.checks = {{0, alu_compute(op, a, b), false}};
+    tc.pair_index = pair;
+    runtime::finalize_test_case(tc);
+    return tc;
+}
+
+TEST(FleetMatrix, CharacterizesRealAluFaultsDeterministically)
+{
+    HwModule module = rtl::make_alu32();
+    auto lib = aging::AgingTimingLibrary::build(aging::RdModelParams{});
+    AgingAnalysisConfig cfg;
+    cfg.utilization = 0.99;
+    cfg.max_trace = 1500;
+    auto aged = run_aging_analysis(module, lib, minver_trace(), cfg);
+    auto pairs = aged.liftable_pairs();
+    ASSERT_FALSE(pairs.empty());
+    if (pairs.size() > 2)
+        pairs.resize(2);
+
+    std::vector<runtime::TestCase> suite = {
+        alu_test("c0", AluOp::Add, 0xffffffff, 1, 0),
+        alu_test("c1", AluOp::Xor, 0xaaaaaaaa, 0x55555555, 1),
+    };
+    std::vector<lift::FaultConstant> constants = {
+        lift::FaultConstant::Zero, lift::FaultConstant::One};
+
+    auto m1 = build_fault_matrix(module, pairs, suite, constants, 1, 5);
+    ASSERT_TRUE(m1.ok()) << m1.error().to_string();
+    auto m4 = build_fault_matrix(module, pairs, suite, constants, 4, 5);
+    ASSERT_TRUE(m4.ok());
+
+    EXPECT_EQ(m1->faults.size(), pairs.size() * constants.size());
+    EXPECT_EQ(m1->num_tests, suite.size());
+    ASSERT_EQ(m1->faults.size(), m4->faults.size());
+    for (size_t i = 0; i < m1->faults.size(); ++i) {
+        EXPECT_EQ(m1->faults[i].corrupts, m4->faults[i].corrupts) << i;
+        EXPECT_EQ(m1->faults[i].per_test, m4->faults[i].per_test) << i;
+    }
+
+    // The matrix feeds a small fleet end to end.
+    FleetConfig fleet_cfg = small_config();
+    fleet_cfg.num_devices = 200;
+    fleet_cfg.epochs = 3;
+    auto r = run_fleet(fleet_cfg, *m1);
+    ASSERT_TRUE(r.ok()) << r.error().to_string();
+    EXPECT_EQ(r->num_pairs, pairs.size());
+    EXPECT_GE(r->device_epochs, r->num_devices);
+}
+
+} // namespace
+} // namespace vega::fleet

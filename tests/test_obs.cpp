@@ -185,6 +185,77 @@ TEST(ObsLogging, ParseLogLevelAndOverride)
     set_log_level(before);
 }
 
+TEST(ObsHistogramQuantile, EmptyHistogramIsZero)
+{
+    Histogram h({1.0, 2.0, 4.0});
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+    EXPECT_EQ(h.p99(), 0.0);
+}
+
+TEST(ObsHistogramQuantile, InterpolatesWithinBuckets)
+{
+    // 1..30 once each over bounds {10,20,30}: 10 per bucket, so the
+    // interpolated quantile tracks the underlying uniform values.
+    Histogram h({10.0, 20.0, 30.0});
+    for (int v = 1; v <= 30; ++v)
+        h.observe(double(v));
+    EXPECT_NEAR(h.p50(), 15.0, 1e-9);
+    EXPECT_NEAR(h.p95(), 28.5, 1e-9);
+    EXPECT_NEAR(h.p99(), 29.7, 1e-9);
+    EXPECT_NEAR(h.quantile(1.0), 30.0, 1e-9);
+    // q=0 lands on the first observation's bucket, interpolated from
+    // the implicit 0 lower edge.
+    EXPECT_NEAR(h.quantile(0.0), 1.0, 1e-9);
+}
+
+TEST(ObsHistogramQuantile, OverflowClampsToLastBound)
+{
+    Histogram h({10.0});
+    h.observe(5.0);
+    for (int i = 0; i < 99; ++i)
+        h.observe(1e6); // overflow bucket: no upper edge
+    EXPECT_EQ(h.p99(), 10.0);
+    EXPECT_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(ObsHistogramQuantile, MonotonicAcrossQ)
+{
+    Histogram h({1.0, 4.0, 16.0, 64.0});
+    uint64_t x = 12345;
+    for (int i = 0; i < 1000; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        h.observe(double(x % 100));
+    }
+    double prev = -1.0;
+    for (double q : {0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+        double v = h.quantile(q);
+        EXPECT_GE(v, prev) << "q=" << q;
+        prev = v;
+    }
+}
+
+TEST(ObsHistogramQuantile, SnapshotExportsPercentileKeys)
+{
+    Histogram &h = histogram("test.histo.quantile", {10.0, 20.0});
+    h.reset();
+    for (int v = 1; v <= 20; ++v)
+        h.observe(double(v));
+    std::string json = snapshot_metrics().to_json();
+    EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+    EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+    EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+    EXPECT_TRUE(json_validate(json).ok());
+
+    // Snapshot entries answer the same quantile as the live histogram.
+    MetricsSnapshot snap = snapshot_metrics();
+    for (const auto &entry : snap.histograms) {
+        if (entry.name != "test.histo.quantile")
+            continue;
+        EXPECT_NEAR(entry.quantile(0.5), h.p50(), 1e-9);
+        EXPECT_NEAR(entry.quantile(0.99), h.p99(), 1e-9);
+    }
+}
+
 TEST(ObsJsonLint, AcceptsValidRejectsGarbage)
 {
     EXPECT_TRUE(json_validate("{\"a\":[1,2.5e3,true,null,\"x\"]}").ok());
