@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Campaign-journal throughput: checksummed append records/sec across
+ * group-commit sizes, verify-read records/sec, and the write
+ * amplification the v2 append-only protocol eliminated.
+ *
+ * The v1 journal rewrote the whole file through write-temp-then-rename
+ * on every group commit — O(n^2) bytes over a campaign. v2 appends
+ * checksummed lines and pins the file with a rolling-CRC trailer, so
+ * bytes written is O(n) at any flush cadence. The bench reports both
+ * the measured v2 bytes and the modeled v1 bytes for the same record
+ * stream, plus the raw CRC32C slice-by-8 rate that bounds the
+ * checksumming overhead. Results land in BENCH_journal.json (or the
+ * .smoke.json sibling under --smoke, which never clobbers the pinned
+ * file).
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "campaign/journal.h"
+#include "common/checksum.h"
+
+using namespace vega;
+using namespace vega::campaign;
+
+namespace {
+
+double
+seconds_since(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+JournalHeader
+bench_header(uint64_t num_jobs)
+{
+    JournalHeader h;
+    h.module = "alu32";
+    h.seed = 0x5eed;
+    h.num_jobs = num_jobs;
+    h.num_pairs = 8;
+    h.num_constants = 2;
+    h.num_policies = 3;
+    h.max_slots = 12;
+    h.suite_size = 24;
+    h.probability = 0.5;
+    return h;
+}
+
+/** Deterministic synthetic record stream shaped like real results. */
+JobResult
+synthetic_result(uint64_t id)
+{
+    JobResult r;
+    r.id = id;
+    r.pair_index = size_t(id % 8);
+    r.constant = (id & 1) ? lift::FaultConstant::One
+                          : lift::FaultConstant::Zero;
+    r.policy = runtime::SchedulePolicy::Sequential;
+    r.detected = id % 4 != 3;
+    r.kind = r.detected ? runtime::Detection::Mismatch
+                        : runtime::Detection::None;
+    r.slots_to_detect = uint32_t(1 + id % 12);
+    r.tests_dispatched = uint32_t(3 + id % 24);
+    r.sim_cycles = 4000 + 500 * (id % 5);
+    r.corrupts_workload = id % 3 != 2;
+    r.escape = false;
+    r.attempts = 1;
+    return r;
+}
+
+struct FlushResult
+{
+    size_t flush_every = 0;
+    double append_per_sec = 0;
+    uint64_t bytes_written = 0;
+    double modeled_v1_bytes = 0;
+    double amplification = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        if (!std::strcmp(argv[i], "--smoke"))
+            smoke = true;
+
+    const uint64_t n = smoke ? 20000 : 200000;
+    const std::string path = "bench_journal.tmp.journal";
+
+    bench::banner(std::string("Journal throughput: checksummed appends "
+                              "+ verified reads, ") +
+                  std::to_string(n) + " records" + (smoke ? " [smoke]" : ""));
+
+    // Raw CRC32C rate first: the integrity tax ceiling.
+    std::string block(1 << 20, '\x5a');
+    uint32_t sink = 0;
+    auto c0 = std::chrono::steady_clock::now();
+    // Odd count: the XOR sink keeps the real CRC visible in the log.
+    const int crc_iters = smoke ? 65 : 513;
+    for (int i = 0; i < crc_iters; ++i)
+        sink ^= crc32c(block);
+    double crc_secs = seconds_since(c0);
+    double crc_mb_per_sec = crc_iters * 1.0 / (crc_secs > 0 ? crc_secs : 1e-9);
+    std::printf("crc32c slice-by-8: %.0f MB/s (checksum 0x%08x)\n\n",
+                crc_mb_per_sec, sink);
+
+    std::printf("%12s | %14s | %12s | %14s | %10s\n", "flush_every",
+                "appends/s", "v2 bytes", "v1 bytes (mod)", "amplif.");
+
+    std::vector<FlushResult> rows;
+    double verify_per_sec = 0;
+    for (size_t flush_every : {size_t(1), size_t(16), size_t(256)}) {
+        std::remove(path.c_str());
+        JournalWriter w;
+        Expected<void> opened =
+            w.open(path, bench_header(n), nullptr, flush_every);
+        if (!opened) {
+            std::fprintf(stderr, "open failed: %s\n",
+                         opened.error().to_string().c_str());
+            return 1;
+        }
+        uint64_t header_bytes = w.bytes_written();
+
+        auto t0 = std::chrono::steady_clock::now();
+        for (uint64_t id = 0; id < n; ++id) {
+            Expected<void> ok = w.record(synthetic_result(id));
+            if (!ok) {
+                std::fprintf(stderr, "record failed: %s\n",
+                             ok.error().to_string().c_str());
+                return 1;
+            }
+        }
+        Expected<void> sealed = w.finalize();
+        if (!sealed) {
+            std::fprintf(stderr, "finalize failed: %s\n",
+                         sealed.error().to_string().c_str());
+            return 1;
+        }
+        double secs = seconds_since(t0);
+
+        FlushResult r;
+        r.flush_every = flush_every;
+        r.append_per_sec = double(n) / (secs > 0 ? secs : 1e-9);
+        r.bytes_written = w.bytes_written();
+        // The v1 protocol rewrote header + all records so far on every
+        // group commit: model it from the measured mean record size.
+        double record_bytes =
+            double(r.bytes_written - header_bytes) / double(n);
+        double batches = double(n) / double(flush_every);
+        r.modeled_v1_bytes =
+            batches * double(header_bytes) +
+            record_bytes * double(flush_every) * batches *
+                (batches + 1) / 2.0;
+        r.amplification = r.modeled_v1_bytes / double(r.bytes_written);
+        std::printf("%12zu | %14.0f | %12llu | %14.3e | %9.1fx\n",
+                    flush_every, r.append_per_sec,
+                    (unsigned long long)r.bytes_written,
+                    r.modeled_v1_bytes, r.amplification);
+        rows.push_back(r);
+
+        if (flush_every == 1) {
+            // Verified read-back (per-record CRCs + rolling trailer).
+            JournalReadOptions strict;
+            strict.require_trailer = true;
+            strict.allow_torn_tail = false;
+            auto v0 = std::chrono::steady_clock::now();
+            Expected<JournalState> st = read_journal(path, strict);
+            double vsecs = seconds_since(v0);
+            if (!st || st->completed.size() != n) {
+                std::fprintf(stderr, "verify-read failed\n");
+                return 1;
+            }
+            verify_per_sec = double(n) / (vsecs > 0 ? vsecs : 1e-9);
+        }
+    }
+    std::remove(path.c_str());
+    std::printf("\nverified read-back: %.0f records/s\n", verify_per_sec);
+
+    std::string json = "{\"journal_throughput\":{\"smoke\":";
+    json += smoke ? "true" : "false";
+    char head[160];
+    std::snprintf(head, sizeof head,
+                  ",\"records\":%llu,\"crc32c_mb_per_sec\":%.0f,"
+                  "\"verify_read_records_per_sec\":%.0f,"
+                  "\"flush_modes\":[",
+                  (unsigned long long)n, crc_mb_per_sec, verify_per_sec);
+    json += head;
+    for (size_t i = 0; i < rows.size(); ++i) {
+        char buf[224];
+        std::snprintf(buf, sizeof buf,
+                      "%s{\"flush_every\":%zu,"
+                      "\"append_records_per_sec\":%.0f,"
+                      "\"bytes_written\":%llu,"
+                      "\"modeled_v1_bytes\":%.0f,"
+                      "\"write_amplification_v1\":%.1f}",
+                      i ? "," : "", rows[i].flush_every,
+                      rows[i].append_per_sec,
+                      (unsigned long long)rows[i].bytes_written,
+                      rows[i].modeled_v1_bytes, rows[i].amplification);
+        json += buf;
+    }
+    json += "]}}";
+    bench::write_bench_json("journal", smoke, json);
+    return 0;
+}

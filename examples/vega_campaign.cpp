@@ -10,13 +10,27 @@
  *
  * The same seed yields a bit-identical report (timing aside) at any
  * thread count, so campaign results are citable and diffable.
+ *
+ * Fleet mode shards one campaign across processes, each with a
+ * checksummed crash-safe journal, merged by an integrity-verifying
+ * aggregator (docs/ARCHITECTURE.md "Sharded campaigns"):
+ *
+ *   vega_campaign --jobs 512 --shards 4 --shard-id K --journal-dir D
+ *       # for K = 0..3, any order, any machines sharing D; kill and
+ *       # --resume any shard freely
+ *   vega_campaign --aggregate D --out fleet_report.json
+ *
+ * The aggregated report is byte-identical to an unsharded run of the
+ * same campaign (timing aside — use --no-timing to diff).
  */
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "campaign/aggregator.h"
 #include "campaign/campaign.h"
+#include "campaign/shard.h"
 #include "common/fs.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -34,9 +48,13 @@ struct CliOptions
     std::string out = "campaign_report.json";
     std::string trace_out;
     std::string metrics_out;
+    std::string journal_dir;
+    std::string aggregate_dir;
+    std::string manifest_out;
     bool metrics_summary = false;
     bool quiet = false;
     bool per_job_json = true;
+    bool include_timing = true;
 };
 
 void
@@ -66,6 +84,20 @@ usage(const char *argv0)
         "recorded jobs\n"
         "  --retries N            attempts per job before quarantine "
         "(default 3)\n"
+        "  --shards N             split the campaign across N worker "
+        "processes\n"
+        "  --shard-id K           which shard this process runs "
+        "(0..N-1)\n"
+        "  --journal-dir DIR      per-shard checksummed journals in "
+        "DIR (shard-K-of-N.journal)\n"
+        "  --aggregate DIR        merge + verify the shard journals "
+        "in DIR; no jobs run\n"
+        "  --manifest FILE        integrity-manifest path (default "
+        "<out>.manifest.json)\n"
+        "  --kill-after N         raise SIGKILL after N completed "
+        "jobs (kill-and-resume testing)\n"
+        "  --no-timing            omit wall-clock timing from the "
+        "JSON (diffable reports)\n"
         "  --trace-out FILE       write a Chrome trace-event JSON "
         "(open in Perfetto)\n"
         "  --metrics-out FILE     write the metrics registry snapshot "
@@ -158,6 +190,38 @@ parse_args(int argc, char **argv, CliOptions &opt)
                 std::strtoull(v, nullptr, 10);
         } else if (arg == "--resume") {
             opt.campaign.resume = true;
+        } else if (arg == "--shards") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.campaign.num_shards = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--shard-id") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.campaign.shard_id = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--journal-dir") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.journal_dir = v;
+        } else if (arg == "--aggregate") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.aggregate_dir = v;
+        } else if (arg == "--manifest") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.manifest_out = v;
+        } else if (arg == "--kill-after") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.campaign.kill_after_jobs = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--no-timing") {
+            opt.include_timing = false;
         } else if (arg == "--trace-out") {
             const char *v = value();
             if (!v)
@@ -185,7 +249,80 @@ parse_args(int argc, char **argv, CliOptions &opt)
         }
     }
     // User errors exit via usage, not via the engine's invariant checks.
+    if (!opt.aggregate_dir.empty())
+        return true;
+    if (opt.campaign.num_shards == 0 ||
+        opt.campaign.shard_id >= opt.campaign.num_shards)
+        return false;
+    // A sharded run without a journal could never be aggregated.
+    if (opt.campaign.num_shards > 1 && opt.journal_dir.empty() &&
+        opt.campaign.journal_path.empty())
+        return false;
+    if (!opt.journal_dir.empty())
+        opt.campaign.journal_path = campaign::shard_journal_path(
+            opt.journal_dir, opt.campaign.shard_id,
+            opt.campaign.num_shards);
     return opt.campaign.num_jobs > 0;
+}
+
+/** --aggregate mode: merge + verify shard journals; no jobs run. */
+int
+run_aggregate(const CliOptions &opt)
+{
+    std::printf("vega_campaign: aggregating shard journals in %s\n",
+                opt.aggregate_dir.c_str());
+    Expected<campaign::AggregateResult> agg =
+        campaign::aggregate_shard_dir(opt.aggregate_dir);
+    if (!agg) {
+        std::fprintf(stderr, "aggregation refused: %s\n",
+                     agg.error().to_string().c_str());
+        return 1;
+    }
+    const campaign::IntegrityManifest &m = agg->manifest;
+    std::printf("verified %llu shards, %llu job + %llu quarantine "
+                "records:\n",
+                (unsigned long long)m.num_shards,
+                (unsigned long long)m.total_completed,
+                (unsigned long long)m.total_failed);
+    for (const campaign::ShardVerdict &s : m.shards)
+        std::printf("  shard %llu: %llu jobs, %llu failed, crc %s — "
+                    "%s\n",
+                    (unsigned long long)s.shard_id,
+                    (unsigned long long)s.completed,
+                    (unsigned long long)s.failed,
+                    crc32c_hex(s.crc).c_str(), s.detail.c_str());
+
+    const campaign::CampaignReport &report = agg->report;
+    std::printf("fleet totals: %zu jobs, %llu detected, %llu SDC "
+                "escapes, %llu quarantined\n",
+                report.jobs.size(), (unsigned long long)report.detected,
+                (unsigned long long)report.escapes,
+                (unsigned long long)report.failed);
+
+    // Timing is always omitted: an aggregate has no single wall clock,
+    // and this keeps the report diffable against an unsharded run.
+    std::string json = report.to_json(false, opt.per_job_json);
+    Expected<void> wrote = write_file_atomic(opt.out, json + "\n");
+    if (!wrote) {
+        std::fprintf(stderr, "cannot write %s: %s\n", opt.out.c_str(),
+                     wrote.error().to_string().c_str());
+        return 1;
+    }
+    std::printf("report written to %s\n", opt.out.c_str());
+
+    std::string manifest_path = opt.manifest_out.empty()
+                                    ? opt.out + ".manifest.json"
+                                    : opt.manifest_out;
+    wrote = write_file_atomic(manifest_path, m.to_json() + "\n");
+    if (!wrote) {
+        std::fprintf(stderr, "cannot write %s: %s\n",
+                     manifest_path.c_str(),
+                     wrote.error().to_string().c_str());
+        return 1;
+    }
+    std::printf("integrity manifest written to %s\n",
+                manifest_path.c_str());
+    return 0;
 }
 
 } // namespace
@@ -199,6 +336,19 @@ main(int argc, char **argv)
         return 2;
     }
     opt.campaign.progress = !opt.quiet;
+
+    if (!opt.aggregate_dir.empty())
+        return run_aggregate(opt);
+
+    if (!opt.journal_dir.empty()) {
+        Expected<void> made = make_dirs(opt.journal_dir);
+        if (!made) {
+            std::fprintf(stderr, "cannot create %s: %s\n",
+                         opt.journal_dir.c_str(),
+                         made.error().to_string().c_str());
+            return 1;
+        }
+    }
 
     // Tracing must be live before the workflow so SAT/BMC/STA spans
     // from campaign setup land in the same trace as the jobs.
@@ -284,7 +434,8 @@ main(int argc, char **argv)
 
     // Write-temp-then-rename: a crash mid-write never leaves a
     // truncated report where a previous good one stood.
-    std::string json = report.to_json(true, opt.per_job_json);
+    std::string json = report.to_json(opt.include_timing,
+                                      opt.per_job_json);
     Expected<void> wrote = write_file_atomic(opt.out, json + "\n");
     if (!wrote) {
         std::fprintf(stderr, "cannot write %s: %s\n", opt.out.c_str(),

@@ -23,12 +23,14 @@ cmake -S "$repo" -B "$build" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DVEGA_SANITIZE=ON
 cmake --build "$build" -j "$jobs"
-# The observability layer and the fleet simulator are the most
-# concurrency-heavy code in the tree (sharded counters, trace rings,
-# the lock-light pool, the chunked device fan-out); run their focused
-# tests first so a data race there fails fast and readably.
-ctest --test-dir "$build" --output-on-failure -R 'Obs|ThreadPool|Fleet' \
-    -j "$jobs"
+# The observability layer, the fleet simulator, and the sharded
+# journal/aggregator stack are the most concurrency- and
+# integrity-critical code in the tree (sharded counters, trace rings,
+# the lock-light pool, the chunked device fan-out, checksummed
+# crash-safe journals); run their focused tests first so a data race
+# or torn-write bug there fails fast and readably.
+ctest --test-dir "$build" --output-on-failure \
+    -R 'Obs|ThreadPool|Fleet|Shard|Crc32c|Journal' -j "$jobs"
 # Bench smoke: runs bench/sim_throughput --smoke (lockstep-checks the
 # scalar/tape/batch simulator engines under the sanitizers),
 # bench/bmc_throughput --smoke (cross-checks the scratch and
@@ -38,4 +40,46 @@ ctest --test-dir "$build" --output-on-failure -R 'Obs|ThreadPool|Fleet' \
 # validates every emitted BENCH_*.smoke.json with vega_json_check.
 # Smoke artifacts live beside — never over — the pinned BENCH_*.json.
 ctest --test-dir "$build" --output-on-failure -L bench-smoke -j "$jobs"
+
+# Sharded kill-and-resume end-to-end, with a real SIGKILL: run the same
+# small campaign (a) single-process and (b) as 4 shard processes where
+# shard 1 is SIGKILLed mid-run (--kill-after raises SIGKILL from inside
+# the worker) and then resumed. The aggregated report must be
+# byte-identical to the single-process one, and the aggregator must
+# refuse the fleet while the killed shard's journal lacks its trailer.
+fleet_dir="$build/ci-fleet"
+rm -rf "$fleet_dir"
+mkdir -p "$fleet_dir"
+campaign="$build/examples/vega_campaign"
+common_args=(--module alu --jobs 24 --seed 7 --max-pairs 2 --quiet
+             --no-timing)
+"$campaign" "${common_args[@]}" --out "$fleet_dir/single.json"
+for k in 0 2 3; do
+    "$campaign" "${common_args[@]}" --shards 4 --shard-id "$k" \
+        --journal-dir "$fleet_dir/shards" --out "$fleet_dir/shard$k.json"
+done
+# Shard 1: flush every record, SIGKILL after 3 completed jobs.
+"$campaign" "${common_args[@]}" --shards 4 --shard-id 1 \
+    --journal-dir "$fleet_dir/shards" --journal-flush-every 1 \
+    --kill-after 3 --out "$fleet_dir/shard1.json" && {
+    echo "ci_sanitize: shard 1 survived its SIGKILL" >&2
+    exit 1
+}
+# The aggregator must refuse the incomplete fleet...
+if "$campaign" --aggregate "$fleet_dir/shards" \
+    --out "$fleet_dir/premature.json"; then
+    echo "ci_sanitize: aggregator merged an incomplete shard" >&2
+    exit 1
+fi
+# ...until the killed shard is resumed.
+"$campaign" "${common_args[@]}" --shards 4 --shard-id 1 \
+    --journal-dir "$fleet_dir/shards" --resume \
+    --out "$fleet_dir/shard1.json"
+"$campaign" --aggregate "$fleet_dir/shards" \
+    --out "$fleet_dir/aggregated.json"
+diff "$fleet_dir/single.json" "$fleet_dir/aggregated.json"
+"$build/tools/vega_json_check" "$fleet_dir/aggregated.json.manifest.json" \
+    --require integrity --require shards
+echo "ci_sanitize: sharded kill-and-resume aggregate is byte-identical"
+
 ctest --test-dir "$build" --output-on-failure -j "$jobs" "$@"

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Streaming shard-journal aggregator with end-to-end integrity.
+ *
+ * The merge point is where a corrupted worker could silently poison
+ * fleet statistics — ironic failure mode for an SDC detector — so
+ * nothing is trusted on ingest. For every shard journal the
+ * aggregator verifies, in order:
+ *
+ *  1. per-record CRC32C and the rolling whole-file trailer checksum
+ *     (read_journal with require_trailer: a torn or bit-flipped
+ *     record is JournalRecordCorrupt, a doctored or stale trailer is
+ *     JournalTrailerMismatch, a missing trailer — shard killed
+ *     mid-run and never resumed — is ShardIncomplete);
+ *  2. that all shards fingerprint the *same campaign* (same module,
+ *     seed, job count, shard split) — JournalMismatch otherwise;
+ *  3. that the shard set is exactly {0..N-1}, no gaps, no duplicates;
+ *  4. that every record's job id belongs to the shard that recorded
+ *     it (id % N == K), appears exactly once fleet-wide, and that
+ *     all num_jobs ids are accounted for — duplicates and cross-shard
+ *     transplants are JournalRecordCorrupt naming both shards, gaps
+ *     are ShardIncomplete naming the shard and job id.
+ *
+ * Only then are the records folded into a CampaignReport — which, by
+ * the shard partition contract (shard.h), is byte-identical to the
+ * report of a single-process run. The verification evidence survives
+ * as an IntegrityManifest: per-shard record counts, checksums, and
+ * verdicts, serialized alongside the report.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/journal.h"
+#include "campaign/report.h"
+#include "common/error.h"
+
+namespace vega::campaign {
+
+/** What aggregation established about one shard journal. */
+struct ShardVerdict
+{
+    uint64_t shard_id = 0;
+    std::string path;
+    uint64_t completed = 0; ///< job records
+    uint64_t failed = 0;    ///< failed (quarantine) records
+    /** Rolling CRC32C the trailer pinned and the reader re-derived. */
+    uint32_t crc = 0;
+    /** Every integrity check passed for this shard. */
+    bool verified = false;
+    /** "ok", or what went wrong (also carried by the VegaError). */
+    std::string detail = "ok";
+};
+
+/** Fleet-level integrity evidence emitted beside the merged report. */
+struct IntegrityManifest
+{
+    uint64_t num_shards = 0;
+    uint64_t num_jobs = 0;
+    uint64_t total_completed = 0;
+    uint64_t total_failed = 0;
+    /** All shards verified and the job-id space is exactly covered. */
+    bool ok = false;
+    std::vector<ShardVerdict> shards;
+
+    std::string to_json() const;
+};
+
+struct AggregateResult
+{
+    CampaignReport report;
+    IntegrityManifest manifest;
+};
+
+/**
+ * Merge the given shard journals. Any integrity failure aborts the
+ * merge with a structured error naming the offending shard (and
+ * record, where one is at fault) — a corrupted shard is never
+ * silently folded into fleet statistics.
+ */
+Expected<AggregateResult>
+aggregate_shards(const std::vector<std::string> &journal_paths);
+
+/** Discover shard journals in @p dir (shard.h naming) and merge. */
+Expected<AggregateResult>
+aggregate_shard_dir(const std::string &dir);
+
+} // namespace vega::campaign

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <csignal>
 #include <mutex>
 #include <optional>
 
 #include "campaign/engine.h"
 #include "campaign/journal.h"
+#include "campaign/shard.h"
 #include "campaign/thread_pool.h"
 #include "common/fs.h"
 #include "common/logging.h"
@@ -126,6 +128,13 @@ try_run_campaign(const HwModule &module,
     if (config.num_jobs == 0)
         return make_error(ErrorCode::InvalidArgument,
                           "campaign needs jobs");
+    if (config.num_shards == 0 ||
+        config.shard_id >= config.num_shards)
+        return make_error(ErrorCode::InvalidArgument,
+                          "shard id " + std::to_string(config.shard_id) +
+                              " out of range for " +
+                              std::to_string(config.num_shards) +
+                              " shards");
 
     CampaignConfig cfg = config;
     if (cfg.max_slots == 0)
@@ -144,6 +153,9 @@ try_run_campaign(const HwModule &module,
     header.max_slots = cfg.max_slots;
     header.suite_size = suite.size();
     header.probability = cfg.probability;
+    header.num_shards = cfg.num_shards;
+    header.shard_id = cfg.shard_id;
+    ShardSpec shard{cfg.num_shards, cfg.shard_id};
 
     // Results keyed by job id; `skip` marks jobs already settled by a
     // prior run (completed or quarantined — quarantine is sticky).
@@ -187,17 +199,41 @@ try_run_campaign(const HwModule &module,
             return opened.error();
     }
 
+    // The work list: job ids this shard owns and no prior run has
+    // settled. Specs are pure functions of (seed, id), so shards can
+    // compute them independently and the union over shards is exactly
+    // the unsharded job set.
+    std::vector<uint64_t> todo;
+    todo.reserve(size_t(shard_job_count(shard, cfg.num_jobs)));
+    std::vector<char> needed(npairs * nconst, 0);
+    for (uint64_t id = 0; id < cfg.num_jobs; ++id) {
+        if (!shard_owns(shard, id) || skip[id])
+            continue;
+        todo.push_back(id);
+        JobSpec spec = make_spec(cfg, npairs, id);
+        size_t ci = size_t(
+            std::find(cfg.constants.begin(), cfg.constants.end(),
+                      spec.constant) -
+            cfg.constants.begin());
+        needed[spec.pair_index * nconst + ci] = 1;
+    }
+    size_t needed_count = 0;
+    for (char n : needed)
+        needed_count += size_t(n);
+
     auto t0 = std::chrono::steady_clock::now();
     ThreadPool pool(cfg.threads);
     std::optional<ProgressMeter> meter;
     if (cfg.progress || cfg.progress_sink)
-        meter.emplace(npairs * nconst + cfg.num_jobs,
+        meter.emplace(needed_count + todo.size(),
                       cfg.progress_interval, cfg.progress_sink);
 
     // Characterization pass: once per unique (pair, constant) fault —
     // never per job — build the failing netlist and probe whether it
-    // corrupts the representative workload. The netlists are kept and
-    // shared read-only by every job that injects the same fault. A
+    // corrupts the representative workload. Only faults some pending
+    // job of this shard actually injects are built, so shards (and
+    // resumed runs) don't redo the whole matrix. The netlists are kept
+    // and shared read-only by every job that injects the same fault. A
     // characterization that throws poisons only the jobs that depend
     // on that fault; they quarantine instead of crashing the run.
     std::vector<lift::FailingNetlist> faults(npairs * nconst);
@@ -205,6 +241,8 @@ try_run_campaign(const HwModule &module,
     std::vector<std::string> char_error(npairs * nconst);
     for (size_t pi = 0; pi < npairs; ++pi) {
         for (size_t ci = 0; ci < nconst; ++ci) {
+            if (!needed[pi * nconst + ci])
+                continue;
             pool.submit([&, pi, ci] {
                 VEGA_SPAN("campaign.characterize");
                 size_t idx = pi * nconst + ci;
@@ -236,10 +274,9 @@ try_run_campaign(const HwModule &module,
     std::mutex state_mu;
     std::atomic<bool> stop{false};
     size_t completed_this_run = 0;
+    size_t settled_this_run = 0;
     std::optional<VegaError> journal_error;
-    for (uint64_t id = 0; id < cfg.num_jobs; ++id) {
-        if (skip[id])
-            continue;
+    for (uint64_t id : todo) {
         JobSpec spec = make_spec(cfg, npairs, id);
         size_t ci = size_t(
             std::find(cfg.constants.begin(), cfg.constants.end(),
@@ -264,6 +301,7 @@ try_run_campaign(const HwModule &module,
                                          char_error[idx]);
                 std::lock_guard<std::mutex> lk(state_mu);
                 failed.push_back(f);
+                ++settled_this_run;
                 if (journal.is_open() && !journal_error) {
                     Expected<void> w = journal.record(f);
                     if (!w)
@@ -308,6 +346,7 @@ try_run_campaign(const HwModule &module,
                 attempt_spec.seed = splitmix64(stream);
             }
             std::lock_guard<std::mutex> lk(state_mu);
+            ++settled_this_run;
             if (ok) {
                 done[spec.id] = jr;
                 if (journal.is_open() && !journal_error) {
@@ -319,6 +358,12 @@ try_run_campaign(const HwModule &module,
                 if (cfg.stop_after_jobs &&
                     completed_this_run >= cfg.stop_after_jobs)
                     stop.store(true, std::memory_order_relaxed);
+                // The real thing, not a simulation: SIGKILL is
+                // uncatchable, so buffered journal records die with
+                // the process exactly as in a production OOM kill.
+                if (cfg.kill_after_jobs &&
+                    completed_this_run >= cfg.kill_after_jobs)
+                    std::raise(SIGKILL);
             } else {
                 FailedJob f;
                 f.id = spec.id;
@@ -338,9 +383,15 @@ try_run_campaign(const HwModule &module,
     }
     pool.wait_idle();
     if (journal.is_open() && !journal_error) {
-        Expected<void> synced = journal.sync();
-        if (!synced)
-            journal_error = synced.error();
+        // Every owned job settled => the shard is complete: seal the
+        // journal with its integrity trailer so the aggregator will
+        // accept it. An early stop leaves the journal trailerless —
+        // resumable, but rejected at aggregation as shard-incomplete.
+        bool complete = settled_this_run == todo.size();
+        Expected<void> sealed =
+            complete ? journal.finalize() : journal.sync();
+        if (!sealed)
+            journal_error = sealed.error();
     }
     if (journal_error)
         return *journal_error;

@@ -64,6 +64,12 @@ struct CampaignConfig
     /** Override the progress sink (tests use this; implies progress). */
     ProgressMeter::Sink progress_sink;
 
+    // Fleet-mode sharding (shard.h). This process runs only jobs with
+    // id % num_shards == shard_id; journals from all shards aggregate
+    // to a report byte-identical to an unsharded run.
+    uint64_t num_shards = 1;
+    uint64_t shard_id = 0;
+
     // Fault tolerance.
     /** Checkpoint journal path; empty disables journaling. */
     std::string journal_path;
@@ -89,6 +95,13 @@ struct CampaignConfig
      * as that attempt failing, feeding the retry/quarantine path.
      */
     std::function<void(const JobSpec &, int attempt)> job_fault_hook;
+    /**
+     * Self-kill hook for kill-and-resume testing: raise SIGKILL —
+     * a real, uncatchable kill, no destructors, no journal sync —
+     * once this many jobs have completed this run (0 = off). The
+     * journal is left exactly as a crash would leave it.
+     */
+    size_t kill_after_jobs = 0;
 };
 
 /**

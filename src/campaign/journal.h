@@ -1,6 +1,6 @@
 /**
  * @file
- * Crash-safe campaign journal.
+ * Crash-safe, end-to-end checksummed campaign journal.
  *
  * A long campaign that dies at job 9,000 of 10,000 — OOM kill, power
  * loss, ctrl-C — should not forfeit the first 9,000 results. The
@@ -10,35 +10,51 @@
  * (the determinism contract in campaign.h makes the remaining jobs
  * independent of the interruption).
  *
- * Format: a line-oriented text file,
+ * v2 format — a line-oriented text file where every payload line is
+ * prefixed with the CRC32C of its body, DAOS-style end-to-end
+ * integrity (the producer computes, every consumer verifies):
  *
- *   # vega campaign journal v1
- *   config module=<m> seed=<s> jobs=<n> pairs=<p> constants=<c>
- *          policies=<y> max_slots=<k> suite=<t> probability=<pr>
- *   job <id> <pair> <constant> <policy> <detected> <kind> <slots>
- *       <tests> <cycles> <corrupts> <escape> <attempts>
- *   failed <id> <pair> <attempts> <code> <context...>
+ *   # vega campaign journal v2
+ *   <crc8> config module=<m> seed=<s> jobs=<n> pairs=<p>
+ *          constants=<c> policies=<y> max_slots=<k> suite=<t>
+ *          probability=<pr> shards=<N> shard=<K>
+ *   <crc8> job <id> <pair> <constant> <policy> <detected> <kind>
+ *          <slots> <tests> <cycles> <corrupts> <escape> <attempts>
+ *   <crc8> failed <id> <pair> <attempts> <code> <context...>
+ *   trailer records=<n> crc=<rolling8>
  *
- * (config and job lines are single lines; wrapped here for width.)
- * Every flush rewrites the file via write-temp-then-rename, so the
- * on-disk journal is always a complete, parseable snapshot — a crash
- * can lose at most the records buffered since the last flush, never
- * corrupt the file. Flush granularity is group-commit: record()
- * buffers, and the file is rewritten every @p flush_every records
- * (default every record) plus once at sync(). Rewriting per record is
- * O(n²) bytes over a campaign; batching amortizes that to O(n²/k)
- * while keeping the at-most-k-records crash window explicit. The
- * config line fingerprints the campaign; resuming under a different
- * configuration is refused with JournalMismatch rather than silently
- * mixing incompatible results.
+ * (each record is a single line; wrapped here for width.) <crc8> is
+ * the CRC32C of everything after the "<crc8> " prefix; the trailer's
+ * rolling checksum covers every body (config included) plus its
+ * newline, and is appended by finalize() once every owned job has
+ * settled. A journal without a trailer is *in progress* — legal to
+ * resume, rejected by the shard aggregator as shard-incomplete.
+ *
+ * Durability protocol: open() writes the header (and any resumed
+ * records) via write-temp-then-rename, then records are *appended* —
+ * the per-line checksums make a torn tail detectable, so the v1
+ * rewrite-whole-file-per-flush (O(n²) bytes over a campaign) is gone.
+ * A crash can leave at most one torn final line plus the records
+ * buffered since the last flush; resume drops the torn tail with a
+ * warning and re-runs those jobs. Flush granularity is group-commit:
+ * record() buffers, and the buffer is appended + fsynced every
+ * @p flush_every records (default every record) plus once at sync().
+ *
+ * v1 files (no checksums) are still read, with a deprecation warning;
+ * resuming one upgrades it to v2 on the spot. The config line
+ * fingerprints the campaign — including the shard split — and
+ * resuming under a different configuration is refused with
+ * JournalMismatch rather than silently mixing incompatible results.
  */
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "campaign/job.h"
+#include "common/checksum.h"
 #include "common/error.h"
 
 namespace vega::campaign {
@@ -55,8 +71,14 @@ struct JournalHeader
     uint64_t max_slots = 0;
     uint64_t suite_size = 0;
     double probability = 1.0;
+    /** Shard split this journal belongs to (1/0 = unsharded). */
+    uint64_t num_shards = 1;
+    uint64_t shard_id = 0;
 
     bool operator==(const JournalHeader &o) const;
+    /** Equal up to the shard assignment — the aggregator's check that
+     *  two shard journals came from the same campaign. */
+    bool same_campaign(const JournalHeader &o) const;
     std::string to_string() const;
 };
 
@@ -66,25 +88,65 @@ struct JournalState
     JournalHeader header;
     std::vector<JobResult> completed;
     std::vector<FailedJob> failed;
+
+    /** Format version the file carried (1 = legacy, no checksums). */
+    int version = 2;
+    /** The finalize() trailer was present and verified. */
+    bool has_trailer = false;
+    /** A torn final line was detected and dropped (v2, resume path). */
+    bool torn_tail = false;
+    /** job + failed records read (the trailer's records= count). */
+    uint64_t records = 0;
+    /** Rolling CRC32C over all payload bodies (what the trailer pins). */
+    uint32_t rolling_crc = 0;
 };
 
 /**
- * Parse a journal file. Unreadable => IoError; malformed lines =>
- * JournalCorrupt with the line number.
+ * One record's journal body — no checksum prefix, no newline. The
+ * writer checksums and frames these; exposed so tests (and the
+ * corruptor harness) can craft fixture files in either version.
  */
-Expected<JournalState> read_journal(const std::string &path);
+std::string render_record(const JobResult &r);
+std::string render_record(const FailedJob &f);
+
+struct JournalReadOptions
+{
+    /**
+     * Refuse journals without a verified trailer (ShardIncomplete).
+     * The aggregator sets this: an unfinalized shard must be resumed,
+     * not merged.
+     */
+    bool require_trailer = false;
+    /**
+     * Drop a checksum-failing or newline-less *final* line of an
+     * unfinalized v2 journal instead of erroring — the signature of a
+     * crash mid-append. The resume path wants this; the aggregator
+     * does not (its shards must be finalized anyway).
+     */
+    bool allow_torn_tail = true;
+};
 
 /**
- * Appends job records with group-commit durability: the file is
- * rewritten atomically every flush_every records and at sync(), so a
- * crash at any instant leaves a valid journal on disk holding all but
- * at most the last flush_every - 1 records. Not thread-safe; the
- * campaign serializes appends behind a mutex.
+ * Parse and verify a journal file. Unreadable => IoError; malformed
+ * or checksum-failing lines => JournalCorrupt / JournalRecordCorrupt
+ * with the line number; trailer count or rolling-checksum mismatch =>
+ * JournalTrailerMismatch; missing trailer under require_trailer =>
+ * ShardIncomplete.
+ */
+Expected<JournalState> read_journal(const std::string &path,
+                                    const JournalReadOptions &opts = {});
+
+/**
+ * Appends checksummed job records with group-commit durability. Not
+ * thread-safe; the campaign serializes appends behind a mutex.
  */
 class JournalWriter
 {
   public:
     JournalWriter() = default;
+    ~JournalWriter();
+    JournalWriter(const JournalWriter &) = delete;
+    JournalWriter &operator=(const JournalWriter &) = delete;
 
     /**
      * Start journaling to @p path with @p header, seeding the file
@@ -103,22 +165,38 @@ class JournalWriter
     /** Flush any buffered records; call before declaring success. */
     Expected<void> sync();
 
-    bool is_open() const { return !path_.empty(); }
+    /**
+     * Flush, append the integrity trailer, and close. Only call once
+     * every job this journal owns has settled: a trailer marks the
+     * shard complete and mergeable. Further record() calls are a bug.
+     */
+    Expected<void> finalize();
+
+    bool is_open() const { return file_ != nullptr; }
+    bool finalized() const { return finalized_; }
     const std::string &path() const { return path_; }
 
-    /** Atomic rewrites performed so far (observability / tests). */
+    /** job + failed records written so far. */
+    uint64_t records() const { return records_; }
+    /** Physical write batches (the initial rewrite plus appends). */
     uint64_t flushes() const { return flushes_; }
-    /** Total bytes written across those rewrites. */
+    /** Total bytes written across those batches. */
     uint64_t bytes_written() const { return bytes_written_; }
 
   private:
-    Expected<void> flush();
+    Expected<void> append_line(const std::string &body);
     Expected<void> after_record();
+    Expected<void> flush();
+    void close();
 
     std::string path_;
-    std::string content_;
+    std::FILE *file_ = nullptr;
+    std::string buffer_;
+    Crc32c rolling_;
     size_t flush_every_ = 1;
     size_t unflushed_ = 0;
+    bool finalized_ = false;
+    uint64_t records_ = 0;
     uint64_t flushes_ = 0;
     uint64_t bytes_written_ = 0;
 };

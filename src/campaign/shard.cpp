@@ -1,0 +1,87 @@
+#include "campaign/shard.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+namespace vega::campaign {
+
+std::string
+shard_journal_filename(uint64_t shard_id, uint64_t num_shards)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "shard-%llu-of-%llu.journal",
+                  (unsigned long long)shard_id,
+                  (unsigned long long)num_shards);
+    return buf;
+}
+
+std::string
+shard_journal_path(const std::string &dir, uint64_t shard_id,
+                   uint64_t num_shards)
+{
+    std::string path = dir;
+    if (!path.empty() && path.back() != '/')
+        path += '/';
+    return path + shard_journal_filename(shard_id, num_shards);
+}
+
+bool
+parse_shard_journal_filename(const std::string &filename,
+                             uint64_t &shard_id, uint64_t &num_shards)
+{
+    unsigned long long k = 0, n = 0;
+    int consumed = 0;
+    if (std::sscanf(filename.c_str(), "shard-%llu-of-%llu.journal%n", &k,
+                    &n, &consumed) != 2 ||
+        size_t(consumed) != filename.size())
+        return false;
+    // Reject non-canonical spellings ("shard-01-of-4.journal") so a
+    // stray file can't alias a real shard.
+    if (filename != shard_journal_filename(k, n))
+        return false;
+    shard_id = k;
+    num_shards = n;
+    return true;
+}
+
+Expected<std::vector<std::string>>
+list_shard_journals(const std::string &dir)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::directory_iterator it(dir, ec);
+    if (ec)
+        return make_error(ErrorCode::IoError,
+                          "cannot list " + dir + ": " + ec.message());
+
+    struct Entry
+    {
+        uint64_t shard_id;
+        std::string path;
+    };
+    std::vector<Entry> found;
+    for (const fs::directory_entry &e : it) {
+        uint64_t k = 0, n = 0;
+        if (parse_shard_journal_filename(e.path().filename().string(), k,
+                                         n))
+            found.push_back({k, e.path().string()});
+    }
+    if (found.empty())
+        return make_error(ErrorCode::InvalidArgument,
+                          "no shard journals "
+                          "(shard-<K>-of-<N>.journal) in " +
+                              dir);
+    std::sort(found.begin(), found.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.shard_id < b.shard_id;
+              });
+    std::vector<std::string> paths;
+    paths.reserve(found.size());
+    for (Entry &e : found)
+        paths.push_back(std::move(e.path));
+    return paths;
+}
+
+} // namespace vega::campaign

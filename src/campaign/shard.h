@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Deterministic shard partitioning of a campaign's job space.
+ *
+ * Fleet mode splits a campaign's jobs across N worker processes, each
+ * with its own checksummed journal, merged afterwards by the
+ * aggregator. The partition is a pure function of the job id — shard
+ * K of N owns every job with id % N == K — and job specs are already
+ * pure functions of (campaign seed, job id) via the splitmix64 stream
+ * discipline (job.h). Two consequences the whole design leans on:
+ *
+ *  - The union of the N shard journals is exactly the record set of
+ *    an unsharded run: the aggregated report is byte-identical to a
+ *    single-process run of the same campaign.
+ *  - Any shard can be killed and resumed independently; no shard's
+ *    results depend on any other shard's progress.
+ *
+ * Shard journals live in one directory under a canonical name,
+ * shard-<K>-of-<N>.journal, so the aggregator can discover a
+ * campaign's shard set from the directory alone and detect missing
+ * shards by construction.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace vega::campaign {
+
+/** One shard's slice of the campaign job space. */
+struct ShardSpec
+{
+    uint64_t num_shards = 1;
+    uint64_t shard_id = 0;
+};
+
+/** True when @p job_id falls in @p shard's slice. */
+inline bool
+shard_owns(const ShardSpec &shard, uint64_t job_id)
+{
+    return shard.num_shards <= 1 ||
+           job_id % shard.num_shards == shard.shard_id;
+}
+
+/** Jobs shard owns out of a campaign of @p num_jobs. */
+inline uint64_t
+shard_job_count(const ShardSpec &shard, uint64_t num_jobs)
+{
+    if (shard.num_shards <= 1)
+        return num_jobs;
+    uint64_t base = num_jobs / shard.num_shards;
+    return base + (shard.shard_id < num_jobs % shard.num_shards ? 1 : 0);
+}
+
+/** Canonical journal filename, "shard-<K>-of-<N>.journal". */
+std::string shard_journal_filename(uint64_t shard_id,
+                                   uint64_t num_shards);
+
+/** @p dir + "/" + the canonical filename. */
+std::string shard_journal_path(const std::string &dir, uint64_t shard_id,
+                               uint64_t num_shards);
+
+/** Inverse of shard_journal_filename; false unless it matches. */
+bool parse_shard_journal_filename(const std::string &filename,
+                                  uint64_t &shard_id,
+                                  uint64_t &num_shards);
+
+/**
+ * Discover the shard journals in @p dir (canonical names only),
+ * sorted by shard id. Unreadable directory => IoError; no shard
+ * journals at all => InvalidArgument. Completeness of the set is the
+ * aggregator's job — this just lists what exists.
+ */
+Expected<std::vector<std::string>>
+list_shard_journals(const std::string &dir);
+
+} // namespace vega::campaign

@@ -12,7 +12,7 @@ struct CodeName
     const char *name;
 };
 
-constexpr std::array<CodeName, 10> kCodeNames = {{
+constexpr std::array<CodeName, 13> kCodeNames = {{
     {ErrorCode::Ok, "ok"},
     {ErrorCode::InvalidArgument, "invalid-argument"},
     {ErrorCode::ParseError, "parse-error"},
@@ -23,6 +23,9 @@ constexpr std::array<CodeName, 10> kCodeNames = {{
     {ErrorCode::JobFailed, "job-failed"},
     {ErrorCode::JournalCorrupt, "journal-corrupt"},
     {ErrorCode::JournalMismatch, "journal-mismatch"},
+    {ErrorCode::JournalRecordCorrupt, "journal-record-corrupt"},
+    {ErrorCode::JournalTrailerMismatch, "journal-trailer-mismatch"},
+    {ErrorCode::ShardIncomplete, "shard-incomplete"},
 }};
 
 } // namespace

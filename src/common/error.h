@@ -33,6 +33,9 @@ enum class ErrorCode : uint8_t {
     JobFailed,       ///< a campaign job threw/trapped on every attempt
     JournalCorrupt,  ///< checkpoint journal unreadable
     JournalMismatch, ///< checkpoint journal from an incompatible config
+    JournalRecordCorrupt,  ///< a v2 record failed its per-line checksum
+    JournalTrailerMismatch, ///< v2 trailer count/rolling-crc mismatch
+    ShardIncomplete, ///< shard journal unfinalized or job ids missing
 };
 
 /** Stable kebab-case name, e.g. "parse-error". */

@@ -3,6 +3,8 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <system_error>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <unistd.h>
@@ -39,6 +41,17 @@ file_exists(const std::string &path)
         return false;
     std::fclose(f);
     return true;
+}
+
+Expected<void>
+make_dirs(const std::string &dir)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        return make_error(ErrorCode::IoError,
+                          "cannot create " + dir + ": " + ec.message());
+    return {};
 }
 
 std::string

@@ -22,6 +22,9 @@ Expected<std::string> read_file(const std::string &path);
 /** True when @p path exists and is readable. */
 bool file_exists(const std::string &path);
 
+/** mkdir -p: create @p dir and any missing parents. */
+Expected<void> make_dirs(const std::string &dir);
+
 /**
  * The sibling temp path write_file_atomic stages through
  * ("<path>.tmp"). Exposed so tests can assert the protocol.

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Journal corruption harness for the shard-integrity tests: surgical
+ * bit flips, truncations, duplicated / transplanted / deleted records,
+ * and trailer forgery applied to v2 journal files on disk.
+ *
+ * The forge_trailer helper is the "smart adversary" move: it recomputes
+ * a *consistent* trailer over whatever payload lines the file currently
+ * holds, so a test can prove the aggregator's semantic checks (job-id
+ * ownership, uniqueness, coverage, campaign fingerprint) catch damage
+ * that per-line and whole-file checksums cannot.
+ *
+ * Test-only: lives with the tests, not the library.
+ */
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/checksum.h"
+#include "common/fs.h"
+
+namespace vega::campaign::corrupt {
+
+inline std::string
+slurp(const std::string &path)
+{
+    Expected<std::string> text = read_file(path);
+    return text.ok() ? *text : std::string();
+}
+
+/** Plain overwrite — corrupting a fixture needs no atomicity. */
+inline void
+spew(const std::string &path, const std::string &content)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return;
+    std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+}
+
+inline std::vector<std::string>
+lines_of(const std::string &text)
+{
+    std::vector<std::string> lines;
+    size_t start = 0;
+    for (size_t i = 0; i < text.size(); ++i)
+        if (text[i] == '\n') {
+            lines.push_back(text.substr(start, i - start));
+            start = i + 1;
+        }
+    if (start < text.size())
+        lines.push_back(text.substr(start));
+    return lines;
+}
+
+inline std::string
+join(const std::vector<std::string> &lines)
+{
+    std::string out;
+    for (const std::string &l : lines)
+        out += l + "\n";
+    return out;
+}
+
+/** Index of the first payload line whose body starts with @p prefix
+ *  (payload lines are "<crc8> <body>"), or size_t(-1). */
+inline size_t
+find_payload(const std::vector<std::string> &lines,
+             const std::string &prefix)
+{
+    for (size_t i = 0; i < lines.size(); ++i)
+        if (lines[i].size() > 9 && lines[i][8] == ' ' &&
+            lines[i].compare(9, prefix.size(), prefix) == 0)
+            return i;
+    return size_t(-1);
+}
+
+/** The full "<crc8> <body>" line of the record matching @p prefix. */
+inline std::string
+get_record_line(const std::string &path, const std::string &prefix)
+{
+    std::vector<std::string> lines = lines_of(slurp(path));
+    size_t i = find_payload(lines, prefix);
+    return i == size_t(-1) ? std::string() : lines[i];
+}
+
+/**
+ * Flip one bit in the body of the record matching @p prefix without
+ * touching the line's checksum prefix — the single-bit-rot scenario.
+ */
+inline bool
+flip_bit(const std::string &path, const std::string &prefix)
+{
+    std::vector<std::string> lines = lines_of(slurp(path));
+    size_t i = find_payload(lines, prefix);
+    if (i == size_t(-1))
+        return false;
+    lines[i].back() ^= 1;
+    spew(path, join(lines));
+    return true;
+}
+
+/** Drop the final @p nbytes of the file — a torn mid-line tail. */
+inline void
+truncate_bytes(const std::string &path, size_t nbytes)
+{
+    std::string text = slurp(path);
+    text.resize(text.size() > nbytes ? text.size() - nbytes : 0);
+    spew(path, text);
+}
+
+/** Remove the trailer line: the shard looks killed mid-run. */
+inline bool
+drop_trailer(const std::string &path)
+{
+    std::vector<std::string> lines = lines_of(slurp(path));
+    bool found = false;
+    std::vector<std::string> out;
+    for (const std::string &l : lines) {
+        if (l.compare(0, 8, "trailer ") == 0) {
+            found = true;
+            continue;
+        }
+        out.push_back(l);
+    }
+    spew(path, join(out));
+    return found;
+}
+
+/** Flip the last hex digit of the trailer's rolling checksum. */
+inline bool
+tamper_trailer_crc(const std::string &path)
+{
+    std::vector<std::string> lines = lines_of(slurp(path));
+    for (std::string &l : lines)
+        if (l.compare(0, 8, "trailer ") == 0) {
+            l.back() = l.back() == '0' ? '1' : '0';
+            spew(path, join(lines));
+            return true;
+        }
+    return false;
+}
+
+/** Insert a raw payload line just before the trailer (or at EOF). */
+inline void
+insert_record_line(const std::string &path, const std::string &line)
+{
+    std::vector<std::string> lines = lines_of(slurp(path));
+    size_t at = lines.size();
+    for (size_t i = 0; i < lines.size(); ++i)
+        if (lines[i].compare(0, 8, "trailer ") == 0) {
+            at = i;
+            break;
+        }
+    lines.insert(lines.begin() + at, line);
+    spew(path, join(lines));
+}
+
+/** Duplicate the record matching @p prefix in place. */
+inline bool
+duplicate_record(const std::string &path, const std::string &prefix)
+{
+    std::string line = get_record_line(path, prefix);
+    if (line.empty())
+        return false;
+    insert_record_line(path, line);
+    return true;
+}
+
+/** Delete the record matching @p prefix. */
+inline bool
+remove_record(const std::string &path, const std::string &prefix)
+{
+    std::vector<std::string> lines = lines_of(slurp(path));
+    size_t i = find_payload(lines, prefix);
+    if (i == size_t(-1))
+        return false;
+    lines.erase(lines.begin() + i);
+    spew(path, join(lines));
+    return true;
+}
+
+/**
+ * Edit the body of the record matching @p prefix (replace @p from
+ * with @p to) and re-checksum the line, keeping the framing valid —
+ * tampering the per-line CRC cannot catch.
+ */
+inline bool
+rewrite_record(const std::string &path, const std::string &prefix,
+               const std::string &from, const std::string &to)
+{
+    std::vector<std::string> lines = lines_of(slurp(path));
+    size_t i = find_payload(lines, prefix);
+    if (i == size_t(-1))
+        return false;
+    std::string body = lines[i].substr(9);
+    size_t pos = body.find(from);
+    if (pos == std::string::npos)
+        return false;
+    body.replace(pos, from.size(), to);
+    lines[i] = crc32c_hex(crc32c(body)) + " " + body;
+    spew(path, join(lines));
+    return true;
+}
+
+/**
+ * Recompute a fully consistent trailer (record count + rolling CRC)
+ * over the file's current payload lines, replacing any existing one.
+ * After this, read_journal's checksum verification passes — only the
+ * aggregator's cross-shard semantic checks can expose the damage.
+ */
+inline void
+forge_trailer(const std::string &path)
+{
+    std::vector<std::string> lines = lines_of(slurp(path));
+    std::vector<std::string> out;
+    Crc32c rolling;
+    uint64_t records = 0;
+    for (size_t i = 0; i < lines.size(); ++i) {
+        if (i == 0) { // magic line
+            out.push_back(lines[i]);
+            continue;
+        }
+        if (lines[i].compare(0, 8, "trailer ") == 0)
+            continue;
+        out.push_back(lines[i]);
+        std::string body =
+            lines[i].size() > 9 ? lines[i].substr(9) : std::string();
+        rolling.update(body);
+        rolling.update("\n", 1);
+        if (body.compare(0, 7, "config ") != 0)
+            ++records;
+    }
+    out.push_back("trailer records=" + std::to_string(records) +
+                  " crc=" + crc32c_hex(rolling.value()));
+    spew(path, join(out));
+}
+
+} // namespace vega::campaign::corrupt

@@ -1,0 +1,107 @@
+/**
+ * CRC32C (Castagnoli) checksum primitive: pinned vectors from RFC 3720
+ * appendix B.4 plus the classic "123456789" check value, incremental
+ * == one-shot equivalence across arbitrary split points, and the hex
+ * round-trip used by the journal line framing.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/checksum.h"
+
+namespace vega {
+namespace {
+
+TEST(Crc32c, PinnedReferenceVectors)
+{
+    // The CRC-32C check value: every correct implementation of the
+    // Castagnoli polynomial produces exactly this.
+    EXPECT_EQ(crc32c(std::string("123456789")), 0xe3069283u);
+    EXPECT_EQ(crc32c(std::string("")), 0x00000000u);
+
+    // RFC 3720 (iSCSI) appendix B.4 test patterns.
+    std::string zeros(32, '\0');
+    EXPECT_EQ(crc32c(zeros), 0x8a9136aau);
+    std::string ones(32, char(0xff));
+    EXPECT_EQ(crc32c(ones), 0x62a8ab43u);
+    std::string ascending;
+    for (int i = 0; i < 32; ++i)
+        ascending += char(i);
+    EXPECT_EQ(crc32c(ascending), 0x46dd794eu);
+    std::string descending;
+    for (int i = 31; i >= 0; --i)
+        descending += char(i);
+    EXPECT_EQ(crc32c(descending), 0x113fdb5cu);
+}
+
+TEST(Crc32c, IncrementalMatchesOneShotAtEverySplit)
+{
+    // The slice-by-8 fast path consumes 8 bytes at a time with a
+    // byte-wise tail, so exercise every alignment of the boundary.
+    std::string msg = "The quick brown fox jumps over the lazy dog";
+    uint32_t whole = crc32c(msg);
+    for (size_t split = 0; split <= msg.size(); ++split) {
+        Crc32c c;
+        c.update(msg.data(), split);
+        c.update(msg.data() + split, msg.size() - split);
+        EXPECT_EQ(c.value(), whole) << "split at " << split;
+    }
+
+    // Three-way split through a buffer long enough to hit the 8-byte
+    // fold on all three segments.
+    std::string big;
+    for (int i = 0; i < 1024; ++i)
+        big += char(i * 37 + 11);
+    Crc32c c;
+    c.update(big.data(), 333);
+    c.update(big.data() + 333, 444);
+    c.update(big.data() + 777, big.size() - 777);
+    EXPECT_EQ(c.value(), crc32c(big));
+}
+
+TEST(Crc32c, ResetReusesTheAccumulator)
+{
+    Crc32c c;
+    c.update(std::string("garbage state"));
+    c.reset();
+    c.update(std::string("123456789"));
+    EXPECT_EQ(c.value(), 0xe3069283u);
+}
+
+TEST(Crc32c, DetectsSingleBitFlips)
+{
+    std::string msg = "job 17 1 zero sequential 1 stall 4 9 1234 1 0 1";
+    uint32_t good = crc32c(msg);
+    for (size_t byte = 0; byte < msg.size(); byte += 7)
+        for (int bit = 0; bit < 8; bit += 3) {
+            std::string bad = msg;
+            bad[byte] ^= char(1 << bit);
+            EXPECT_NE(crc32c(bad), good)
+                << "flip byte " << byte << " bit " << bit;
+        }
+}
+
+TEST(Crc32c, HexRoundTrips)
+{
+    EXPECT_EQ(crc32c_hex(0xe3069283u), "e3069283");
+    EXPECT_EQ(crc32c_hex(0x00000000u), "00000000");
+    EXPECT_EQ(crc32c_hex(0x0000000fu), "0000000f");
+
+    uint32_t back = 0;
+    ASSERT_TRUE(parse_crc32c_hex("e3069283", back));
+    EXPECT_EQ(back, 0xe3069283u);
+    ASSERT_TRUE(parse_crc32c_hex("00000000", back));
+    EXPECT_EQ(back, 0u);
+
+    // The journal line framing depends on exactly-8 lowercase hex.
+    EXPECT_FALSE(parse_crc32c_hex("", back));
+    EXPECT_FALSE(parse_crc32c_hex("e306928", back));
+    EXPECT_FALSE(parse_crc32c_hex("e30692834", back));
+    EXPECT_FALSE(parse_crc32c_hex("e30692x3", back));
+}
+
+} // namespace
+} // namespace vega

@@ -12,6 +12,7 @@
 #include "common/error.h"
 #include "common/fs.h"
 #include "cpu/alu_ops.h"
+#include "journal_corruptor.h"
 #include "rtl/alu32.h"
 
 namespace vega::campaign {
@@ -49,10 +50,18 @@ TEST(Expected, ErrorCodeNamesAreStableAndRoundTrip)
          {ErrorCode::InvalidArgument, ErrorCode::ParseError,
           ErrorCode::ValidationError, ErrorCode::IoError,
           ErrorCode::Timeout, ErrorCode::Exhausted, ErrorCode::JobFailed,
-          ErrorCode::JournalCorrupt, ErrorCode::JournalMismatch})
+          ErrorCode::JournalCorrupt, ErrorCode::JournalMismatch,
+          ErrorCode::JournalRecordCorrupt,
+          ErrorCode::JournalTrailerMismatch, ErrorCode::ShardIncomplete})
         EXPECT_EQ(parse_error_code(error_code_name(c)), c);
     EXPECT_EQ(parse_error_code("no-such-code"), ErrorCode::Ok);
     EXPECT_STREQ(error_code_name(ErrorCode::JobFailed), "job-failed");
+    EXPECT_STREQ(error_code_name(ErrorCode::JournalRecordCorrupt),
+                 "journal-record-corrupt");
+    EXPECT_STREQ(error_code_name(ErrorCode::JournalTrailerMismatch),
+                 "journal-trailer-mismatch");
+    EXPECT_STREQ(error_code_name(ErrorCode::ShardIncomplete),
+                 "shard-incomplete");
 }
 
 // ---- atomic file writes --------------------------------------------------
@@ -221,6 +230,120 @@ TEST(Journal, GroupCommitFlushesEveryNRecordsAndOnSync)
     uint64_t flushes_after_sync = w.flushes();
     ASSERT_TRUE(w.sync().ok());
     EXPECT_EQ(w.flushes(), flushes_after_sync);
+    std::remove(path.c_str());
+}
+
+TEST(Journal, AppendsRatherThanRewrites)
+{
+    std::string path = tmp_path("journal_append.log");
+    std::remove(path.c_str());
+
+    // Regression for the v1 flush that rewrote the whole file each
+    // group commit (O(n^2) bytes over a campaign): with per-record
+    // flushing, total bytes written must equal the final file size —
+    // one structural header write plus pure appends.
+    JournalWriter w;
+    ASSERT_TRUE(w.open(path, header_fixture(), nullptr, 1).ok());
+    JobResult r;
+    r.constant = lift::FaultConstant::Zero;
+    r.policy = runtime::SchedulePolicy::Sequential;
+    const uint64_t n = 50;
+    for (uint64_t id = 0; id < n; ++id) {
+        r.id = id;
+        ASSERT_TRUE(w.record(r).ok());
+    }
+    ASSERT_TRUE(w.sync().ok());
+
+    Expected<std::string> on_disk = read_file(path);
+    ASSERT_TRUE(on_disk.ok());
+    EXPECT_EQ(w.bytes_written(), on_disk->size());
+    EXPECT_EQ(w.flushes(), 1 + n); // the open() write + one per record
+    std::remove(path.c_str());
+}
+
+TEST(Journal, FinalizeAppendsAVerifiableTrailer)
+{
+    std::string path = tmp_path("journal_trailer.log");
+    std::remove(path.c_str());
+
+    JournalWriter w;
+    ASSERT_TRUE(w.open(path, header_fixture()).ok());
+    JobResult r;
+    r.constant = lift::FaultConstant::One;
+    r.policy = runtime::SchedulePolicy::Random;
+    for (uint64_t id = 0; id < 3; ++id) {
+        r.id = id;
+        ASSERT_TRUE(w.record(r).ok());
+    }
+
+    // Unfinalized: readable, but not mergeable.
+    JournalReadOptions strict;
+    strict.require_trailer = true;
+    Expected<JournalState> open_state = read_journal(path, strict);
+    ASSERT_FALSE(open_state.ok());
+    EXPECT_EQ(open_state.error().code, ErrorCode::ShardIncomplete);
+
+    ASSERT_TRUE(w.finalize().ok());
+    EXPECT_TRUE(w.finalized());
+    EXPECT_FALSE(w.is_open());
+
+    Expected<JournalState> st = read_journal(path, strict);
+    ASSERT_TRUE(st.ok()) << st.error().to_string();
+    EXPECT_EQ(st->version, 2);
+    EXPECT_TRUE(st->has_trailer);
+    EXPECT_EQ(st->records, 3u);
+    EXPECT_EQ(st->completed.size(), 3u);
+    std::remove(path.c_str());
+}
+
+TEST(Journal, TornFinalLineIsDroppedOnResumeOnly)
+{
+    std::string path = tmp_path("journal_torn.log");
+    std::remove(path.c_str());
+
+    {
+        JournalWriter w;
+        ASSERT_TRUE(w.open(path, header_fixture(), nullptr, 1).ok());
+        JobResult r;
+        r.constant = lift::FaultConstant::Zero;
+        r.policy = runtime::SchedulePolicy::Sequential;
+        for (uint64_t id = 0; id < 3; ++id) {
+            r.id = id;
+            ASSERT_TRUE(w.record(r).ok());
+        }
+        ASSERT_TRUE(w.sync().ok());
+        // No finalize: the process "dies" here.
+    }
+
+    // Simulate a crash mid-append: a partial record with no newline.
+    std::FILE *f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const char torn[] = "deadbeef job 9 1 ze";
+    std::fwrite(torn, 1, sizeof torn - 1, f);
+    std::fclose(f);
+
+    // The resume path (default options) drops exactly the torn tail.
+    Expected<JournalState> st = read_journal(path);
+    ASSERT_TRUE(st.ok()) << st.error().to_string();
+    EXPECT_TRUE(st->torn_tail);
+    EXPECT_FALSE(st->has_trailer);
+    EXPECT_EQ(st->completed.size(), 3u);
+
+    // The aggregator's strict read refuses the same file.
+    JournalReadOptions strict;
+    strict.allow_torn_tail = false;
+    Expected<JournalState> hard = read_journal(path, strict);
+    ASSERT_FALSE(hard.ok());
+    EXPECT_EQ(hard.error().code, ErrorCode::JournalRecordCorrupt);
+
+    // A checksum failure that is NOT the final line is damage, never
+    // a torn append — rejected even by the tolerant read.
+    corrupt::flip_bit(path, "job 1 ");
+    Expected<JournalState> mid = read_journal(path);
+    ASSERT_FALSE(mid.ok());
+    EXPECT_EQ(mid.error().code, ErrorCode::JournalRecordCorrupt);
+    EXPECT_NE(mid.error().context.find("job 1"), std::string::npos)
+        << mid.error().context;
     std::remove(path.c_str());
 }
 
@@ -420,6 +543,63 @@ TEST(CampaignFaults, KillAndResumeReportIsByteIdentical)
     ASSERT_TRUE(full.ok()) << full.error().to_string();
 
     EXPECT_EQ(full->to_json(false), ref.to_json(false));
+    std::remove(journal.c_str());
+}
+
+TEST(CampaignFaults, V1JournalUpgradesOnResumeByteIdentical)
+{
+    const CampaignEnv &e = env();
+    std::string journal = tmp_path("v1_upgrade.journal");
+    std::remove(journal.c_str());
+
+    CampaignReport ref =
+        run_campaign(e.module, e.pairs, e.suite, small_config(1));
+
+    // Produce a genuine partial journal, then rewrite it in the legacy
+    // v1 format: no checksums, no shard fields, no trailer — what a
+    // pre-upgrade deployment left on disk when it was killed.
+    CampaignConfig killed = small_config(1);
+    killed.journal_path = journal;
+    killed.stop_after_jobs = 5;
+    Expected<CampaignReport> partial =
+        try_run_campaign(e.module, e.pairs, e.suite, killed);
+    ASSERT_TRUE(partial.ok()) << partial.error().to_string();
+    Expected<JournalState> snap = read_journal(journal);
+    ASSERT_TRUE(snap.ok()) << snap.error().to_string();
+    ASSERT_GE(snap->completed.size(), 5u);
+
+    std::string config_line = snap->header.to_string();
+    size_t shard_fields = config_line.find(" shards=");
+    ASSERT_NE(shard_fields, std::string::npos);
+    config_line.erase(shard_fields);
+    std::string v1 = "# vega campaign journal v1\n" + config_line + "\n";
+    for (const JobResult &r : snap->completed)
+        v1 += render_record(r) + "\n";
+    for (const FailedJob &f : snap->failed)
+        v1 += render_record(f) + "\n";
+    ASSERT_TRUE(write_file_atomic(journal, v1).ok());
+
+    // The deprecated format still reads (that's the warning path).
+    Expected<JournalState> legacy = read_journal(journal);
+    ASSERT_TRUE(legacy.ok()) << legacy.error().to_string();
+    EXPECT_EQ(legacy->version, 1);
+    EXPECT_EQ(legacy->completed.size(), snap->completed.size());
+
+    // Resuming finishes the campaign — byte-identical to an
+    // uninterrupted run — and upgrades the file to v2 on the spot.
+    CampaignConfig resumed = small_config(1);
+    resumed.journal_path = journal;
+    resumed.resume = true;
+    Expected<CampaignReport> full =
+        try_run_campaign(e.module, e.pairs, e.suite, resumed);
+    ASSERT_TRUE(full.ok()) << full.error().to_string();
+    EXPECT_EQ(full->to_json(false), ref.to_json(false));
+
+    Expected<JournalState> upgraded = read_journal(journal);
+    ASSERT_TRUE(upgraded.ok()) << upgraded.error().to_string();
+    EXPECT_EQ(upgraded->version, 2);
+    EXPECT_TRUE(upgraded->has_trailer);
+    EXPECT_EQ(upgraded->completed.size() + upgraded->failed.size(), 12u);
     std::remove(journal.c_str());
 }
 
