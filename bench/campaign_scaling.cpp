@@ -10,9 +10,12 @@
  *    (timing excluded) is byte-identical in every configuration, so
  *    detection/escape counts are too.
  *
- * Results land in BENCH_campaign.json next to the working directory.
+ * Results land in BENCH_campaign.json (or the .smoke.json sibling
+ * under --smoke, which runs fewer jobs at 1 and 2 threads only and
+ * never clobbers the pinned file).
  */
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -23,9 +26,15 @@
 using namespace vega;
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::banner("Campaign scaling: 1 -> N worker threads");
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        if (!std::strcmp(argv[i], "--smoke"))
+            smoke = true;
+
+    bench::banner(std::string("Campaign scaling: 1 -> N worker threads") +
+                  (smoke ? " [smoke]" : ""));
     std::printf("hardware_concurrency: %u\n\n",
                 std::thread::hardware_concurrency());
 
@@ -52,10 +61,13 @@ main()
 
     campaign::CampaignConfig cfg;
     cfg.seed = 7;
-    cfg.num_jobs = 512;
+    cfg.num_jobs = smoke ? 64 : 512;
     cfg.max_pairs = 8; // 8 pairs x 2 constants of netlist variants
 
-    const size_t kThreads[] = {1, 2, 4, 8};
+    std::vector<size_t> threads_list = {1, 2, 4, 8};
+    if (smoke)
+        threads_list = {1, 2};
+    const std::vector<size_t> &kThreads = threads_list;
     std::vector<campaign::CampaignReport> reports;
     std::printf("%7s | %9s | %9s | %9s | %7s | %6s\n", "threads",
                 "wall s", "jobs/s", "sims/s", "speedup", "steals");
@@ -86,8 +98,10 @@ main()
                 (unsigned long long)reports.front().detected,
                 (unsigned long long)reports.front().escapes);
 
-    std::string json = "{\"campaign_scaling\":{\"num_jobs\":512,"
-                       "\"deterministic\":";
+    std::string json = "{\"campaign_scaling\":{\"smoke\":";
+    json += smoke ? "true" : "false";
+    json += ",\"num_jobs\":" + std::to_string(cfg.num_jobs);
+    json += ",\"deterministic\":";
     json += identical ? "true" : "false";
     json += ",\"runs\":[";
     for (size_t i = 0; i < reports.size(); ++i) {
@@ -108,12 +122,7 @@ main()
         json += buf;
     }
     json += "]}}";
-    if (FILE *f = std::fopen("BENCH_campaign.json", "w")) {
-        std::fwrite(json.data(), 1, json.size(), f);
-        std::fputc('\n', f);
-        std::fclose(f);
-        std::printf("wrote BENCH_campaign.json\n");
-    }
+    bench::write_bench_json("campaign", smoke, json);
 
     return identical ? 0 : 1;
 }

@@ -62,7 +62,7 @@ usage(const char *argv0)
 {
     std::printf(
         "usage: %s [options]\n"
-        "  --module alu|fpu|mdu   functional unit under campaign "
+        "  --module alu|fpu|mdu|mem  module under campaign "
         "(default alu)\n"
         "  --jobs N               injection jobs to run (default 256)\n"
         "  --threads N            worker threads, 0 = all cores "
@@ -140,6 +140,8 @@ parse_args(int argc, char **argv, CliOptions &opt)
                 opt.module = ModuleKind::Fpu32;
             else if (!std::strcmp(v, "mdu"))
                 opt.module = ModuleKind::Mdu32;
+            else if (!std::strcmp(v, "mem"))
+                opt.module = ModuleKind::MemDec16;
             else
                 return false;
         } else if (arg == "--jobs") {
@@ -380,8 +382,9 @@ main(int argc, char **argv)
     wf_cfg.lift.degrade_to_fuzz = true;
     std::printf("running workflow (max_pairs=%zu)...\n",
                 opt.workflow_max_pairs);
-    WorkflowResult wf =
-        run_workflow(module, lib, minver_trace(), wf_cfg);
+    const auto &trace = is_mem_module(opt.module) ? mem_workload_trace()
+                                                  : minver_trace();
+    WorkflowResult wf = run_workflow(module, lib, trace, wf_cfg);
     std::printf("workflow: %zu lifted pairs, %zu suite tests\n",
                 wf.lift.pairs.size(), wf.suite.size());
     if (wf.suite.empty()) {

@@ -31,14 +31,23 @@ cmake --build "$build" -j "$jobs"
 # or torn-write bug there fails fast and readably.
 ctest --test-dir "$build" --output-on-failure \
     -R 'Obs|ThreadPool|Fleet|Shard|Crc32c|Journal' -j "$jobs"
+# Memory-path substrate next: the decoder netlist, wrong-address fault
+# lifting, the faulty-memory ISS backend, and the march-test engine
+# lean hard on index arithmetic and bit manipulation — exactly what
+# ASan/UBSan catch. The `mem` label covers vega_mem_tests plus the
+# mem_substrate bench smoke (decoder aging -> march detection).
+ctest --test-dir "$build" --output-on-failure -L mem -j "$jobs"
 # Bench smoke: runs bench/sim_throughput --smoke (lockstep-checks the
 # scalar/tape/batch simulator engines under the sanitizers),
 # bench/bmc_throughput --smoke (cross-checks the scratch and
 # incremental BMC engines query-by-query), bench/fleet_throughput
-# --smoke (thread-count byte-identity of the fleet engine), and
-# tools/vega_fleet --smoke (a tiny end-to-end mission-mode run), then
-# validates every emitted BENCH_*.smoke.json with vega_json_check.
-# Smoke artifacts live beside — never over — the pinned BENCH_*.json.
+# --smoke (thread-count byte-identity of the fleet engine),
+# bench/campaign_scaling --smoke (thread-count byte-identity of the
+# campaign engine), bench/mem_substrate --smoke (decoder lifting and
+# march detection), and tools/vega_fleet --smoke (a tiny end-to-end
+# mission-mode run), then validates every emitted BENCH_*.smoke.json
+# with vega_json_check. Smoke artifacts live beside — never over — the
+# pinned BENCH_*.json.
 ctest --test-dir "$build" --output-on-failure -L bench-smoke -j "$jobs"
 
 # Sharded kill-and-resume end-to-end, with a real SIGKILL: run the same

@@ -12,6 +12,8 @@
 #include "campaign/thread_pool.h"
 #include "common/fs.h"
 #include "common/logging.h"
+#include "mem/decoder_lift.h"
+#include "mem/mem_backend.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -69,8 +71,15 @@ make_spec(const CampaignConfig &cfg, size_t npairs, uint64_t id)
     return spec;
 }
 
+/**
+ * One Monte Carlo injection. Functional-unit campaigns mount the
+ * failing netlist as the ISS's unit; memory campaigns mount the
+ * classified wrong-address fault as the ISS's data-memory backend
+ * (@p mem_cls, ignored otherwise).
+ */
 JobResult
 run_job(ModuleKind kind, const lift::FailingNetlist &failing,
+        const mem::MemFaultClass &mem_cls,
         const std::vector<runtime::TestCase> &suite, const JobSpec &spec,
         bool corrupts)
 {
@@ -80,8 +89,17 @@ run_job(ModuleKind kind, const lift::FailingNetlist &failing,
     res.constant = spec.constant;
     res.policy = spec.policy;
 
-    NetlistEngine engine(kind, failing.netlist,
-                         failing.has_random_input, spec.seed);
+    std::optional<NetlistEngine> netlist_engine;
+    std::optional<mem::MarchEngine> march_engine;
+    runtime::Engine *engine;
+    if (is_mem_module(kind)) {
+        march_engine.emplace(mem_cls);
+        engine = &*march_engine;
+    } else {
+        netlist_engine.emplace(kind, failing.netlist,
+                               failing.has_random_input, spec.seed);
+        engine = &*netlist_engine;
+    }
 
     runtime::AgingLibraryOptions opt;
     opt.policy = spec.policy;
@@ -90,7 +108,7 @@ run_job(ModuleKind kind, const lift::FailingNetlist &failing,
     runtime::AgingLibrary lib(suite, opt);
 
     for (uint64_t slot = 0; slot < spec.max_slots; ++slot) {
-        runtime::Detection d = lib.run_next(engine);
+        runtime::Detection d = lib.run_next(*engine);
         if (d != runtime::Detection::None) {
             res.detected = true;
             res.kind = d;
@@ -99,7 +117,8 @@ run_job(ModuleKind kind, const lift::FailingNetlist &failing,
         }
     }
     res.tests_dispatched = lib.runs();
-    res.sim_cycles = engine.cycles();
+    res.sim_cycles = netlist_engine ? netlist_engine->cycles()
+                                    : march_engine->cycles();
     res.corrupts_workload = corrupts;
     res.escape = corrupts && !res.detected;
     return res;
@@ -237,6 +256,8 @@ try_run_campaign(const HwModule &module,
     // characterization that throws poisons only the jobs that depend
     // on that fault; they quarantine instead of crashing the run.
     std::vector<lift::FailingNetlist> faults(npairs * nconst);
+    std::vector<mem::MemFaultClass> mem_faults(
+        is_mem_module(module.kind) ? npairs * nconst : 0);
     std::vector<char> corrupts(npairs * nconst, 0);
     std::vector<std::string> char_error(npairs * nconst);
     for (size_t pi = 0; pi < npairs; ++pi) {
@@ -247,13 +268,29 @@ try_run_campaign(const HwModule &module,
                 VEGA_SPAN("campaign.characterize");
                 size_t idx = pi * nconst + ci;
                 try {
-                    faults[idx] = lift::build_failing_netlist(
-                        module.netlist,
-                        fault_spec(pairs[pi], cfg.constants[ci]));
-                    uint64_t seed = job_stream(~cfg.seed, uint64_t(idx));
-                    corrupts[idx] = workload_corrupts(
-                        module.kind, faults[idx].netlist,
-                        faults[idx].has_random_input, seed);
+                    if (is_mem_module(module.kind)) {
+                        // Decoder lifting: the constant axis does not
+                        // apply to slow-gate faults; every (pair, C)
+                        // slot carries the pair's classified class.
+                        CellId gate = mem::pick_decoder_gate(
+                            module.netlist, pairs[pi].worst);
+                        if (gate == kInvalidId)
+                            throw std::runtime_error(
+                                "no decode gate on worst path");
+                        mem_faults[idx] = mem::classify_slow_gate(
+                            module.netlist, gate);
+                        corrupts[idx] =
+                            mem::mem_workload_corrupts(mem_faults[idx]);
+                    } else {
+                        faults[idx] = lift::build_failing_netlist(
+                            module.netlist,
+                            fault_spec(pairs[pi], cfg.constants[ci]));
+                        uint64_t seed =
+                            job_stream(~cfg.seed, uint64_t(idx));
+                        corrupts[idx] = workload_corrupts(
+                            module.kind, faults[idx].netlist,
+                            faults[idx].has_random_input, seed);
+                    }
                 } catch (const std::exception &e) {
                     char_error[idx] = e.what();
                 } catch (...) {
@@ -318,8 +355,11 @@ try_run_campaign(const HwModule &module,
                 try {
                     if (cfg.job_fault_hook)
                         cfg.job_fault_hook(spec, attempt);
-                    jr = run_job(module.kind, faults[idx], suite,
-                                 attempt_spec, corrupting);
+                    jr = run_job(module.kind, faults[idx],
+                                 is_mem_module(module.kind)
+                                     ? mem_faults[idx]
+                                     : mem::MemFaultClass{},
+                                 suite, attempt_spec, corrupting);
                     jr.attempts = uint32_t(attempt);
                     ok = true;
                     break;

@@ -64,7 +64,8 @@ parse_detection(const std::string &tok, runtime::Detection &out)
 {
     for (runtime::Detection d :
          {runtime::Detection::None, runtime::Detection::Mismatch,
-          runtime::Detection::Stall, runtime::Detection::TagAnomaly})
+          runtime::Detection::Stall, runtime::Detection::TagAnomaly,
+          runtime::Detection::WrongAddress})
         if (tok == runtime::detection_name(d)) {
             out = d;
             return true;

@@ -101,7 +101,8 @@ append_histogram(std::string &out, const DetectionHistogram &h)
     out += '{';
     kv(out, "mismatch", h.mismatch);
     kv(out, "stall", h.stall);
-    kv(out, "tag_anomaly", h.tag_anomaly, false);
+    kv(out, "tag_anomaly", h.tag_anomaly);
+    kv(out, "wrong_address", h.wrong_address, false);
     out += '}';
 }
 
@@ -268,6 +269,9 @@ aggregate_report(const std::vector<JobResult> &jobs, size_t num_pairs,
                 break;
               case runtime::Detection::TagAnomaly:
                 ++r.detections.tag_anomaly;
+                break;
+              case runtime::Detection::WrongAddress:
+                ++r.detections.wrong_address;
                 break;
               case runtime::Detection::None:
                 break;

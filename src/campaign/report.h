@@ -29,6 +29,7 @@ struct DetectionHistogram
     uint64_t mismatch = 0;
     uint64_t stall = 0;
     uint64_t tag_anomaly = 0;
+    uint64_t wrong_address = 0;
 };
 
 /** Aggregates over all jobs that injected the same endpoint pair. */

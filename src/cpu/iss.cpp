@@ -29,6 +29,7 @@ Iss::reset()
     stalled_ = false;
     trapped_ = false;
     fu_trace_.clear();
+    mem_trace_.clear();
     std::fill(exec_counts_.begin(), exec_counts_.end(), 0);
 }
 
@@ -60,6 +61,101 @@ Iss::write_u8(uint32_t addr, uint8_t value)
 {
     VEGA_CHECK(addr < mem_.size(), "store out of bounds: ", addr);
     mem_[addr] = value;
+}
+
+bool
+Iss::data_read_u32(uint32_t addr, uint32_t &out)
+{
+    MemBackend::Plan plan;
+    plan.addr = addr;
+    if (mem_backend_)
+        plan = mem_backend_->access(addr, false);
+    if (plan.squash) {
+        out = 0xffffffffu; // precharged bitlines, no row selected
+    } else {
+        if (!mem_ok(plan.addr, 4))
+            return false;
+        std::memcpy(&out, &mem_[plan.addr], 4);
+        if (plan.has_extra) {
+            // Two wordlines up: the read senses the wired-OR of both rows.
+            if (!mem_ok(plan.extra, 4))
+                return false;
+            uint32_t other;
+            std::memcpy(&other, &mem_[plan.extra], 4);
+            out |= other;
+        }
+    }
+    if (cfg_.record_mem_trace)
+        mem_trace_.push_back({ModuleKind::MemDec16, 0, addr, out});
+    return true;
+}
+
+bool
+Iss::data_write_u32(uint32_t addr, uint32_t value)
+{
+    MemBackend::Plan plan;
+    plan.addr = addr;
+    if (mem_backend_)
+        plan = mem_backend_->access(addr, true);
+    if (!plan.squash) {
+        if (!mem_ok(plan.addr, 4))
+            return false;
+        std::memcpy(&mem_[plan.addr], &value, 4);
+        if (plan.has_extra) {
+            if (!mem_ok(plan.extra, 4))
+                return false;
+            std::memcpy(&mem_[plan.extra], &value, 4);
+        }
+    }
+    if (cfg_.record_mem_trace)
+        mem_trace_.push_back({ModuleKind::MemDec16, 1, addr, value});
+    return true;
+}
+
+bool
+Iss::data_read_u8(uint32_t addr, uint8_t &out)
+{
+    MemBackend::Plan plan;
+    plan.addr = addr;
+    if (mem_backend_)
+        plan = mem_backend_->access(addr, false);
+    if (plan.squash) {
+        out = 0xff;
+    } else {
+        if (!mem_ok(plan.addr, 1))
+            return false;
+        out = mem_[plan.addr];
+        if (plan.has_extra) {
+            if (!mem_ok(plan.extra, 1))
+                return false;
+            out |= mem_[plan.extra];
+        }
+    }
+    if (cfg_.record_mem_trace)
+        mem_trace_.push_back({ModuleKind::MemDec16, 0, addr, out});
+    return true;
+}
+
+bool
+Iss::data_write_u8(uint32_t addr, uint8_t value)
+{
+    MemBackend::Plan plan;
+    plan.addr = addr;
+    if (mem_backend_)
+        plan = mem_backend_->access(addr, true);
+    if (!plan.squash) {
+        if (!mem_ok(plan.addr, 1))
+            return false;
+        mem_[plan.addr] = value;
+        if (plan.has_extra) {
+            if (!mem_ok(plan.extra, 1))
+                return false;
+            mem_[plan.extra] = value;
+        }
+    }
+    if (cfg_.record_mem_trace)
+        mem_trace_.push_back({ModuleKind::MemDec16, 1, addr, value});
+    return true;
 }
 
 Iss::Status
@@ -217,50 +313,51 @@ Iss::step()
       // trap on out-of-bounds instead of asserting.
       case Op::Lw: {
         uint32_t addr = x_[i.rs1] + uint32_t(i.imm);
-        if (!mem_ok(addr, 4)) {
+        uint32_t v;
+        if (!data_read_u32(addr, v)) {
             trapped_ = true;
             return;
         }
-        set_reg(i.rd, read_u32(addr));
+        set_reg(i.rd, v);
         ++cycles_; // load-use latency
         break;
       }
       case Op::Sw: {
         uint32_t addr = x_[i.rs1] + uint32_t(i.imm);
-        if (!mem_ok(addr, 4)) {
+        if (!data_write_u32(addr, x_[i.rs2])) {
             trapped_ = true;
             return;
         }
-        write_u32(addr, x_[i.rs2]);
         break;
       }
       case Op::Lb: {
         uint32_t addr = x_[i.rs1] + uint32_t(i.imm);
-        if (!mem_ok(addr, 1)) {
+        uint8_t v;
+        if (!data_read_u8(addr, v)) {
             trapped_ = true;
             return;
         }
-        set_reg(i.rd, uint32_t(int32_t(int8_t(read_u8(addr)))));
+        set_reg(i.rd, uint32_t(int32_t(int8_t(v))));
         ++cycles_;
         break;
       }
       case Op::Lbu: {
         uint32_t addr = x_[i.rs1] + uint32_t(i.imm);
-        if (!mem_ok(addr, 1)) {
+        uint8_t v;
+        if (!data_read_u8(addr, v)) {
             trapped_ = true;
             return;
         }
-        set_reg(i.rd, read_u8(addr));
+        set_reg(i.rd, v);
         ++cycles_;
         break;
       }
       case Op::Sb: {
         uint32_t addr = x_[i.rs1] + uint32_t(i.imm);
-        if (!mem_ok(addr, 1)) {
+        if (!data_write_u8(addr, uint8_t(x_[i.rs2]))) {
             trapped_ = true;
             return;
         }
-        write_u8(addr, uint8_t(x_[i.rs2]));
         break;
       }
 
@@ -320,12 +417,21 @@ Iss::step()
       case Op::FmvXW:
         set_reg(i.rd, f_[i.rs1]);
         break;
-      case Op::Flw:
-        f_[i.rd] = read_u32(x_[i.rs1] + uint32_t(i.imm));
+      case Op::Flw: {
+        uint32_t v;
+        if (!data_read_u32(x_[i.rs1] + uint32_t(i.imm), v)) {
+            trapped_ = true;
+            return;
+        }
+        f_[i.rd] = v;
         ++cycles_;
         break;
+      }
       case Op::Fsw:
-        write_u32(x_[i.rs1] + uint32_t(i.imm), f_[i.rs2]);
+        if (!data_write_u32(x_[i.rs1] + uint32_t(i.imm), f_[i.rs2])) {
+            trapped_ = true;
+            return;
+        }
         break;
 
       // --- CSR / environment -------------------------------------------------

@@ -41,6 +41,13 @@ struct IssConfig
     uint64_t max_instructions = 100000000ull;
     /** Record the functional-unit trace (costs memory). */
     bool record_fu_trace = false;
+    /**
+     * Record the data-memory trace (one entry per load/store) for the
+     * memory-path substrate's SP workload. Kept separate from
+     * record_fu_trace so existing functional-unit profiles stay
+     * bit-identical when memory tracing is enabled.
+     */
+    bool record_mem_trace = false;
     /** Memory size in bytes. */
     size_t memory_bytes = 1 << 20;
 };
@@ -74,6 +81,34 @@ class FuBackend
     virtual void idle() = 0;
 };
 
+/**
+ * Pluggable data-memory backend modeling an aged SRAM address decoder
+ * (src/mem/mem_backend.h). Unlike FuBackend — which corrupts *values* —
+ * a decoder fault redirects whole accesses, so the hook returns an
+ * access *plan*: where the access actually lands, whether a second row
+ * is also selected (multi-select), or whether no row is selected at
+ * all. The ISS applies the plan to every load/store, including the
+ * FP Flw/Fsw pair.
+ */
+class MemBackend
+{
+  public:
+    struct Plan
+    {
+        uint32_t addr = 0;      ///< where the access actually lands
+        uint32_t extra = 0;     ///< second selected address (multi-select)
+        bool has_extra = false; ///< the extra address is also selected
+        /**
+         * No wordline rose: the store is dropped; the load returns the
+         * precharged-bitline value (all ones).
+         */
+        bool squash = false;
+    };
+
+    virtual ~MemBackend() = default;
+    virtual Plan access(uint32_t addr, bool is_store) = 0;
+};
+
 class Iss
 {
   public:
@@ -94,6 +129,8 @@ class Iss
     void set_fpu_backend(FuBackend *backend) { fpu_backend_ = backend; }
     /** Attach a gate-level multiply unit (mul/mulh/mulhu). */
     void set_mdu_backend(FuBackend *backend) { mdu_backend_ = backend; }
+    /** Attach a faulty-memory model; nullptr restores ideal memory. */
+    void set_mem_backend(MemBackend *backend) { mem_backend_ = backend; }
 
     /** Clear registers, memory, counters; pc back to 0. */
     void reset();
@@ -124,6 +161,12 @@ class Iss
     uint64_t cycles() const { return cycles_; }
     uint64_t instret() const { return instret_; }
     const std::vector<FuTraceEntry> &fu_trace() const { return fu_trace_; }
+    /**
+     * Data-memory trace (record_mem_trace): unit = the memory
+     * substrate, op = 1 for stores, a = byte address, b = the value
+     * written (stores) or read (loads).
+     */
+    const std::vector<FuTraceEntry> &mem_trace() const { return mem_trace_; }
     /** Execution count per instruction index. */
     const std::vector<uint64_t> &exec_counts() const { return exec_counts_; }
     /// @}
@@ -138,6 +181,18 @@ class Iss
         return uint64_t(addr) + bytes <= mem_.size();
     }
 
+    /**
+     * Data-side accesses: apply the memory backend's plan (wrong-row
+     * redirect, multi-select, no-select) and record the mem trace.
+     * Return false on an out-of-bounds effective address — the caller
+     * traps instead of asserting, since a faulty backend can redirect
+     * anywhere.
+     */
+    bool data_read_u32(uint32_t addr, uint32_t &out);
+    bool data_write_u32(uint32_t addr, uint32_t value);
+    bool data_read_u8(uint32_t addr, uint8_t &out);
+    bool data_write_u8(uint32_t addr, uint8_t value);
+
     std::vector<Instr> program_;
     IssConfig cfg_;
     uint32_t x_[32] = {};
@@ -151,10 +206,12 @@ class Iss
     bool stalled_ = false;
     bool trapped_ = false;
     std::vector<FuTraceEntry> fu_trace_;
+    std::vector<FuTraceEntry> mem_trace_;
     std::vector<uint64_t> exec_counts_;
     FuBackend *alu_backend_ = nullptr;
     FuBackend *fpu_backend_ = nullptr;
     FuBackend *mdu_backend_ = nullptr;
+    MemBackend *mem_backend_ = nullptr;
 };
 
 } // namespace vega::cpu

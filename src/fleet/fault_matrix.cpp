@@ -5,6 +5,8 @@
 #include "campaign/engine.h"
 #include "campaign/job.h"
 #include "campaign/thread_pool.h"
+#include "mem/decoder_lift.h"
+#include "mem/mem_backend.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/eval_tape.h"
@@ -54,6 +56,28 @@ characterize(const HwModule &module,
     VEGA_SPAN("fleet.characterize");
     out.per_test.assign(suite.size(), runtime::Detection::None);
     try {
+        if (is_mem_module(module.kind)) {
+            // Memory substrate: the aged decode gate lifts to a
+            // wrong-address class; screening runs the suite through
+            // the faulty-memory ISS instead of a netlist mount.
+            CellId gate =
+                mem::pick_decoder_gate(module.netlist, pair.worst);
+            if (gate == kInvalidId)
+                return; // pure datapath path: inert at fleet level
+            mem::MemFaultClass cls =
+                mem::classify_slow_gate(module.netlist, gate);
+            if (cls.kind == mem::MemFaultKind::None)
+                return;
+            out.corrupts = mem::mem_workload_corrupts(cls);
+            for (size_t t = 0; t < suite.size(); ++t) {
+                mem::MarchEngine engine(cls);
+                runtime::Detection d = engine.run(suite[t]);
+                out.per_test[t] = d;
+                if (d != runtime::Detection::None)
+                    ++out.detecting_tests;
+            }
+            return;
+        }
         lift::FailingNetlist failing =
             lift::build_failing_netlist(module.netlist,
                                         fault_spec(pair, constant));

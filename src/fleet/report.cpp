@@ -211,7 +211,8 @@ FleetReport::to_json(bool include_timing) const
     out += "\"detections\":{";
     kv(out, "mismatch", detections_mismatch);
     kv(out, "stall", detections_stall);
-    kv(out, "tag_anomaly", detections_tag_anomaly, false);
+    kv(out, "tag_anomaly", detections_tag_anomaly);
+    kv(out, "wrong_address", detections_wrong_address, false);
     out += "}},\"latency_slots\":";
     append_distribution(out, latency_slots);
     out += ",\"latency_epochs\":";
@@ -348,6 +349,9 @@ aggregate_fleet(const FleetConfig &cfg, const FaultMatrix &matrix,
                 break;
               case runtime::Detection::TagAnomaly:
                 ++r.detections_tag_anomaly;
+                break;
+              case runtime::Detection::WrongAddress:
+                ++r.detections_wrong_address;
                 break;
               case runtime::Detection::None:
                 break;

@@ -116,6 +116,7 @@ struct FleetReport
     uint64_t detections_mismatch = 0;
     uint64_t detections_stall = 0;
     uint64_t detections_tag_anomaly = 0;
+    uint64_t detections_wrong_address = 0;
 
     // Distributions.
     Distribution latency_slots;  ///< detected devices, slots from onset

@@ -1,0 +1,64 @@
+#include "mem/fault_class.h"
+
+namespace vega::mem {
+
+const char *
+mem_fault_kind_name(MemFaultKind k)
+{
+    switch (k) {
+      case MemFaultKind::None:          return "none";
+      case MemFaultKind::WrongRowRead:  return "wrong-row-read";
+      case MemFaultKind::WrongRowWrite: return "wrong-row-write";
+      case MemFaultKind::MultiSelect:   return "multi-select";
+      case MemFaultKind::NoSelect:      return "no-select";
+    }
+    return "?";
+}
+
+std::string
+MemFaultClass::to_string() const
+{
+    std::string s = mem_fault_kind_name(kind);
+    if (kind == MemFaultKind::None)
+        return s;
+    s += " aggressor=" + std::to_string(aggressor);
+    s += " victim=" + std::to_string(victim);
+    s += affects_read ? (affects_write ? " rw" : " r") : " w";
+    s += " patterns=" + std::to_string(patterns);
+    return s;
+}
+
+Expected<void>
+validate_fault_class(const MemFaultClass &c)
+{
+    auto err = [](const std::string &msg) {
+        return make_error(ErrorCode::ValidationError,
+                          "fault class: " + msg);
+    };
+    if (c.rows < 2 || (c.rows & (c.rows - 1)) != 0)
+        return err("rows " + std::to_string(c.rows) +
+                   " is not a power of two >= 2");
+    if (c.kind == MemFaultKind::None)
+        return {};
+    if (c.victim >= c.rows)
+        return err("victim row " + std::to_string(c.victim) +
+                   " out of range (< " + std::to_string(c.rows) + ")");
+    if (c.aggressor >= c.rows)
+        return err("aggressor row " + std::to_string(c.aggressor) +
+                   " out of range (< " + std::to_string(c.rows) + ")");
+    bool two_rows = c.kind == MemFaultKind::WrongRowRead ||
+                    c.kind == MemFaultKind::WrongRowWrite ||
+                    c.kind == MemFaultKind::MultiSelect;
+    if (two_rows && c.victim == c.aggressor)
+        return err(std::string(mem_fault_kind_name(c.kind)) +
+                   " aliases victim onto aggressor row " +
+                   std::to_string(c.victim));
+    if (c.kind == MemFaultKind::NoSelect && c.victim != c.aggressor)
+        return err("no-select starves the aggressor row itself "
+                   "(victim must equal aggressor)");
+    if (!c.affects_read && !c.affects_write)
+        return err("fault affects neither read nor write decode");
+    return {};
+}
+
+} // namespace vega::mem

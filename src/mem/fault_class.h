@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Wrong-address fault classes for memory-path substrates.
+ *
+ * Datapath modules fail by producing a wrong *value*; an aged address
+ * decoder fails by involving a wrong *row*. A classified decoder fault
+ * is summarized as (kind, victim, aggressor): accesses aimed at the
+ * aggressor row land on / also hit / never reach the victim row. This
+ * architectural summary is what the faulty-memory ISS backend
+ * (mem/mem_backend.h) injects, and what the campaign and fleet layers
+ * characterize.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.h"
+
+namespace vega::mem {
+
+enum class MemFaultKind : uint8_t {
+    None,         ///< no address anomaly (value-class or benign fault)
+    WrongRowRead, ///< reads of the aggressor row return the victim row
+    WrongRowWrite, ///< writes to the aggressor row land on the victim row
+    MultiSelect,  ///< aggressor accesses also select the victim row
+    NoSelect,     ///< aggressor accesses select no row at all
+};
+
+const char *mem_fault_kind_name(MemFaultKind k);
+
+/** A classified decoder fault, lifted from one slow gate. */
+struct MemFaultClass
+{
+    MemFaultKind kind = MemFaultKind::None;
+    /** Rows of the decoded macro (power of two). */
+    uint32_t rows = 16;
+    /** Row wrongly selected (WrongRow/MultiSelect) or starved
+     *  (NoSelect: victim == aggressor). */
+    uint32_t victim = 0;
+    /** Row whose accesses trigger the fault. */
+    uint32_t aggressor = 0;
+    /** The fault sits on (or upstream of) the read decode stage. */
+    bool affects_read = false;
+    /** The fault sits on (or upstream of) the write decode stage. */
+    bool affects_write = false;
+    /** How many (previous, current) address patterns trigger it. */
+    size_t patterns = 0;
+
+    std::string to_string() const;
+};
+
+/**
+ * Structural sanity of a classified fault: rows a power of two, rows
+ * in range, and victim != aggressor for the two-row kinds (a wrong-row
+ * or multi-select class aliasing onto its own row is a classification
+ * bug, not a fault). Injection (mem_backend) requires this to pass.
+ */
+Expected<void> validate_fault_class(const MemFaultClass &c);
+
+} // namespace vega::mem

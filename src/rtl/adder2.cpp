@@ -8,10 +8,11 @@ const char *
 module_kind_name(ModuleKind kind)
 {
     switch (kind) {
-      case ModuleKind::Adder2: return "adder2";
-      case ModuleKind::Alu32:  return "alu32";
-      case ModuleKind::Fpu32:  return "fpu32";
-      case ModuleKind::Mdu32:  return "mdu32";
+      case ModuleKind::Adder2:   return "adder2";
+      case ModuleKind::Alu32:    return "alu32";
+      case ModuleKind::Fpu32:    return "fpu32";
+      case ModuleKind::Mdu32:    return "mdu32";
+      case ModuleKind::MemDec16: return "memdec16";
     }
     return "?";
 }

@@ -1,0 +1,181 @@
+#include "rtl/memdec.h"
+
+#include "common/logging.h"
+#include "netlist/builder.h"
+
+namespace vega::rtl {
+
+namespace {
+
+/**
+ * Pre-decode one address-bit group into its 2^k one-hot lines.
+ * Each line is INV(NAND(literals)) — the NAND stack is the structure
+ * that ages asymmetrically under skewed address streams.
+ */
+std::vector<NetId>
+predecode_group(Builder &b, const Bus &bits)
+{
+    VEGA_CHECK(!bits.empty() && bits.size() <= 2,
+               "pre-decode groups are 1 or 2 bits");
+    std::vector<NetId> lines;
+    size_t n = size_t(1) << bits.size();
+    for (size_t v = 0; v < n; ++v) {
+        std::vector<NetId> lits;
+        for (size_t i = 0; i < bits.size(); ++i)
+            lits.push_back((v >> i) & 1 ? b.buf(bits[i])
+                                        : b.not_(bits[i]));
+        NetId line;
+        if (lits.size() == 1)
+            line = b.buf(lits[0]); // degenerate group: no stack
+        else
+            line = b.not_(b.nand_(lits[0], lits[1]));
+        lines.push_back(line);
+    }
+    return lines;
+}
+
+/**
+ * Final decode stage for one port: per row a NAND2 of the two
+ * pre-decode lines, an inverter, and a wordline driver chain (the long
+ * polysilicon wordline needs buffering; the chain also puts the decode
+ * path just past the read-mux depth, so decoder paths are the ones
+ * aging pushes over the edge first).
+ */
+std::vector<NetId>
+final_stage(Builder &b, const std::vector<NetId> &lo,
+            const std::vector<NetId> &hi, size_t rows)
+{
+    std::vector<NetId> wl;
+    wl.reserve(rows);
+    for (size_t r = 0; r < rows; ++r) {
+        NetId n = b.nand_(lo[r % lo.size()], hi[r / lo.size()]);
+        NetId line = b.not_(n);
+        for (int d = 0; d < 5; ++d)
+            line = b.buf(line);
+        wl.push_back(line);
+    }
+    return wl;
+}
+
+} // namespace
+
+HwModule
+make_memdec(const MemDecParams &params)
+{
+    VEGA_CHECK(params.addr_bits >= 2 && params.addr_bits <= 4,
+               "memdec supports 2..4 address bits, got ",
+               params.addr_bits);
+    VEGA_CHECK(params.word_bits >= 1 && params.word_bits <= 32,
+               "memdec supports 1..32-bit words, got ", params.word_bits);
+    size_t A = params.addr_bits;
+    size_t W = params.word_bits;
+    size_t R = size_t(1) << A;
+
+    HwModule m;
+    m.kind = ModuleKind::MemDec16;
+    m.latency = 3;
+    Netlist &nl = m.netlist;
+    nl.set_name("memdec" + std::to_string(R));
+    nl.set_clock_period_ps(2000.0); // 500 MHz SRAM periphery
+
+    // Clock: three levels, eight leaves. Address/control registers on
+    // the first leaves, wordline registers and the array spread across
+    // the rest, mirroring a row-oriented floorplan.
+    auto leaves = m.clock.grow_balanced(3, 20.0, 12.0);
+
+    Builder b(nl, "md");
+
+    Bus addr_in = nl.add_input_bus("addr", A);
+    Bus we_in = nl.add_input_bus("we", 1);
+    Bus din_in = nl.add_input_bus("din", W);
+
+    // Stage 0: address / control / data registers.
+    Bus addr_q;
+    for (size_t i = 0; i < A; ++i)
+        addr_q.push_back(b.dff(addr_in[i], false, leaves[0]));
+    NetId we_q = b.dff(we_in[0], false, leaves[0]);
+    Bus din_q;
+    for (size_t i = 0; i < W; ++i)
+        din_q.push_back(b.dff(din_in[i], false, leaves[1]));
+
+    // Address rail repeaters: one shared buffer per address bit drives
+    // every pre-decode literal. A slow repeater presents a hybrid
+    // address (stale bit, fresh others) to the whole decode stack — the
+    // single-gate fault that selects exactly one *wrong* row.
+    Bus addr_r;
+    for (size_t i = 0; i < A; ++i)
+        addr_r.push_back(b.buf(addr_q[i]));
+
+    // Shared pre-decode: low 2 bits and the remaining high bits.
+    Bus lo_bits(addr_r.begin(), addr_r.begin() + 2);
+    Bus hi_bits(addr_r.begin() + 2, addr_r.end());
+    std::vector<NetId> p_lo = predecode_group(b, lo_bits);
+    std::vector<NetId> p_hi = hi_bits.empty()
+                                  ? std::vector<NetId>{b.const1()}
+                                  : predecode_group(b, hi_bits);
+
+    // Separate read/write final stages (register-file discipline), each
+    // registered: rwl_q/wwl_q are what the periphery actually uses, and
+    // what the decoder-aware lifting pass observes.
+    std::vector<NetId> rwl = final_stage(b, p_lo, p_hi, R);
+    std::vector<NetId> wwl = final_stage(b, p_lo, p_hi, R);
+    Bus rwl_q, wwl_q;
+    for (size_t r = 0; r < R; ++r) {
+        rwl_q.push_back(b.dff(rwl[r], false, leaves[2 + (r & 1)]));
+        wwl_q.push_back(b.dff(wwl[r], false, leaves[4 + (r & 1)]));
+    }
+    nl.add_output_bus("rwl", rwl_q);
+    nl.add_output_bus("wwl", wwl_q);
+
+    // Align write-enable and data with the registered wordlines.
+    NetId we_q2 = b.dff(we_q, false, leaves[0]);
+    Bus din_q2;
+    for (size_t i = 0; i < W; ++i)
+        din_q2.push_back(b.dff(din_q[i], false, leaves[1]));
+
+    // Word array: R rows of W DFFs with write gating.
+    std::vector<Bus> rows;
+    rows.reserve(R);
+    for (size_t r = 0; r < R; ++r) {
+        NetId sel_w = b.and_(wwl_q[r], we_q2);
+        Bus row;
+        row.reserve(W);
+        for (size_t i = 0; i < W; ++i) {
+            // q = sel_w ? din : q  — feedback through the mux.
+            NetId d = nl.new_net("md_row" + std::to_string(r) + "_b" +
+                                 std::to_string(i));
+            NetId q = b.dff(d, false, leaves[6 + (r & 1)]);
+            NetId mux_out = b.mux(q, din_q2[i], sel_w);
+            // Rewire: the dff above was created with d as input; drive
+            // d from the mux via a buffer so the net has its driver.
+            nl.add_cell(CellType::Buf,
+                        "md_wr" + std::to_string(r) + "_" +
+                            std::to_string(i),
+                        {mux_out}, d);
+            row.push_back(q);
+        }
+        rows.push_back(std::move(row));
+    }
+
+    // Read mux: wired-OR of wordline-gated row contents, registered.
+    Bus rdata_q;
+    for (size_t i = 0; i < W; ++i) {
+        std::vector<NetId> terms;
+        terms.reserve(R);
+        for (size_t r = 0; r < R; ++r)
+            terms.push_back(b.and_(rwl_q[r], rows[r][i]));
+        rdata_q.push_back(b.dff(b.or_n(terms), false, leaves[7]));
+    }
+    nl.add_output_bus("rdata", rdata_q);
+
+    nl.validate();
+    return m;
+}
+
+HwModule
+make_memdec16()
+{
+    return make_memdec(MemDecParams{});
+}
+
+} // namespace vega::rtl

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Memory-path substrate: a parameterized SRAM row-address decoder plus
+ * the periphery that turns it into an addressable word array.
+ *
+ * Motivated by the BTI address-decoder aging literature (Gürsoy et al.,
+ * arXiv 2212.09356): under address-skewed workloads the decoder's
+ * pre-decode and final NAND stacks see asymmetric signal probabilities,
+ * age unevenly, and eventually mis-select rows — a *wrong-address*
+ * read/write rather than a wrong value, which is a qualitatively
+ * different SDC class from the datapath modules (src/mem/ lifts it).
+ *
+ * Structure (all ordinary vega28 cells, so the aging/STA flow applies
+ * unchanged):
+ *
+ *   addr ──q── pre-decode (literal INV + NAND2 + INV per group line)
+ *                ├─ read  final stage: NAND2 + wordline driver chain ──q── "rwl"
+ *                └─ write final stage: NAND2 + wordline driver chain ──q── "wwl"
+ *   we, din ──q──q── write gating: row DFFs take din when wwl & we
+ *   read mux: rdata = OR over rows of (rwl & row) ──q── "rdata"
+ *
+ * The read and write decoders share the pre-decode stage but have
+ * separate final NAND stages (register-file style), so an aged gate
+ * lifts to a read-only, write-only, or shared wrong-address class
+ * depending on where it sits — exactly the distinction the src/mem
+ * decoder-aware lifting pass classifies.
+ *
+ * Ports: inputs addr[A-1:0], we, din[W-1:0]; outputs rdata[W-1:0],
+ * rwl[R-1:0], wwl[R-1:0] (registered wordlines, observable so the
+ * lifting pass can watch row selection directly). R = 2^A.
+ */
+#pragma once
+
+#include <cstddef>
+
+#include "rtl/module.h"
+
+namespace vega::rtl {
+
+/** Geometry of a generated memory decoder substrate. */
+struct MemDecParams
+{
+    size_t addr_bits = 4; ///< 2..4 supported (4..16 rows)
+    size_t word_bits = 8; ///< bits per row
+};
+
+/**
+ * Build a decoder + word-array module with @p params. Targets 500 MHz
+ * (2000 ps period, typical embedded-SRAM periphery). Latency: rdata is
+ * registered 3 cycles after the address is presented (address register,
+ * wordline register, data register).
+ */
+HwModule make_memdec(const MemDecParams &params);
+
+/** The canonical analysis target: 16 rows x 8 bits (ModuleKind::MemDec16). */
+HwModule make_memdec16();
+
+} // namespace vega::rtl

@@ -14,7 +14,16 @@
 namespace vega {
 
 /** Which functional unit a module implements. */
-enum class ModuleKind { Adder2, Alu32, Fpu32, Mdu32 };
+enum class ModuleKind { Adder2, Alu32, Fpu32, Mdu32, MemDec16 };
+
+/** True for memory-path substrates (address decoder + word array),
+ *  whose faults lift to wrong-address classes (src/mem) rather than
+ *  the datapath value-corruption classes. */
+inline bool
+is_mem_module(ModuleKind kind)
+{
+    return kind == ModuleKind::MemDec16;
+}
 
 const char *module_kind_name(ModuleKind kind);
 

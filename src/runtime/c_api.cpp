@@ -28,10 +28,11 @@ int
 to_code(Detection d)
 {
     switch (d) {
-      case Detection::None:       return VEGA_OK;
-      case Detection::Mismatch:   return VEGA_MISMATCH;
-      case Detection::Stall:      return VEGA_STALL;
-      case Detection::TagAnomaly: return VEGA_TAG_ANOMALY;
+      case Detection::None:         return VEGA_OK;
+      case Detection::Mismatch:     return VEGA_MISMATCH;
+      case Detection::Stall:        return VEGA_STALL;
+      case Detection::TagAnomaly:   return VEGA_TAG_ANOMALY;
+      case Detection::WrongAddress: return VEGA_WRONG_ADDRESS;
     }
     return VEGA_MISMATCH;
 }
@@ -126,10 +127,24 @@ const char *
 vega_detection_name(int code)
 {
     switch (code) {
-      case VEGA_OK:          return "ok";
-      case VEGA_MISMATCH:    return "mismatch";
-      case VEGA_STALL:       return "stall";
-      case VEGA_TAG_ANOMALY: return "tag_anomaly";
+      case VEGA_OK:            return "ok";
+      case VEGA_MISMATCH:      return "mismatch";
+      case VEGA_STALL:         return "stall";
+      case VEGA_TAG_ANOMALY:   return "tag_anomaly";
+      case VEGA_WRONG_ADDRESS: return "wrong_address";
+    }
+    return "invalid";
+}
+
+const char *
+vega_mem_fault_name(int kind)
+{
+    switch (kind) {
+      case VEGA_MEM_FAULT_NONE:      return "none";
+      case VEGA_MEM_WRONG_ROW_READ:  return "wrong_row_read";
+      case VEGA_MEM_WRONG_ROW_WRITE: return "wrong_row_write";
+      case VEGA_MEM_MULTI_SELECT:    return "multi_select";
+      case VEGA_MEM_NO_SELECT:       return "no_select";
     }
     return "invalid";
 }

@@ -23,6 +23,16 @@ enum vega_detection {
     VEGA_MISMATCH = 1,
     VEGA_STALL = 2,
     VEGA_TAG_ANOMALY = 3,
+    VEGA_WRONG_ADDRESS = 4,
+};
+
+/** Memory-path fault classes mirrored from vega::mem::MemFaultKind. */
+enum vega_mem_fault {
+    VEGA_MEM_FAULT_NONE = 0,
+    VEGA_MEM_WRONG_ROW_READ = 1,
+    VEGA_MEM_WRONG_ROW_WRITE = 2,
+    VEGA_MEM_MULTI_SELECT = 3,
+    VEGA_MEM_NO_SELECT = 4,
 };
 
 /** Scheduling policies mirrored from vega::runtime::SchedulePolicy. */
@@ -58,11 +68,14 @@ int vega_library_policy(const vega_library *lib);
 /**
  * Stable human-readable names for the enum codes, for bindings that
  * log without re-declaring the tables ("ok", "mismatch", "stall",
- * "tag_anomaly"; "sequential", "random", "probabilistic"). Unknown
- * codes come back as "invalid", never NULL.
+ * "tag_anomaly", "wrong_address"; "sequential", "random",
+ * "probabilistic"; "none", "wrong_row_read", "wrong_row_write",
+ * "multi_select", "no_select"). Unknown codes come back as "invalid",
+ * never NULL.
  */
 const char *vega_detection_name(int code);
 const char *vega_policy_name(int policy);
+const char *vega_mem_fault_name(int kind);
 
 #ifdef __cplusplus
 } // extern "C"

@@ -11,10 +11,11 @@ const char *
 module_token(ModuleKind kind)
 {
     switch (kind) {
-      case ModuleKind::Adder2: return "adder2";
-      case ModuleKind::Alu32:  return "alu32";
-      case ModuleKind::Fpu32:  return "fpu32";
-      case ModuleKind::Mdu32:  return "mdu32";
+      case ModuleKind::Adder2:   return "adder2";
+      case ModuleKind::Alu32:    return "alu32";
+      case ModuleKind::Fpu32:    return "fpu32";
+      case ModuleKind::Mdu32:    return "mdu32";
+      case ModuleKind::MemDec16: return "memdec16";
     }
     return "?";
 }
@@ -30,6 +31,8 @@ parse_module(const std::string &token, ModuleKind &out)
         out = ModuleKind::Fpu32;
     else if (token == "mdu32")
         out = ModuleKind::Mdu32;
+    else if (token == "memdec16")
+        out = ModuleKind::MemDec16;
     else
         return false;
     return true;
@@ -97,9 +100,12 @@ try_deserialize_suite(const std::string &text)
         } else if (word == "step") {
             if (!in_test)
                 return fail("step outside testcase");
-            if (current.stimulus.size() >= kMaxTestSteps)
-                return fail("more than " +
-                            std::to_string(kMaxTestSteps) + " steps");
+            size_t cap = current.module == ModuleKind::MemDec16
+                             ? kMaxMemTestSteps
+                             : kMaxTestSteps;
+            if (current.stimulus.size() >= cap)
+                return fail("more than " + std::to_string(cap) +
+                            " steps");
             ModuleStep s;
             unsigned valid = 0, clear = 0;
             if (!(ls >> s.a >> s.b >> s.op >> valid >> clear))

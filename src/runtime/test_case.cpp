@@ -9,6 +9,7 @@
 #include "cpu/assembler.h"
 #include "cpu/iss.h"
 #include "cpu/softfp.h"
+#include "workloads/kernels.h"
 
 namespace vega::runtime {
 
@@ -16,10 +17,11 @@ const char *
 detection_name(Detection d)
 {
     switch (d) {
-      case Detection::None:       return "none";
-      case Detection::Mismatch:   return "mismatch";
-      case Detection::Stall:      return "stall";
-      case Detection::TagAnomaly: return "tag-anomaly";
+      case Detection::None:         return "none";
+      case Detection::Mismatch:     return "mismatch";
+      case Detection::Stall:        return "stall";
+      case Detection::TagAnomaly:   return "tag-anomaly";
+      case Detection::WrongAddress: return "wrong-address";
     }
     return "?";
 }
@@ -236,6 +238,49 @@ build_mdu_program(TestCase &tc)
     tc.program = a.finish();
 }
 
+/**
+ * Compile a march-encoded stimulus (see kMaxMemTestSteps) into a
+ * straight-line block over the memory substrate's word cells. Cells
+ * live at kDataBase + 4*row, which the 16-row macro aliases back to
+ * row (kDataBase is 4096-aligned). Registers: x5/x6 hold the solid
+ * 0 / all-ones backgrounds, x7 the cell base, x28 the read scratch.
+ */
+void
+build_mem_program(TestCase &tc)
+{
+    constexpr cpu::Reg kBg0 = 5, kBg1 = 6, kBase = 7;
+    cpu::Asm a;
+    a.addi(kFailFlag, 0, 0);
+    a.li(kBg0, 0);
+    a.li(kBg1, 0xffffffffu);
+    a.li(kBase, workloads::kDataBase);
+    for (const ModuleStep &s : tc.stimulus) {
+        int32_t off = int32_t(s.a) * 4;
+        switch (s.op) {
+          case 0: // r0
+            a.lw(kScratchA, kBase, off);
+            a.bne(kScratchA, kBg0, "fail");
+            break;
+          case 1: // r1
+            a.lw(kScratchA, kBase, off);
+            a.bne(kScratchA, kBg1, "fail");
+            break;
+          case 2: // w0
+            a.sw(kBg0, kBase, off);
+            break;
+          case 3: // w1
+            a.sw(kBg1, kBase, off);
+            break;
+        }
+    }
+    a.j("done");
+    a.label("fail");
+    a.addi(kFailFlag, 0, 1);
+    a.label("done");
+    a.halt();
+    tc.program = a.finish();
+}
+
 // The public limits must match the register plan the builders assume.
 static_assert(kMaxTestSteps == size_t(kResultMax));
 static_assert(kMaxDistinctOperands == size_t(kOperandMax));
@@ -249,6 +294,28 @@ validate_test_case(const TestCase &tc)
         return make_error(ErrorCode::ValidationError,
                           "test '" + tc.name + "': " + msg);
     };
+
+    if (tc.module == ModuleKind::MemDec16) {
+        // March encoding: a = row, op = march operation, checks unused.
+        if (tc.stimulus.size() > kMaxMemTestSteps)
+            return err("too many march operations (" +
+                       std::to_string(tc.stimulus.size()) + " > " +
+                       std::to_string(kMaxMemTestSteps) + ")");
+        for (size_t i = 0; i < tc.stimulus.size(); ++i) {
+            const ModuleStep &s = tc.stimulus[i];
+            if (s.op >= kNumMarchOps)
+                return err("step " + std::to_string(i) + " march op " +
+                           std::to_string(s.op) + " out of range (< " +
+                           std::to_string(kNumMarchOps) + ")");
+            if (s.a >= kMemTestRows)
+                return err("step " + std::to_string(i) + " row " +
+                           std::to_string(s.a) + " out of range (< " +
+                           std::to_string(kMemTestRows) + ")");
+        }
+        if (!tc.checks.empty())
+            return err("march tests self-check; checks must be empty");
+        return {};
+    }
 
     uint32_t num_ops = 0;
     bool is_fpu = false;
@@ -313,6 +380,9 @@ try_finalize_test_case(TestCase &tc)
         break;
       case ModuleKind::Mdu32:
         build_mdu_program(tc);
+        break;
+      case ModuleKind::MemDec16:
+        build_mem_program(tc);
         break;
       default:
         return make_error(ErrorCode::ValidationError,

@@ -71,6 +71,19 @@ constexpr size_t kMaxTestSteps = 8;        ///< per-step result registers
 constexpr size_t kMaxDistinctOperands = 14; ///< operand pool registers
 
 /**
+ * Memory-substrate test cases (ModuleKind::MemDec16) reuse ModuleStep
+ * with a march encoding instead of the functional-unit one: `a` is the
+ * row index, `op` is a march operation (0 = r0, 1 = r1, 2 = w0,
+ * 3 = w1), `b` is unused. The compiled block is straight-line — every
+ * operation touches one word cell and reads self-check against the
+ * solid background — so march tests escape the 8-step FU register plan
+ * and get their own, much larger, step budget.
+ */
+constexpr size_t kMaxMemTestSteps = 1024;
+constexpr uint32_t kMemTestRows = 16; ///< rows of the MemDec16 macro
+constexpr uint32_t kNumMarchOps = 4;
+
+/**
  * Check @p tc against the compilation limits and per-module op
  * encodings *before* compiling it: step count, distinct operand count,
  * check indices, and op ranges. Untrusted suites (suite_io) must pass
@@ -94,10 +107,11 @@ Expected<void> try_finalize_test_case(TestCase &tc);
 
 /** How a test run terminated. */
 enum class Detection {
-    None,       ///< everything matched: hardware looks healthy
-    Mismatch,   ///< a compare failed (x31 set)
-    Stall,      ///< handshake never completed; watchdog fired
-    TagAnomaly, ///< transaction-tag parity error (hardware-detected)
+    None,         ///< everything matched: hardware looks healthy
+    Mismatch,     ///< a compare failed (x31 set)
+    Stall,        ///< handshake never completed; watchdog fired
+    TagAnomaly,   ///< transaction-tag parity error (hardware-detected)
+    WrongAddress, ///< march test caught an address-decoder fault (x31 set)
 };
 
 const char *detection_name(Detection d);

@@ -32,6 +32,23 @@ record_workload_trace(const std::vector<std::vector<cpu::Instr>> &programs)
     return trace;
 }
 
+std::vector<cpu::FuTraceEntry>
+record_mem_workload_trace(const std::vector<std::vector<cpu::Instr>> &programs)
+{
+    std::vector<cpu::FuTraceEntry> trace;
+    for (const auto &prog : programs) {
+        cpu::IssConfig cfg;
+        cfg.record_mem_trace = true;
+        cpu::Iss iss(prog, cfg);
+        auto status = iss.run();
+        VEGA_CHECK(status == cpu::Iss::Status::Halted,
+                   "workload did not halt");
+        trace.insert(trace.end(), iss.mem_trace().begin(),
+                     iss.mem_trace().end());
+    }
+    return trace;
+}
+
 namespace {
 
 /** Opcode-bus width of a module's interface. */
@@ -50,6 +67,20 @@ op_width(ModuleKind kind)
 void
 apply_entry(Simulator &sim, ModuleKind kind, const cpu::FuTraceEntry *e)
 {
+    if (is_mem_module(kind)) {
+        // Memory substrate ports (rtl/memdec.h): the byte address maps
+        // onto the decoder's row address (word-aligned, wrapped to the
+        // 16-row macro — the whole data space is stripe-aliased onto
+        // it), op carries the store bit, b the written value.
+        if (e) {
+            sim.set_bus("addr", BitVec(4, (e->a >> 2) & 0xf));
+            sim.set_bus("we", BitVec(1, e->op ? 1 : 0));
+            sim.set_bus("din", BitVec(8, e->b & 0xff));
+        } else {
+            sim.set_bus("we", BitVec(1, 0));
+        }
+        return;
+    }
     bool is_fpu_module = kind == ModuleKind::Fpu32;
     if (e) {
         sim.set_bus("a", BitVec(32, e->a));

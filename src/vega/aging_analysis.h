@@ -60,4 +60,9 @@ run_aging_analysis(HwModule &module, const aging::AgingTimingLibrary &lib,
 std::vector<cpu::FuTraceEntry>
 record_workload_trace(const std::vector<std::vector<cpu::Instr>> &programs);
 
+/** Record the data-memory trace of a set of programs (the SP workload
+ *  for memory-path substrates; see IssConfig::record_mem_trace). */
+std::vector<cpu::FuTraceEntry>
+record_mem_workload_trace(const std::vector<std::vector<cpu::Instr>> &programs);
+
 } // namespace vega

@@ -1,9 +1,11 @@
 #include "vega/workflow.h"
 
+#include "mem/decoder_lift.h"
 #include "rtl/adder2.h"
 #include "rtl/alu32.h"
 #include "rtl/fpu32.h"
 #include "rtl/mdu32.h"
+#include "rtl/memdec.h"
 
 namespace vega {
 
@@ -11,10 +13,11 @@ HwModule
 make_module(ModuleKind kind)
 {
     switch (kind) {
-      case ModuleKind::Adder2: return rtl::make_adder2();
-      case ModuleKind::Alu32:  return rtl::make_alu32();
-      case ModuleKind::Fpu32:  return rtl::make_fpu32();
-      case ModuleKind::Mdu32:  return rtl::make_mdu32();
+      case ModuleKind::Adder2:   return rtl::make_adder2();
+      case ModuleKind::Alu32:    return rtl::make_alu32();
+      case ModuleKind::Fpu32:    return rtl::make_fpu32();
+      case ModuleKind::Mdu32:    return rtl::make_mdu32();
+      case ModuleKind::MemDec16: return rtl::make_memdec16();
     }
     return rtl::make_alu32();
 }
@@ -27,6 +30,17 @@ minver_trace()
     return trace;
 }
 
+const std::vector<cpu::FuTraceEntry> &
+mem_workload_trace()
+{
+    // crc32 is the most address-skewed integer kernel: its table walk
+    // hammers a few rows while the message buffer streams — exactly the
+    // asymmetric address SP that ages decoder stacks unevenly.
+    static const std::vector<cpu::FuTraceEntry> trace =
+        record_mem_workload_trace({workloads::make_crc32().program});
+    return trace;
+}
+
 WorkflowResult
 run_workflow(HwModule &module, const aging::AgingTimingLibrary &lib,
              const std::vector<cpu::FuTraceEntry> &trace,
@@ -34,6 +48,28 @@ run_workflow(HwModule &module, const aging::AgingTimingLibrary &lib,
 {
     WorkflowResult result;
     result.aging = run_aging_analysis(module, lib, trace, config.aging);
+    if (is_mem_module(module.kind)) {
+        // Memory substrates lift through the decoder-aware pass: slow
+        // aged gates become wrong-address fault classes, and march
+        // tests (not value probes) detect them. The outcome is folded
+        // into the LiftResult shape so campaign/fleet drivers treat
+        // both fault families uniformly.
+        mem::MemLiftConfig mc;
+        mc.max_pairs = config.lift.max_pairs;
+        mem::MemLiftResult ml = mem::run_decoder_lifting(
+            module, result.aging.liftable_pairs(), mc);
+        for (const mem::MemPairResult &mp : ml.pairs) {
+            lift::PairResult pr;
+            pr.pair = mp.pair;
+            pr.status = mp.status;
+            result.lift.pairs.push_back(std::move(pr));
+        }
+        result.lift.n_success = ml.n_success;
+        result.lift.n_unreachable = ml.n_unreachable;
+        result.lift.n_conversion_failed = ml.n_conversion_failed;
+        result.suite = std::move(ml.suite);
+        return result;
+    }
     result.lift = lift::run_error_lifting(
         module, result.aging.liftable_pairs(), config.lift);
     result.suite = result.lift.suite();

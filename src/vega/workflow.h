@@ -50,6 +50,10 @@ WorkflowResult run_workflow(HwModule &module,
 /** Default workload: the minver kernel's functional-unit trace. */
 const std::vector<cpu::FuTraceEntry> &minver_trace();
 
+/** Default memory workload: the crc32 kernel's data-memory trace
+ *  (address-skewed — the stream that ages decoder stacks unevenly). */
+const std::vector<cpu::FuTraceEntry> &mem_workload_trace();
+
 /**
  * Build the placed-and-routed functional unit for @p kind — one call
  * in front of the rtl/ generators so drivers (campaign CLI, benches)

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * March-test generators for the memory-path substrate (src/mem).
+ *
+ * Classic march algorithms walk the address space in a fixed order
+ * applying a read/write element at every cell; their power against
+ * *address-decoder* faults (wrong row, multi-select, no select) is
+ * exactly why memory BIST uses them. We generate MATS+ and March C-
+ * (the kernel-memtest staples) plus seeded random read/write baselines,
+ * all packaged as runtime::TestCase blocks in the march encoding
+ * documented at runtime::kMaxMemTestSteps, so the whole aging-library /
+ * campaign / fleet machinery runs them unchanged.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/test_case.h"
+
+namespace vega::workloads {
+
+/** One march operation applied at every cell of an element. These are
+ *  also the TestCase stimulus `op` encoding for MemDec16 blocks. */
+enum class MarchOp : uint8_t {
+    R0 = 0, ///< read, expect background 0
+    R1 = 1, ///< read, expect background 1 (all ones)
+    W0 = 2, ///< write background 0
+    W1 = 3, ///< write background 1
+};
+
+/** One march element: an address order and the ops applied per cell. */
+struct MarchElement
+{
+    bool up = true; ///< ⇑ ascending rows; false = ⇓ descending
+    std::vector<MarchOp> ops;
+};
+
+struct MarchAlgorithm
+{
+    std::string name;
+    std::vector<MarchElement> elements;
+};
+
+/** MATS+ : {⇕(w0); ⇑(r0,w1); ⇓(r1,w0)} — 5N, catches AFs and SAFs. */
+MarchAlgorithm mats_plus();
+
+/** March C- : {⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0)}
+ *  — 10N, additionally catches unlinked coupling faults. */
+MarchAlgorithm march_cminus();
+
+/**
+ * Flatten @p alg over @p rows cells into a finalized TestCase (golden-
+ * validated, cycle_cost filled). @p rows must be kMemTestRows for now.
+ */
+runtime::TestCase make_march_test(const MarchAlgorithm &alg, uint32_t rows);
+
+/**
+ * Seeded random read/write baseline: @p num_ops operations over random
+ * rows, self-checking by construction (reads expect the last value the
+ * test wrote to that row; every row is initialized first). This is the
+ * cheap first rung of the escalation ladder — random traffic catches
+ * gross decoder faults but misses pattern-dependent ones.
+ */
+runtime::TestCase make_random_march_test(uint32_t rows, size_t num_ops,
+                                         uint64_t seed);
+
+} // namespace vega::workloads

@@ -67,17 +67,39 @@ TEST(CApi, PolicyEnumRoundTrips)
 
 TEST(CApi, DetectionCodesCoverRuntimeEnum)
 {
-    // The four codes are part of the ABI; bindings hard-code them.
+    // The five codes are part of the ABI; bindings hard-code them.
     EXPECT_EQ(VEGA_OK, 0);
     EXPECT_EQ(VEGA_MISMATCH, 1);
     EXPECT_EQ(VEGA_STALL, 2);
     EXPECT_EQ(VEGA_TAG_ANOMALY, 3);
+    EXPECT_EQ(VEGA_WRONG_ADDRESS, 4);
     EXPECT_STREQ(vega_detection_name(VEGA_OK), "ok");
     EXPECT_STREQ(vega_detection_name(VEGA_MISMATCH), "mismatch");
     EXPECT_STREQ(vega_detection_name(VEGA_STALL), "stall");
     EXPECT_STREQ(vega_detection_name(VEGA_TAG_ANOMALY), "tag_anomaly");
+    EXPECT_STREQ(vega_detection_name(VEGA_WRONG_ADDRESS),
+                 "wrong_address");
     EXPECT_STREQ(vega_detection_name(99), "invalid");
     EXPECT_STREQ(vega_detection_name(-1), "invalid");
+}
+
+TEST(CApi, MemFaultNamesAreStable)
+{
+    EXPECT_EQ(VEGA_MEM_FAULT_NONE, 0);
+    EXPECT_EQ(VEGA_MEM_WRONG_ROW_READ, 1);
+    EXPECT_EQ(VEGA_MEM_WRONG_ROW_WRITE, 2);
+    EXPECT_EQ(VEGA_MEM_MULTI_SELECT, 3);
+    EXPECT_EQ(VEGA_MEM_NO_SELECT, 4);
+    EXPECT_STREQ(vega_mem_fault_name(VEGA_MEM_FAULT_NONE), "none");
+    EXPECT_STREQ(vega_mem_fault_name(VEGA_MEM_WRONG_ROW_READ),
+                 "wrong_row_read");
+    EXPECT_STREQ(vega_mem_fault_name(VEGA_MEM_WRONG_ROW_WRITE),
+                 "wrong_row_write");
+    EXPECT_STREQ(vega_mem_fault_name(VEGA_MEM_MULTI_SELECT),
+                 "multi_select");
+    EXPECT_STREQ(vega_mem_fault_name(VEGA_MEM_NO_SELECT), "no_select");
+    EXPECT_STREQ(vega_mem_fault_name(99), "invalid");
+    EXPECT_STREQ(vega_mem_fault_name(-1), "invalid");
 }
 
 TEST(CApi, PolicyNamesAreStable)

@@ -10,6 +10,9 @@
  */
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cstdint>
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -29,7 +32,13 @@ namespace {
 std::string
 tmp_dir(const char *name)
 {
-    return testing::TempDir() + "vega_shard_" + name;
+    // Process-unique root: gtest_discover_tests runs each TEST as its
+    // own process, and a parallel ctest would otherwise have several
+    // processes rebuilding the same golden fleet directory at once.
+    static const std::string root =
+        testing::TempDir() + "vega_shard_" +
+        std::to_string(uint64_t(::getpid())) + "_";
+    return root + name;
 }
 
 std::string

@@ -47,7 +47,7 @@ usage(const char *argv0)
 {
     std::printf(
         "usage: %s [options]\n"
-        "  --module alu|fpu|mdu     functional unit (default alu)\n"
+        "  --module alu|fpu|mdu|mem module (default alu)\n"
         "  --devices N              population size (default 250000)\n"
         "  --epochs N               mission epochs per device "
         "(default 8)\n"
@@ -102,6 +102,8 @@ parse_args(int argc, char **argv, CliOptions &opt)
                 opt.module = ModuleKind::Fpu32;
             else if (!std::strcmp(v, "mdu"))
                 opt.module = ModuleKind::Mdu32;
+            else if (!std::strcmp(v, "mem"))
+                opt.module = ModuleKind::MemDec16;
             else
                 return false;
         } else if (arg == "--devices") {
@@ -222,8 +224,9 @@ main(int argc, char **argv)
     wf_cfg.lift.degrade_to_fuzz = true;
     std::printf("running workflow (max_pairs=%zu)...\n",
                 opt.workflow_max_pairs);
-    WorkflowResult wf =
-        run_workflow(module, lib, minver_trace(), wf_cfg);
+    const auto &trace = is_mem_module(opt.module) ? mem_workload_trace()
+                                                  : minver_trace();
+    WorkflowResult wf = run_workflow(module, lib, trace, wf_cfg);
     std::printf("workflow: %zu lifted pairs, %zu suite tests\n",
                 wf.lift.pairs.size(), wf.suite.size());
     if (wf.suite.empty()) {
