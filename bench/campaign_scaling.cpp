@@ -64,13 +64,21 @@ main(int argc, char **argv)
     cfg.num_jobs = smoke ? 64 : 512;
     cfg.max_pairs = 8; // 8 pairs x 2 constants of netlist variants
 
+    const unsigned hw = std::thread::hardware_concurrency();
     std::vector<size_t> threads_list = {1, 2, 4, 8};
-    if (smoke)
+    if (smoke) {
+        // Smoke keeps CI fast: the serial baseline, one scaling point,
+        // and — only where there are real cores to scale onto — the
+        // 8-thread point the CI speedup gate reads.
         threads_list = {1, 2};
+        if (hw >= 8)
+            threads_list.push_back(8);
+    }
     const std::vector<size_t> &kThreads = threads_list;
     std::vector<campaign::CampaignReport> reports;
-    std::printf("%7s | %9s | %9s | %9s | %7s | %6s\n", "threads",
-                "wall s", "jobs/s", "sims/s", "speedup", "steals");
+    std::printf("%7s | %8s | %8s | %8s | %7s | %6s | %6s | %6s | %6s\n",
+                "threads", "wall s", "jobs/s", "sims/s", "speedup",
+                "char s", "sim s", "jrnl s", "agg s");
     double base_jps = 0.0;
     for (size_t t : kThreads) {
         cfg.threads = t;
@@ -79,12 +87,15 @@ main(int argc, char **argv)
         const auto &r = reports.back();
         if (t == 1)
             base_jps = r.timing.jobs_per_sec;
-        std::printf("%7zu | %9.2f | %9.1f | %9.0f | %6.2fx | %6llu\n",
+        std::printf("%7zu | %8.2f | %8.1f | %8.0f | %6.2fx | %6.2f | "
+                    "%6.2f | %6.2f | %6.2f\n",
                     t, r.timing.wall_seconds, r.timing.jobs_per_sec,
                     r.timing.sims_per_sec,
                     base_jps > 0 ? r.timing.jobs_per_sec / base_jps
                                  : 0.0,
-                    (unsigned long long)r.timing.steals);
+                    r.timing.characterize_seconds,
+                    r.timing.simulate_seconds, r.timing.journal_seconds,
+                    r.timing.aggregate_seconds);
     }
 
     // Determinism across thread counts: identical reports, bit for bit.
@@ -101,22 +112,31 @@ main(int argc, char **argv)
     std::string json = "{\"campaign_scaling\":{\"smoke\":";
     json += smoke ? "true" : "false";
     json += ",\"num_jobs\":" + std::to_string(cfg.num_jobs);
+    json += ",\"hardware_concurrency\":" + std::to_string(hw);
     json += ",\"deterministic\":";
     json += identical ? "true" : "false";
     json += ",\"runs\":[";
     for (size_t i = 0; i < reports.size(); ++i) {
         const auto &r = reports[i];
-        char buf[256];
+        char buf[512];
         std::snprintf(buf, sizeof buf,
                       "%s{\"threads\":%zu,\"wall_seconds\":%.3f,"
                       "\"jobs_per_sec\":%.2f,\"sims_per_sec\":%.0f,"
                       "\"speedup\":%.3f,\"steals\":%llu,"
+                      "\"characterize_seconds\":%.3f,"
+                      "\"simulate_seconds\":%.3f,"
+                      "\"journal_seconds\":%.3f,"
+                      "\"aggregate_seconds\":%.3f,"
                       "\"detected\":%llu,\"escapes\":%llu}",
                       i ? "," : "", kThreads[i], r.timing.wall_seconds,
                       r.timing.jobs_per_sec, r.timing.sims_per_sec,
                       base_jps > 0 ? r.timing.jobs_per_sec / base_jps
                                    : 0.0,
                       (unsigned long long)r.timing.steals,
+                      r.timing.characterize_seconds,
+                      r.timing.simulate_seconds,
+                      r.timing.journal_seconds,
+                      r.timing.aggregate_seconds,
                       (unsigned long long)r.detected,
                       (unsigned long long)r.escapes);
         json += buf;

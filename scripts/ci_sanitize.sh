@@ -50,6 +50,29 @@ ctest --test-dir "$build" --output-on-failure -L mem -j "$jobs"
 # pinned BENCH_*.json.
 ctest --test-dir "$build" --output-on-failure -L bench-smoke -j "$jobs"
 
+# Thread-scaling gate: the campaign engine must actually scale where
+# the hardware can scale. campaign_scaling --smoke adds an 8-thread
+# run whenever the box has >= 8 hardware threads; on smaller runners
+# (including 1-core containers) an 8-thread speedup is physically
+# meaningless, so the gate reports and skips instead of lying.
+scaling_dir="$build/ci-scaling"
+rm -rf "$scaling_dir"
+mkdir -p "$scaling_dir"
+(cd "$scaling_dir" && "$build/bench/campaign_scaling" --smoke)
+scaling_json="$scaling_dir/BENCH_campaign.smoke.json"
+hw="$(sed -n 's/.*"hardware_concurrency":\([0-9]*\).*/\1/p' "$scaling_json")"
+if [ "${hw:-0}" -ge 8 ]; then
+    speedup8="$(sed -n 's/.*"threads":8,[^}]*"speedup":\([0-9.]*\).*/\1/p' \
+        "$scaling_json")"
+    if ! awk -v s="${speedup8:-0}" 'BEGIN { exit !(s >= 3.0) }'; then
+        echo "ci_sanitize: 8-thread campaign speedup ${speedup8:-?}x < 3x" >&2
+        exit 1
+    fi
+    echo "ci_sanitize: 8-thread campaign speedup ${speedup8}x >= 3x"
+else
+    echo "ci_sanitize: ${hw:-0} hardware threads; skipping 8-thread speedup gate"
+fi
+
 # Sharded kill-and-resume end-to-end, with a real SIGKILL: run the same
 # small campaign (a) single-process and (b) as 4 shard processes where
 # shard 1 is SIGKILLed mid-run (--kill-after raises SIGKILL from inside
@@ -92,3 +115,18 @@ diff "$fleet_dir/single.json" "$fleet_dir/aggregated.json"
 echo "ci_sanitize: sharded kill-and-resume aggregate is byte-identical"
 
 ctest --test-dir "$build" --output-on-failure -j "$jobs" "$@"
+
+# Concurrency pass under ThreadSanitizer (its own tree: TSan cannot
+# share a process with ASan). Focused on the code where a missed lock
+# becomes silent corruption — the campaign engine's wave dispatch and
+# group-commit journaling, the work-stealing pool, the sharded
+# aggregator, and the observability counters/rings.
+tsan="$repo/build-tsan"
+cmake -S "$repo" -B "$tsan" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DVEGA_TSAN=ON
+cmake --build "$tsan" -j "$jobs" --target vega_tests
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}" \
+    ctest --test-dir "$tsan" --output-on-failure \
+    -R 'Campaign|WaveCampaign|ThreadPool|ShardFleet|Obs' -j "$jobs"
+echo "ci_sanitize: ThreadSanitizer campaign/pool pass clean"

@@ -10,6 +10,7 @@
 #include "campaign/journal.h"
 #include "campaign/shard.h"
 #include "campaign/thread_pool.h"
+#include "campaign/wave.h"
 #include "common/fs.h"
 #include "common/logging.h"
 #include "mem/decoder_lift.h"
@@ -62,8 +63,9 @@ make_spec(const CampaignConfig &cfg, size_t npairs, uint64_t id)
     spec.id = id;
     spec.pair_index = size_t(id % npairs);
     uint64_t stream = job_stream(cfg.seed, id);
-    spec.constant =
-        cfg.constants[splitmix64(stream) % cfg.constants.size()];
+    spec.constant_index =
+        size_t(splitmix64(stream) % cfg.constants.size());
+    spec.constant = cfg.constants[spec.constant_index];
     spec.policy = cfg.policies[splitmix64(stream) % cfg.policies.size()];
     spec.probability = cfg.probability;
     spec.seed = splitmix64(stream);
@@ -230,11 +232,7 @@ try_run_campaign(const HwModule &module,
             continue;
         todo.push_back(id);
         JobSpec spec = make_spec(cfg, npairs, id);
-        size_t ci = size_t(
-            std::find(cfg.constants.begin(), cfg.constants.end(),
-                      spec.constant) -
-            cfg.constants.begin());
-        needed[spec.pair_index * nconst + ci] = 1;
+        needed[spec.pair_index * nconst + spec.constant_index] = 1;
     }
     size_t needed_count = 0;
     for (char n : needed)
@@ -247,195 +245,441 @@ try_run_campaign(const HwModule &module,
         meter.emplace(needed_count + todo.size(),
                       cfg.progress_interval, cfg.progress_sink);
 
+    // Wave mode splices every needed fault into ONE bank netlist
+    // (disabled faults are exact pass-throughs) compiled to ONE shared
+    // tape, then runs characterization and injection in 64-episode
+    // waves over it. Memory-module campaigns stay on the scalar
+    // MarchEngine path, as do runs with a job_fault_hook (the hook's
+    // per-attempt throw semantics are scalar by definition); any wave
+    // that throws falls back to the scalar oracle per job, so wave
+    // execution is purely a throughput knob.
+    bool use_waves = cfg.wave_execution && !is_mem_module(module.kind) &&
+                     !cfg.job_fault_hook;
+    lift::FaultBank bank;
+    WaveContext wave_ctx;
+    std::vector<size_t> bank_pos;
+    if (use_waves) {
+        try {
+            std::vector<lift::FailureModelSpec> bank_specs;
+            bank_pos.assign(npairs * nconst, SIZE_MAX);
+            for (size_t pi = 0; pi < npairs; ++pi)
+                for (size_t ci = 0; ci < nconst; ++ci)
+                    if (needed[pi * nconst + ci]) {
+                        bank_pos[pi * nconst + ci] = bank_specs.size();
+                        bank_specs.push_back(
+                            fault_spec(pairs[pi], cfg.constants[ci]));
+                    }
+            if (bank_specs.empty()) {
+                use_waves = false;
+            } else {
+                VEGA_SPAN("campaign.build_bank");
+                bank = lift::build_fault_bank(module.netlist, bank_specs);
+                wave_ctx.kind = module.kind;
+                wave_ctx.tape =
+                    std::make_shared<const EvalTape>(bank.netlist);
+                wave_ctx.num_faults = bank.num_faults;
+                wave_ctx.fault_random = &bank.fault_random;
+                wave_ctx.suite = &suite;
+            }
+        } catch (const std::exception &) {
+            use_waves = false;
+        }
+    }
+
     // Characterization pass: once per unique (pair, constant) fault —
-    // never per job — build the failing netlist and probe whether it
-    // corrupts the representative workload. Only faults some pending
-    // job of this shard actually injects are built, so shards (and
-    // resumed runs) don't redo the whole matrix. The netlists are kept
-    // and shared read-only by every job that injects the same fault. A
+    // never per job — probe whether the fault corrupts the
+    // representative workload. Only faults some pending job of this
+    // shard actually injects are probed, so shards (and resumed runs)
+    // don't redo the whole matrix. In scalar mode the failing netlists
+    // are kept and shared read-only by every job that injects the same
+    // fault; in wave mode the bank tape serves that role. A
     // characterization that throws poisons only the jobs that depend
     // on that fault; they quarantine instead of crashing the run.
-    std::vector<lift::FailingNetlist> faults(npairs * nconst);
+    std::vector<lift::FailingNetlist> faults(
+        use_waves ? 0 : npairs * nconst);
     std::vector<mem::MemFaultClass> mem_faults(
         is_mem_module(module.kind) ? npairs * nconst : 0);
     std::vector<char> corrupts(npairs * nconst, 0);
     std::vector<std::string> char_error(npairs * nconst);
-    for (size_t pi = 0; pi < npairs; ++pi) {
-        for (size_t ci = 0; ci < nconst; ++ci) {
-            if (!needed[pi * nconst + ci])
-                continue;
-            pool.submit([&, pi, ci] {
+    if (use_waves) {
+        std::vector<size_t> pending_faults;
+        pending_faults.reserve(needed_count);
+        for (size_t idx = 0; idx < npairs * nconst; ++idx)
+            if (needed[idx])
+                pending_faults.push_back(idx);
+        for (size_t base = 0; base < pending_faults.size();
+             base += kWaveLanes) {
+            size_t count =
+                std::min(kWaveLanes, pending_faults.size() - base);
+            std::vector<size_t> chunk(
+                pending_faults.begin() + long(base),
+                pending_faults.begin() + long(base + count));
+            pool.submit([&, chunk] {
                 VEGA_SPAN("campaign.characterize");
-                size_t idx = pi * nconst + ci;
                 try {
-                    if (is_mem_module(module.kind)) {
-                        // Decoder lifting: the constant axis does not
-                        // apply to slow-gate faults; every (pair, C)
-                        // slot carries the pair's classified class.
-                        CellId gate = mem::pick_decoder_gate(
-                            module.netlist, pairs[pi].worst);
-                        if (gate == kInvalidId)
-                            throw std::runtime_error(
-                                "no decode gate on worst path");
-                        mem_faults[idx] = mem::classify_slow_gate(
-                            module.netlist, gate);
-                        corrupts[idx] =
-                            mem::mem_workload_corrupts(mem_faults[idx]);
-                    } else {
-                        faults[idx] = lift::build_failing_netlist(
-                            module.netlist,
-                            fault_spec(pairs[pi], cfg.constants[ci]));
-                        uint64_t seed =
-                            job_stream(~cfg.seed, uint64_t(idx));
-                        corrupts[idx] = workload_corrupts(
-                            module.kind, faults[idx].netlist,
-                            faults[idx].has_random_input, seed);
+                    std::vector<std::pair<size_t, uint64_t>> req;
+                    req.reserve(chunk.size());
+                    for (size_t idx : chunk)
+                        req.push_back(
+                            {bank_pos[idx],
+                             job_stream(~cfg.seed, uint64_t(idx))});
+                    std::vector<char> verdicts =
+                        characterize_wave(wave_ctx, req);
+                    for (size_t i = 0; i < chunk.size(); ++i)
+                        corrupts[chunk[i]] = verdicts[i];
+                } catch (const std::exception &) {
+                    // Wave execution must never cost correctness:
+                    // probe each fault standalone, exactly like the
+                    // scalar path would have.
+                    for (size_t idx : chunk) {
+                        try {
+                            lift::FailingNetlist f =
+                                lift::build_failing_netlist(
+                                    module.netlist,
+                                    fault_spec(
+                                        pairs[idx / nconst],
+                                        cfg.constants[idx % nconst]));
+                            corrupts[idx] = workload_corrupts(
+                                module.kind, f.netlist,
+                                f.has_random_input,
+                                job_stream(~cfg.seed, uint64_t(idx)));
+                        } catch (const std::exception &e) {
+                            char_error[idx] = e.what();
+                        } catch (...) {
+                            char_error[idx] = "non-standard exception";
+                        }
                     }
-                } catch (const std::exception &e) {
-                    char_error[idx] = e.what();
-                } catch (...) {
-                    char_error[idx] = "non-standard exception";
                 }
                 if (meter)
-                    meter->job_done(0);
+                    for (size_t i = 0; i < chunk.size(); ++i)
+                        meter->job_done(0);
             });
+        }
+    } else {
+        for (size_t pi = 0; pi < npairs; ++pi) {
+            for (size_t ci = 0; ci < nconst; ++ci) {
+                if (!needed[pi * nconst + ci])
+                    continue;
+                pool.submit([&, pi, ci] {
+                    VEGA_SPAN("campaign.characterize");
+                    size_t idx = pi * nconst + ci;
+                    try {
+                        if (is_mem_module(module.kind)) {
+                            // Decoder lifting: the constant axis does
+                            // not apply to slow-gate faults; every
+                            // (pair, C) slot carries the pair's
+                            // classified class.
+                            CellId gate = mem::pick_decoder_gate(
+                                module.netlist, pairs[pi].worst);
+                            if (gate == kInvalidId)
+                                throw std::runtime_error(
+                                    "no decode gate on worst path");
+                            mem_faults[idx] = mem::classify_slow_gate(
+                                module.netlist, gate);
+                            corrupts[idx] = mem::mem_workload_corrupts(
+                                mem_faults[idx]);
+                        } else {
+                            faults[idx] = lift::build_failing_netlist(
+                                module.netlist,
+                                fault_spec(pairs[pi],
+                                           cfg.constants[ci]));
+                            uint64_t seed =
+                                job_stream(~cfg.seed, uint64_t(idx));
+                            corrupts[idx] = workload_corrupts(
+                                module.kind, faults[idx].netlist,
+                                faults[idx].has_random_input, seed);
+                        }
+                    } catch (const std::exception &e) {
+                        char_error[idx] = e.what();
+                    } catch (...) {
+                        char_error[idx] = "non-standard exception";
+                    }
+                    if (meter)
+                        meter->job_done(0);
+                });
+            }
         }
     }
     pool.wait_idle();
+    double characterize_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
 
     // Injection pass: the Monte Carlo jobs proper. Results land in
     // slots keyed by job id, so completion order is irrelevant. A job
     // that throws retries with a fresh (deterministically derived)
     // seed; one that fails every attempt is quarantined. Every settled
     // job is checkpointed to the journal before the campaign moves on.
+    auto t_inject = std::chrono::steady_clock::now();
     std::mutex state_mu;
+    std::mutex journal_mu;
     std::atomic<bool> stop{false};
+    std::atomic<uint64_t> journal_nanos{0};
     size_t completed_this_run = 0;
     size_t settled_this_run = 0;
     std::optional<VegaError> journal_error;
-    for (uint64_t id : todo) {
-        JobSpec spec = make_spec(cfg, npairs, id);
-        size_t ci = size_t(
-            std::find(cfg.constants.begin(), cfg.constants.end(),
-                      spec.constant) -
-            cfg.constants.begin());
-        size_t idx = spec.pair_index * nconst + ci;
-        pool.submit([&, spec, idx] {
-            if (stop.load(std::memory_order_relaxed))
-                return;
-            VEGA_SPAN("campaign.job");
-            static obs::Counter &jobs_counter =
-                obs::counter("campaign.jobs");
-            jobs_counter.inc();
-            worker_jobs_counter().inc();
-            if (!char_error[idx].empty()) {
-                FailedJob f;
-                f.id = spec.id;
-                f.pair_index = spec.pair_index;
-                f.attempts = 0;
-                f.error = make_error(ErrorCode::JobFailed,
-                                     "characterization: " +
-                                         char_error[idx]);
-                std::lock_guard<std::mutex> lk(state_mu);
-                failed.push_back(f);
-                ++settled_this_run;
-                if (journal.is_open() && !journal_error) {
-                    Expected<void> w = journal.record(f);
-                    if (!w)
-                        journal_error = w.error();
-                }
-                return;
+
+    // Journal writes run under their own mutex, off the hot state_mu:
+    // a group-commit rewrite (and its fsync) must not block workers
+    // that only need to settle counters. Record order across threads
+    // is arbitrary, which is fine — replay is keyed by job id.
+    auto journal_record = [&](const auto &record) {
+        if (!journal.is_open())
+            return;
+        auto jt0 = std::chrono::steady_clock::now();
+        {
+            std::lock_guard<std::mutex> lk(journal_mu);
+            if (!journal_error) {
+                Expected<void> w = journal.record(record);
+                if (!w)
+                    journal_error = w.error();
             }
-            bool corrupting = corrupts[idx] != 0;
-            JobSpec attempt_spec = spec;
-            JobResult jr;
-            VegaError last;
-            bool ok = false;
-            for (int attempt = 1; attempt <= max_attempts; ++attempt) {
-                try {
-                    if (cfg.job_fault_hook)
-                        cfg.job_fault_hook(spec, attempt);
-                    jr = run_job(module.kind, faults[idx],
-                                 is_mem_module(module.kind)
-                                     ? mem_faults[idx]
-                                     : mem::MemFaultClass{},
-                                 suite, attempt_spec, corrupting);
-                    jr.attempts = uint32_t(attempt);
-                    ok = true;
-                    break;
-                } catch (const std::exception &e) {
-                    last = make_error(ErrorCode::JobFailed,
-                                      "attempt " +
-                                          std::to_string(attempt) +
-                                          ": " + e.what());
-                } catch (...) {
-                    last = make_error(ErrorCode::JobFailed,
-                                      "attempt " +
-                                          std::to_string(attempt) +
-                                          ": non-standard exception");
-                }
-                static obs::Counter &retry_counter =
-                    obs::counter("campaign.retries");
-                retry_counter.inc();
-                // Fresh downstream randomness for the retry, still a
-                // pure function of (campaign seed, job id, attempt).
-                uint64_t stream = job_stream(
-                    cfg.seed ^
-                        (0x9e3779b97f4a7c15ull * uint64_t(attempt)),
-                    spec.id);
-                attempt_spec.seed = splitmix64(stream);
-            }
+        }
+        journal_nanos.fetch_add(
+            uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now() - jt0)
+                         .count()),
+            std::memory_order_relaxed);
+    };
+
+    auto settle_result = [&](const JobResult &jr) {
+        bool do_kill = false;
+        {
             std::lock_guard<std::mutex> lk(state_mu);
+            done[jr.id] = jr;
             ++settled_this_run;
-            if (ok) {
-                done[spec.id] = jr;
-                if (journal.is_open() && !journal_error) {
-                    Expected<void> w = journal.record(jr);
-                    if (!w)
-                        journal_error = w.error();
-                }
-                ++completed_this_run;
-                if (cfg.stop_after_jobs &&
-                    completed_this_run >= cfg.stop_after_jobs)
-                    stop.store(true, std::memory_order_relaxed);
-                // The real thing, not a simulation: SIGKILL is
-                // uncatchable, so buffered journal records die with
-                // the process exactly as in a production OOM kill.
-                if (cfg.kill_after_jobs &&
-                    completed_this_run >= cfg.kill_after_jobs)
-                    std::raise(SIGKILL);
-            } else {
-                FailedJob f;
-                f.id = spec.id;
-                f.pair_index = spec.pair_index;
-                f.attempts = uint32_t(max_attempts);
-                f.error = last;
-                failed.push_back(f);
-                if (journal.is_open() && !journal_error) {
-                    Expected<void> w = journal.record(f);
-                    if (!w)
-                        journal_error = w.error();
-                }
+            ++completed_this_run;
+            if (cfg.stop_after_jobs &&
+                completed_this_run >= cfg.stop_after_jobs)
+                stop.store(true, std::memory_order_relaxed);
+            if (cfg.kill_after_jobs &&
+                completed_this_run >= cfg.kill_after_jobs)
+                do_kill = true;
+        }
+        journal_record(jr);
+        // The real thing, not a simulation: SIGKILL is uncatchable, so
+        // buffered journal records die with the process exactly as in
+        // a production OOM kill. In wave mode the trigger lands mid-
+        // wave, with sibling episodes' records still unflushed.
+        if (do_kill)
+            std::raise(SIGKILL);
+        if (meter)
+            meter->job_done(jr.sim_cycles);
+    };
+
+    auto settle_failed = [&](const FailedJob &f, bool meter_tick) {
+        {
+            std::lock_guard<std::mutex> lk(state_mu);
+            failed.push_back(f);
+            ++settled_this_run;
+        }
+        journal_record(f);
+        if (meter_tick && meter)
+            meter->job_done(0);
+    };
+
+    auto char_failed_job = [&](const JobSpec &spec, size_t idx) {
+        FailedJob f;
+        f.id = spec.id;
+        f.pair_index = spec.pair_index;
+        f.attempts = 0;
+        f.error = make_error(ErrorCode::JobFailed,
+                             "characterization: " + char_error[idx]);
+        return f;
+    };
+
+    // The scalar retry ladder — the semantics oracle wave execution is
+    // measured against, and the per-job fallback when a wave throws.
+    auto run_with_retries = [&](const JobSpec &spec,
+                                const lift::FailingNetlist &failing,
+                                const mem::MemFaultClass &mem_cls,
+                                bool corrupting, JobResult &jr,
+                                VegaError &last) {
+        JobSpec attempt_spec = spec;
+        for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+            try {
+                if (cfg.job_fault_hook)
+                    cfg.job_fault_hook(spec, attempt);
+                jr = run_job(module.kind, failing, mem_cls, suite,
+                             attempt_spec, corrupting);
+                jr.attempts = uint32_t(attempt);
+                return true;
+            } catch (const std::exception &e) {
+                last = make_error(ErrorCode::JobFailed,
+                                  "attempt " + std::to_string(attempt) +
+                                      ": " + e.what());
+            } catch (...) {
+                last = make_error(ErrorCode::JobFailed,
+                                  "attempt " + std::to_string(attempt) +
+                                      ": non-standard exception");
             }
-            if (meter)
-                meter->job_done(ok ? jr.sim_cycles : 0);
-        });
+            static obs::Counter &retry_counter =
+                obs::counter("campaign.retries");
+            retry_counter.inc();
+            // Fresh downstream randomness for the retry, still a pure
+            // function of (campaign seed, job id, attempt).
+            uint64_t stream = job_stream(
+                cfg.seed ^ (0x9e3779b97f4a7c15ull * uint64_t(attempt)),
+                spec.id);
+            attempt_spec.seed = splitmix64(stream);
+        }
+        return false;
+    };
+
+    if (use_waves) {
+        // Wave dispatch: pending jobs bucket into 64-episode waves in
+        // id order, each wave one pool task sharing the read-only bank
+        // tape. Per-job settling keeps stop/kill semantics exact: a
+        // stop flag raised mid-wave drops the wave's remaining
+        // (unsettled) episodes, which a resume simply re-runs.
+        std::vector<JobSpec> wave_specs;
+        wave_specs.reserve(kWaveLanes);
+        auto flush_wave = [&] {
+            if (wave_specs.empty())
+                return;
+            pool.submit([&, specs = wave_specs] {
+                if (stop.load(std::memory_order_relaxed))
+                    return;
+                VEGA_SPAN("campaign.wave");
+                std::vector<WaveJob> wjobs;
+                wjobs.reserve(specs.size());
+                for (const JobSpec &s : specs) {
+                    size_t idx =
+                        s.pair_index * nconst + s.constant_index;
+                    if (char_error[idx].empty())
+                        wjobs.push_back(
+                            {s, bank_pos[idx], corrupts[idx] != 0});
+                }
+                std::vector<JobResult> results;
+                bool wave_ok = true;
+                try {
+                    results = run_wave(wave_ctx, wjobs);
+                } catch (const std::exception &) {
+                    wave_ok = false;
+                }
+                size_t ri = 0;
+                for (const JobSpec &s : specs) {
+                    if (stop.load(std::memory_order_relaxed))
+                        return;
+                    VEGA_SPAN("campaign.job");
+                    static obs::Counter &jobs_counter =
+                        obs::counter("campaign.jobs");
+                    jobs_counter.inc();
+                    worker_jobs_counter().inc();
+                    size_t idx =
+                        s.pair_index * nconst + s.constant_index;
+                    if (!char_error[idx].empty()) {
+                        settle_failed(char_failed_job(s, idx), false);
+                        continue;
+                    }
+                    if (wave_ok) {
+                        settle_result(results[ri++]);
+                        continue;
+                    }
+                    // The wave threw: rerun this episode standalone
+                    // through the scalar oracle (identical result by
+                    // the lockstep contract).
+                    std::optional<lift::FailingNetlist> failing;
+                    JobResult jr;
+                    VegaError last;
+                    bool ok = false;
+                    try {
+                        failing.emplace(lift::build_failing_netlist(
+                            module.netlist,
+                            fault_spec(pairs[s.pair_index],
+                                       cfg.constants[s.constant_index])));
+                    } catch (const std::exception &e) {
+                        last = make_error(ErrorCode::JobFailed,
+                                          e.what());
+                    }
+                    if (failing)
+                        ok = run_with_retries(s, *failing,
+                                              mem::MemFaultClass{},
+                                              corrupts[idx] != 0, jr,
+                                              last);
+                    if (ok) {
+                        settle_result(jr);
+                    } else {
+                        FailedJob f;
+                        f.id = s.id;
+                        f.pair_index = s.pair_index;
+                        f.attempts = uint32_t(max_attempts);
+                        f.error = last;
+                        settle_failed(f, true);
+                    }
+                }
+            });
+            wave_specs.clear();
+        };
+        for (uint64_t id : todo) {
+            wave_specs.push_back(make_spec(cfg, npairs, id));
+            if (wave_specs.size() == kWaveLanes)
+                flush_wave();
+        }
+        flush_wave();
+    } else {
+        for (uint64_t id : todo) {
+            JobSpec spec = make_spec(cfg, npairs, id);
+            size_t idx = spec.pair_index * nconst + spec.constant_index;
+            pool.submit([&, spec, idx] {
+                if (stop.load(std::memory_order_relaxed))
+                    return;
+                VEGA_SPAN("campaign.job");
+                static obs::Counter &jobs_counter =
+                    obs::counter("campaign.jobs");
+                jobs_counter.inc();
+                worker_jobs_counter().inc();
+                if (!char_error[idx].empty()) {
+                    settle_failed(char_failed_job(spec, idx), false);
+                    return;
+                }
+                JobResult jr;
+                VegaError last;
+                bool ok = run_with_retries(
+                    spec, faults[idx],
+                    is_mem_module(module.kind) ? mem_faults[idx]
+                                               : mem::MemFaultClass{},
+                    corrupts[idx] != 0, jr, last);
+                if (ok) {
+                    settle_result(jr);
+                } else {
+                    FailedJob f;
+                    f.id = spec.id;
+                    f.pair_index = spec.pair_index;
+                    f.attempts = uint32_t(max_attempts);
+                    f.error = last;
+                    settle_failed(f, true);
+                }
+            });
+        }
     }
     pool.wait_idle();
+    double simulate_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t_inject)
+            .count();
     if (journal.is_open() && !journal_error) {
         // Every owned job settled => the shard is complete: seal the
         // journal with its integrity trailer so the aggregator will
         // accept it. An early stop leaves the journal trailerless —
         // resumable, but rejected at aggregation as shard-incomplete.
+        auto jt0 = std::chrono::steady_clock::now();
         bool complete = settled_this_run == todo.size();
         Expected<void> sealed =
             complete ? journal.finalize() : journal.sync();
         if (!sealed)
             journal_error = sealed.error();
+        journal_nanos.fetch_add(
+            uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now() - jt0)
+                         .count()),
+            std::memory_order_relaxed);
     }
     if (journal_error)
         return *journal_error;
 
+    auto t_agg = std::chrono::steady_clock::now();
     std::vector<JobResult> results;
     results.reserve(cfg.num_jobs);
     for (uint64_t id = 0; id < cfg.num_jobs; ++id)
@@ -464,6 +708,14 @@ try_run_campaign(const HwModule &module,
     report.timing.peak_queue_depth = pool.peak_queued();
     report.timing.journal_flushes = journal.flushes();
     report.timing.journal_bytes = journal.bytes_written();
+    report.timing.characterize_seconds = characterize_wall;
+    report.timing.simulate_seconds = simulate_wall;
+    report.timing.journal_seconds =
+        double(journal_nanos.load(std::memory_order_relaxed)) * 1e-9;
+    report.timing.aggregate_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t_agg)
+            .count();
     if (meter)
         meter->finish();
     return report;

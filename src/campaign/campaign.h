@@ -56,6 +56,15 @@ struct CampaignConfig
     double probability = 0.5;
     /** Per-job scheduler slot budget (0 ⇒ 2 × suite size). */
     uint64_t max_slots = 0;
+    /**
+     * Execute functional-unit jobs in 64-episode waves on a shared
+     * fault-bank tape (campaign/wave.h) instead of one netlist
+     * simulation per job. Reports are byte-identical either way — the
+     * scalar path remains the semantics oracle — so this is purely a
+     * throughput knob. Memory-module campaigns and runs with a
+     * job_fault_hook always take the scalar path.
+     */
+    bool wave_execution = true;
     /** Cap on the endpoint-pair working set. */
     size_t max_pairs = SIZE_MAX;
     /** Emit periodic progress lines to stderr. */

@@ -6,17 +6,6 @@ namespace vega::campaign {
 
 namespace {
 
-/**
- * Instruction budgets for campaign runs. A fault that corrupts loop
- * control flow can turn a terminating kernel into an infinite one, and
- * the ISS default watchdog (100M instructions) is far too generous
- * when every instruction is a gate-level netlist simulation. The
- * representative kernels retire well under 50k instructions, so these
- * bounds only ever trip on runaway faulty executions.
- */
-constexpr uint64_t kWorkloadWatchdog = 400000;
-constexpr uint64_t kTestWatchdog = 1000000;
-
 void
 mount_backend(cpu::Iss &iss, ModuleKind kind, cpu::NetlistBackend *backend)
 {

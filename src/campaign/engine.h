@@ -24,6 +24,21 @@
 
 namespace vega::campaign {
 
+/**
+ * Instruction budgets for campaign runs. A fault that corrupts loop
+ * control flow can turn a terminating kernel into an infinite one, and
+ * the ISS default watchdog (100M instructions) is far too generous
+ * when every instruction is a gate-level netlist simulation. The
+ * representative kernels retire at most ~81k instructions (ud; crc32
+ * and minver are well under that), so the workload bound only ever
+ * trips on runaway faulty executions — and every extra watchdog
+ * instruction is pure wall-clock on runs already known corrupt. The
+ * wave and scalar paths share these so characterization verdicts stay
+ * identical between them.
+ */
+constexpr uint64_t kWorkloadWatchdog = 120000;
+constexpr uint64_t kTestWatchdog = 1000000;
+
 class NetlistEngine : public runtime::Engine
 {
   public:

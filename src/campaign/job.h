@@ -48,6 +48,10 @@ struct JobSpec
     /** Index into the campaign's endpoint-pair working set. */
     size_t pair_index = 0;
     lift::FaultConstant constant = lift::FaultConstant::Zero;
+    /** Index of `constant` in the campaign's constants list — kept
+     *  alongside the value so fault-matrix slots resolve by arithmetic
+     *  instead of a linear search per job. */
+    size_t constant_index = 0;
     runtime::SchedulePolicy policy = runtime::SchedulePolicy::Sequential;
     /** Dispatch probability for the probabilistic policy. */
     double probability = 1.0;

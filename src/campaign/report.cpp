@@ -212,7 +212,11 @@ CampaignReport::to_json(bool include_timing, bool include_jobs) const
         kv(out, "steals", timing.steals);
         kv(out, "peak_queue_depth", timing.peak_queue_depth);
         kv(out, "journal_flushes", timing.journal_flushes);
-        kv(out, "journal_bytes", timing.journal_bytes, false);
+        kv(out, "journal_bytes", timing.journal_bytes);
+        kv(out, "characterize_seconds", timing.characterize_seconds);
+        kv(out, "simulate_seconds", timing.simulate_seconds);
+        kv(out, "journal_seconds", timing.journal_seconds);
+        kv(out, "aggregate_seconds", timing.aggregate_seconds, false);
         out += '}';
     }
     out += '}';

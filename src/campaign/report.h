@@ -89,6 +89,15 @@ struct CampaignTiming
     uint64_t journal_flushes = 0;
     /** Total bytes those rewrites wrote. */
     uint64_t journal_bytes = 0;
+
+    // Per-stage wall breakdown: where the campaign actually spent its
+    // time. characterize/simulate are elapsed pass times; journal is
+    // the summed time inside journal record/seal calls (overlaps the
+    // simulate stage); aggregate covers report assembly.
+    double characterize_seconds = 0.0;
+    double simulate_seconds = 0.0;
+    double journal_seconds = 0.0;
+    double aggregate_seconds = 0.0;
 };
 
 struct CampaignReport

@@ -1,0 +1,221 @@
+#include "cpu/batch_backend.h"
+
+#include "common/logging.h"
+
+namespace vega::cpu {
+
+namespace {
+
+int
+lowest_lane(uint64_t mask)
+{
+    return __builtin_ctzll(mask);
+}
+
+} // namespace
+
+BatchNetlistEngine::BatchNetlistEngine(ModuleKind kind,
+                                       std::shared_ptr<const EvalTape> tape)
+    : kind_(kind), sim_(std::move(tape)), rngs_(kLanes), rngs_save_(kLanes),
+      results_(kLanes), cycles_(kLanes, 0), tag_mismatches_(kLanes, 0)
+{
+    VEGA_CHECK(kind == ModuleKind::Alu32 || kind == ModuleKind::Fpu32 ||
+                   kind == ModuleKind::Mdu32,
+               "batch engine supports alu32/fpu32/mdu32 modules");
+    const Netlist &nl = sim_.netlist();
+    a_nets_ = nl.bus("a");
+    b_nets_ = nl.bus("b");
+    op_nets_ = nl.bus("op");
+    r_nets_ = nl.bus("r");
+    a_planes_.assign(a_nets_.size(), 0);
+    b_planes_.assign(b_nets_.size(), 0);
+    op_planes_.assign(op_nets_.size(), 0);
+    if (kind_ == ModuleKind::Fpu32) {
+        flags_nets_ = nl.bus("flags");
+        valid_net_ = nl.bus("valid")[0];
+        clear_net_ = nl.bus("clear")[0];
+        valid_out_net_ = nl.bus("valid_out")[0];
+        ack_net_ = nl.bus("ack")[0];
+        dbg_net_ = nl.bus("dbg_out")[0];
+    }
+    if (nl.has_bus("fm_rand")) {
+        has_random_input_ = true;
+        rand_net_ = nl.bus("fm_rand")[0];
+    }
+    // reset() already zeroed every primary input — including valid and
+    // clear, matching the scalar FPU backend's constructor.
+}
+
+void
+BatchNetlistEngine::set_lane_bus(const std::string &bus, int lane,
+                                 const BitVec &value)
+{
+    sim_.set_bus_lane(bus, lane, value);
+}
+
+void
+BatchNetlistEngine::configure_lane_random(int lane, bool random,
+                                          uint64_t seed)
+{
+    rngs_[size_t(lane)] = Rng(seed);
+    if (random) {
+        VEGA_CHECK(has_random_input_,
+                   "random-fault lane needs an fm_rand input");
+        random_mask_ |= uint64_t(1) << lane;
+    } else {
+        random_mask_ &= ~(uint64_t(1) << lane);
+    }
+}
+
+void
+BatchNetlistEngine::post_op(int lane, uint8_t op, uint32_t a, uint32_t b)
+{
+    uint64_t bit = uint64_t(1) << lane;
+    participant_mask_ |= bit;
+    op_mask_ |= bit;
+    for (size_t i = 0; i < a_planes_.size(); ++i)
+        a_planes_[i] = (a_planes_[i] & ~bit) | (uint64_t((a >> i) & 1) << lane);
+    for (size_t i = 0; i < b_planes_.size(); ++i)
+        b_planes_[i] = (b_planes_[i] & ~bit) | (uint64_t((b >> i) & 1) << lane);
+    for (size_t i = 0; i < op_planes_.size(); ++i)
+        op_planes_[i] =
+            (op_planes_[i] & ~bit) | (uint64_t((op >> i) & 1) << lane);
+}
+
+void
+BatchNetlistEngine::post_idle(int lane)
+{
+    participant_mask_ |= uint64_t(1) << lane;
+}
+
+void
+BatchNetlistEngine::post_read_fflags(int lane)
+{
+    VEGA_CHECK(kind_ == ModuleKind::Fpu32, "fflags live in the FPU");
+    uint64_t bit = uint64_t(1) << lane;
+    participant_mask_ |= bit;
+    read_mask_ |= bit;
+}
+
+void
+BatchNetlistEngine::post_clear_fflags(int lane)
+{
+    VEGA_CHECK(kind_ == ModuleKind::Fpu32, "fflags live in the FPU");
+    uint64_t bit = uint64_t(1) << lane;
+    participant_mask_ |= bit;
+    clear_mask_ |= bit;
+}
+
+void
+BatchNetlistEngine::draw_rand(uint64_t lanes_mask)
+{
+    if (rand_net_ == kInvalidId)
+        return;
+    for (uint64_t m = lanes_mask & random_mask_; m; m &= m - 1) {
+        int lane = lowest_lane(m);
+        uint64_t bit = uint64_t(1) << lane;
+        rand_plane_ = (rand_plane_ & ~bit) |
+                      (uint64_t(rngs_[size_t(lane)].next() & 1) << lane);
+    }
+    sim_.set_input(rand_net_, rand_plane_);
+}
+
+void
+BatchNetlistEngine::commit_round()
+{
+    // 1. Pre-tick speculative edge: ReadFflags lanes sample the sticky
+    // flags register as of *now* (the scalar read_fflags() peeks before
+    // the instruction's idle tick). The edge commits every lane's DFFs,
+    // but the restore makes that invisible to non-reading lanes.
+    if (read_mask_) {
+        sim_.save_state_into(planes_save_);
+        rngs_save_ = rngs_;
+        draw_rand(read_mask_);
+        sim_.step();
+        for (uint64_t m = read_mask_; m; m &= m - 1) {
+            int lane = lowest_lane(m);
+            FuBackend::FuResult &res = results_[size_t(lane)];
+            res = {};
+            for (size_t i = 0; i < flags_nets_.size(); ++i)
+                res.flags |= uint8_t(bit_of(sim_.value(flags_nets_[i]), lane)
+                                     << i);
+            ++cycles_[size_t(lane)];
+        }
+        sim_.restore_state(planes_save_);
+        rngs_ = rngs_save_;
+    }
+
+    // 2. The real edge. Operand planes hold for idle lanes; valid/clear
+    // pulse only in the lanes whose transaction raises them, exactly as
+    // the scalar fpu()/clear_fflags()/idle() input discipline.
+    for (size_t i = 0; i < a_planes_.size(); ++i)
+        sim_.set_input(a_nets_[i], a_planes_[i]);
+    for (size_t i = 0; i < b_planes_.size(); ++i)
+        sim_.set_input(b_nets_[i], b_planes_[i]);
+    for (size_t i = 0; i < op_planes_.size(); ++i)
+        sim_.set_input(op_nets_[i], op_planes_[i]);
+    if (kind_ == ModuleKind::Fpu32) {
+        sim_.set_input(valid_net_, op_mask_);
+        sim_.set_input(clear_net_, clear_mask_);
+    }
+    draw_rand(participant_mask_);
+    sim_.step();
+    if (kind_ == ModuleKind::Fpu32) {
+        sim_.set_input(valid_net_, 0);
+        sim_.set_input(clear_net_, 0);
+    }
+    for (uint64_t m = participant_mask_; m; m &= m - 1)
+        ++cycles_[size_t(lowest_lane(m))];
+
+    // 3. Post-tick speculative edge: Op lanes read their results one
+    // edge ahead (the scalar peek_outputs()), without disturbing the
+    // committed timeline or any lane's fm_rand stream.
+    if (op_mask_) {
+        sim_.save_state_into(planes_save_);
+        rngs_save_ = rngs_;
+        draw_rand(op_mask_);
+        sim_.step();
+        for (uint64_t m = op_mask_; m; m &= m - 1)
+            results_[size_t(lowest_lane(m))] = {};
+        for (size_t i = 0; i < r_nets_.size(); ++i) {
+            uint64_t plane = sim_.value(r_nets_[i]);
+            for (uint64_t m = op_mask_; m; m &= m - 1) {
+                int lane = lowest_lane(m);
+                results_[size_t(lane)].value |=
+                    uint32_t(bit_of(plane, lane)) << i;
+            }
+        }
+        if (kind_ == ModuleKind::Fpu32) {
+            std::vector<uint64_t> flag_planes(flags_nets_.size());
+            for (size_t i = 0; i < flags_nets_.size(); ++i)
+                flag_planes[i] = sim_.value(flags_nets_[i]);
+            uint64_t valid_plane = sim_.value(valid_out_net_);
+            uint64_t ack_plane = sim_.value(ack_net_);
+            uint64_t dbg_plane = sim_.value(dbg_net_);
+            for (uint64_t m = op_mask_; m; m &= m - 1) {
+                int lane = lowest_lane(m);
+                uint64_t bit = uint64_t(1) << lane;
+                FuBackend::FuResult &res = results_[size_t(lane)];
+                for (size_t i = 0; i < flags_nets_.size(); ++i)
+                    res.flags |= uint8_t(bit_of(flag_planes[i], lane) << i);
+                res.stalled = !(bit_of(valid_plane, lane) &&
+                                bit_of(ack_plane, lane));
+                // dbg_out lags the tag toggle by one stage: this peek
+                // shows the parity of ops issued strictly before.
+                bool dbg = bit_of(dbg_plane, lane) != 0;
+                bool expected = (expected_tag_mask_ & bit) != 0;
+                if (dbg != expected)
+                    ++tag_mismatches_[size_t(lane)];
+                expected_tag_mask_ ^= bit;
+            }
+        }
+        for (uint64_t m = op_mask_; m; m &= m - 1)
+            ++cycles_[size_t(lowest_lane(m))];
+        sim_.restore_state(planes_save_);
+        rngs_ = rngs_save_;
+    }
+
+    participant_mask_ = op_mask_ = read_mask_ = clear_mask_ = 0;
+}
+
+} // namespace vega::cpu

@@ -250,9 +250,11 @@ Iss::step()
         uint32_t b = has_imm ? uint32_t(i.imm) : x_[i.rs2];
         if (cfg_.record_fu_trace)
             fu_trace_.push_back({ModuleKind::Alu32, uint8_t(op), a, b});
-        if (alu_backend_) {
+        if (alu_backend_ || injected_) {
             used_alu = true;
-            FuBackend::FuResult r = alu_backend_->alu(uint8_t(op), a, b);
+            FuBackend::FuResult r = injected_
+                                        ? take_injected()
+                                        : alu_backend_->alu(uint8_t(op), a, b);
             if (r.stalled)
                 stalled_ = true;
             set_reg(i.rd, r.value);
@@ -276,9 +278,11 @@ Iss::step()
         uint32_t a = x_[i.rs1], b = x_[i.rs2];
         if (cfg_.record_fu_trace)
             fu_trace_.push_back({ModuleKind::Mdu32, uint8_t(op), a, b});
-        if (mdu_backend_) {
+        if (mdu_backend_ || injected_) {
             used_mdu = true;
-            FuBackend::FuResult r = mdu_backend_->mdu(uint8_t(op), a, b);
+            FuBackend::FuResult r = injected_
+                                        ? take_injected()
+                                        : mdu_backend_->mdu(uint8_t(op), a, b);
             if (r.stalled)
                 stalled_ = true;
             set_reg(i.rd, r.value);
@@ -393,9 +397,11 @@ Iss::step()
         if (cfg_.record_fu_trace)
             fu_trace_.push_back({ModuleKind::Fpu32, uint8_t(op), a, b});
         uint32_t bits;
-        if (fpu_backend_) {
+        if (fpu_backend_ || injected_) {
             used_fpu = true;
-            FuBackend::FuResult r = fpu_backend_->fpu(uint8_t(op), a, b);
+            FuBackend::FuResult r = injected_
+                                        ? take_injected()
+                                        : fpu_backend_->fpu(uint8_t(op), a, b);
             if (r.stalled)
                 stalled_ = true;
             bits = r.value;
@@ -436,10 +442,19 @@ Iss::step()
 
       // --- CSR / environment -------------------------------------------------
       case Op::CsrrFflags:
-        set_reg(i.rd, fpu_backend_ ? fpu_backend_->read_fflags() : fflags_);
+        if (injected_)
+            set_reg(i.rd, take_injected().flags);
+        else
+            set_reg(i.rd,
+                    fpu_backend_ ? fpu_backend_->read_fflags() : fflags_);
         break;
       case Op::CsrwFflags:
-        if (fpu_backend_) {
+        if (injected_) {
+            VEGA_CHECK(i.rs1 == 0,
+                       "netlist FPU backend only supports clearing fflags");
+            used_fpu = true;
+            take_injected(); // the wave engine ticked the clear pulse
+        } else if (fpu_backend_) {
             VEGA_CHECK(i.rs1 == 0,
                        "netlist FPU backend only supports clearing fflags");
             used_fpu = true;
@@ -463,6 +478,71 @@ Iss::step()
         mdu_backend_->idle();
 
     pc_ = next_pc;
+}
+
+FuIssue
+Iss::peek_fu_issue(ModuleKind mounted) const
+{
+    FuIssue issue;
+    if (pc_ >= program_.size())
+        return issue;
+    const Instr &i = program_[pc_];
+    switch (i.op) {
+      case Op::Add: case Op::Sub: case Op::Sll: case Op::Slt:
+      case Op::Sltu: case Op::Xor: case Op::Srl: case Op::Sra:
+      case Op::Or: case Op::And:
+      case Op::Addi: case Op::Slti: case Op::Sltiu: case Op::Xori:
+      case Op::Ori: case Op::Andi: case Op::Slli: case Op::Srli:
+      case Op::Srai:
+        if (mounted == ModuleKind::Alu32) {
+            bool has_imm = i.op >= Op::Addi && i.op <= Op::Srai;
+            issue.kind = FuIssue::Kind::Op;
+            issue.op = uint8_t(alu_op_for(i.op));
+            issue.a = x_[i.rs1];
+            issue.b = has_imm ? uint32_t(i.imm) : x_[i.rs2];
+        }
+        break;
+      case Op::Mul: case Op::Mulh: case Op::Mulhu:
+        if (mounted == ModuleKind::Mdu32) {
+            issue.kind = FuIssue::Kind::Op;
+            issue.op = uint8_t(i.op == Op::Mul    ? MduOp::Mul
+                               : i.op == Op::Mulh ? MduOp::Mulh
+                                                  : MduOp::Mulhu);
+            issue.a = x_[i.rs1];
+            issue.b = x_[i.rs2];
+        }
+        break;
+      case Op::FaddS: case Op::FsubS: case Op::FmulS: case Op::FminS:
+      case Op::FmaxS: case Op::FeqS: case Op::FltS: case Op::FleS:
+        if (mounted == ModuleKind::Fpu32) {
+            issue.kind = FuIssue::Kind::Op;
+            issue.op = uint8_t(fpu_op_for(i.op));
+            issue.a = f_[i.rs1];
+            issue.b = f_[i.rs2];
+        }
+        break;
+      case Op::CsrrFflags:
+        if (mounted == ModuleKind::Fpu32)
+            issue.kind = FuIssue::Kind::ReadFflags;
+        break;
+      case Op::CsrwFflags:
+        if (mounted == ModuleKind::Fpu32)
+            issue.kind = FuIssue::Kind::ClearFflags;
+        break;
+      default:
+        break;
+    }
+    return issue;
+}
+
+void
+Iss::step_one(const FuBackend::FuResult *injected)
+{
+    injected_ = injected;
+    step();
+    VEGA_CHECK(injected_ == nullptr,
+               "injected FU result was not consumed — peek_fu_issue() "
+               "and the executed instruction disagree");
 }
 
 } // namespace vega::cpu

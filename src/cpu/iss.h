@@ -109,6 +109,25 @@ class MemBackend
     virtual Plan access(uint32_t addr, bool is_store) = 0;
 };
 
+/**
+ * The functional-unit transaction the next instruction would issue to a
+ * mounted gate-level unit — the ISS half of the split-transaction
+ * protocol batched execution uses (see Iss::peek_fu_issue).
+ */
+struct FuIssue
+{
+    enum class Kind : uint8_t {
+        None,        ///< no interaction with the mounted unit
+        Op,          ///< alu()/fpu()/mdu() operation
+        ReadFflags,  ///< csrr fflags (FPU-mounted only)
+        ClearFflags, ///< csrw fflags, x0 (FPU-mounted only)
+    };
+    Kind kind = Kind::None;
+    uint8_t op = 0;
+    uint32_t a = 0;
+    uint32_t b = 0;
+};
+
 class Iss
 {
   public:
@@ -137,6 +156,53 @@ class Iss
 
     /** Run until Halt or the instruction budget expires. */
     Status run();
+
+    /// @name Split-transaction execution (batched wave driver)
+    ///
+    /// A backend-mounted run() interleaves ISS steps with synchronous
+    /// backend calls. Wave execution instead runs the ISS with *no*
+    /// backend attached: the driver peeks the transaction the next
+    /// instruction would issue to the one mounted unit, ticks 64 such
+    /// units together on a BatchSimulator, and feeds each lane's
+    /// FuResult back through step_one(). The decode here mirrors
+    /// step()'s backend routing exactly, so wave and scalar executions
+    /// are architecturally lockstep.
+    /// @{
+
+    /** True while run() would keep stepping (no stop condition holds). */
+    bool running() const
+    {
+        return !halted_ && !stalled_ && !trapped_ &&
+               instret_ < cfg_.max_instructions;
+    }
+
+    /** The Status run() reports for the current stop condition. */
+    Status stop_status() const
+    {
+        if (stalled_)
+            return Status::Stalled;
+        if (trapped_)
+            return Status::Trap;
+        return halted_ ? Status::Halted : Status::Watchdog;
+    }
+
+    /**
+     * The transaction the next instruction would issue to a mounted
+     * @p mounted unit (Kind::None for everything else, including an
+     * out-of-range pc). Pure: no state changes.
+     */
+    FuIssue peek_fu_issue(ModuleKind mounted) const;
+
+    /**
+     * Execute exactly one instruction. When @p injected is non-null it
+     * supplies the mounted unit's response for the transaction
+     * peek_fu_issue() reported — the instruction must consume it
+     * (checked). With @p injected null the instruction must not need a
+     * mounted unit; golden models serve any unmounted ones, exactly as
+     * in a scalar run with a single backend attached.
+     */
+    void step_one(const FuBackend::FuResult *injected = nullptr);
+    /// @}
 
     /// @name Architectural state
     /// @{
@@ -175,6 +241,13 @@ class Iss
 
   private:
     void step();
+    /** Claim the injected FU result for the executing instruction. */
+    FuBackend::FuResult take_injected()
+    {
+        FuBackend::FuResult r = *injected_;
+        injected_ = nullptr;
+        return r;
+    }
     /** True when @p bytes at @p addr fit in memory (no u32 wrap). */
     bool mem_ok(uint32_t addr, uint32_t bytes) const
     {
@@ -212,6 +285,8 @@ class Iss
     FuBackend *fpu_backend_ = nullptr;
     FuBackend *mdu_backend_ = nullptr;
     MemBackend *mem_backend_ = nullptr;
+    /** Wave-injected FU result for the instruction being stepped. */
+    const FuBackend::FuResult *injected_ = nullptr;
 };
 
 } // namespace vega::cpu

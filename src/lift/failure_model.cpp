@@ -128,6 +128,106 @@ build_failing_netlist(const Netlist &nl, const FailureModelSpec &spec)
     return out;
 }
 
+FaultBank
+build_fault_bank(const Netlist &nl,
+                 const std::vector<FailureModelSpec> &specs)
+{
+    VEGA_CHECK(!specs.empty(), "fault bank needs at least one spec");
+    FaultBank out;
+    out.netlist = nl; // deep copy
+    out.netlist.set_name(nl.name() + "_bank");
+    out.num_faults = specs.size();
+    out.fault_random.resize(specs.size(), 0);
+    Netlist &bnl = out.netlist;
+
+    // Activation logic must read each launch flop's *original* D net:
+    // once an earlier fault splices a MUX chain in front of a shared
+    // capture flop, cell().in[0] points at the chain, not the module's
+    // own next-state function. With one-hot enables the chain is an
+    // exact pass-through, so the original net carries the same value —
+    // reading it keeps every fault's activation cone identical to its
+    // standalone build_failing_netlist() form.
+    std::unordered_map<CellId, NetId> orig_d;
+    for (const FailureModelSpec &spec : specs) {
+        const Cell &x = bnl.cell(spec.launch);
+        const Cell &y = bnl.cell(spec.capture);
+        VEGA_CHECK(x.type == CellType::Dff && y.type == CellType::Dff,
+                   "failure model endpoints must be DFFs");
+        orig_d.emplace(spec.launch, x.in[0]);
+        orig_d.emplace(spec.capture, y.in[0]);
+    }
+
+    Builder b(bnl, "vegafm");
+    std::vector<NetId> enables = bnl.add_input_bus("fm_en", specs.size());
+    NetId rand_net = kInvalidId;
+    for (const FailureModelSpec &spec : specs) {
+        if (spec.constant == FaultConstant::RandomInput) {
+            rand_net = bnl.add_input_bus("fm_rand", 1)[0];
+            out.has_random_input = true;
+            break;
+        }
+    }
+
+    for (size_t i = 0; i < specs.size(); ++i) {
+        const FailureModelSpec &spec = specs[i];
+        // Copy by value: adding cells below reallocates the cell vector.
+        const Cell x = bnl.cell(spec.launch);
+
+        NetId c_net = kInvalidId;
+        switch (spec.constant) {
+          case FaultConstant::Zero:
+            c_net = b.const0();
+            break;
+          case FaultConstant::One:
+            c_net = b.const1();
+            break;
+          case FaultConstant::RandomInput:
+            c_net = rand_net;
+            out.fault_random[i] = 1;
+            break;
+        }
+
+        NetId gated;
+        if (spec.launch == spec.capture) {
+            // Same-flop path: standalone activation is constant 1, so
+            // the gated form is the enable itself.
+            gated = enables[i];
+        } else {
+            NetId x_now = x.out;
+            NetId x_other = spec.is_setup
+                                ? b.dff(x_now, x.init, x.clock_leaf)
+                                : orig_d.at(spec.launch);
+            NetId active;
+            switch (spec.mitigation) {
+              case Mitigation::None:
+                active = b.xor_(x_now, x_other);
+                break;
+              case Mitigation::RisingEdge:
+                active = spec.is_setup ? b.and_(x_now, b.not_(x_other))
+                                       : b.and_(b.not_(x_now), x_other);
+                break;
+              case Mitigation::FallingEdge:
+                active = spec.is_setup ? b.and_(b.not_(x_now), x_other)
+                                       : b.and_(x_now, b.not_(x_other));
+                break;
+              default:
+                panic("bad mitigation");
+            }
+            gated = b.and_(active, enables[i]);
+        }
+
+        // Chain onto whatever currently drives Y's D — the original
+        // next-state net, or an earlier fault's (pass-through when
+        // disabled) MUX.
+        NetId cur_d = bnl.cell(spec.capture).in[0];
+        NetId faulty = b.mux(cur_d, c_net, gated);
+        bnl.cell_mut(spec.capture).in[0] = faulty;
+    }
+
+    bnl.validate();
+    return out;
+}
+
 ShadowInstrumentation
 build_shadow_instrumentation(const Netlist &nl, const FailureModelSpec &spec)
 {

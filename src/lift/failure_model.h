@@ -70,6 +70,31 @@ struct FailingNetlist
 FailingNetlist build_failing_netlist(const Netlist &nl,
                                      const FailureModelSpec &spec);
 
+/**
+ * A module copy with *every* fault of a working set spliced in at once,
+ * each gated by its own bit of an added "fm_en" input bus. With exactly
+ * one enable raised, the netlist behaves — gate-for-gate on every
+ * original net — like build_failing_netlist() of that spec alone: a
+ * disabled fault's MUX is an exact pass-through, so the chained splices
+ * on a shared capture flop compose to the identity. One compiled
+ * EvalTape of the bank therefore serves a whole campaign's fault matrix,
+ * which is what lets BatchSimulator lanes run 64 different faults per
+ * pass (campaign wave execution).
+ */
+struct FaultBank
+{
+    Netlist netlist;
+    /** Faults in input order; enable bit i of "fm_en" activates spec i. */
+    size_t num_faults = 0;
+    /** True if any spec is RandomInput (one shared "fm_rand" input). */
+    bool has_random_input = false;
+    /** Per fault: does it read "fm_rand"? */
+    std::vector<char> fault_random;
+};
+
+FaultBank build_fault_bank(const Netlist &nl,
+                           const std::vector<FailureModelSpec> &specs);
+
 /** A module copy with fault + shadow replica + cover target. */
 struct ShadowInstrumentation
 {

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -71,8 +72,20 @@ class AgingLibrary
   public:
     AgingLibrary(std::vector<TestCase> suite, AgingLibraryOptions options);
 
-    size_t num_tests() const { return suite_.size(); }
-    const std::vector<TestCase> &suite() const { return suite_; }
+    /**
+     * Share a caller-owned read-only suite instead of copying it. Wave
+     * campaigns instantiate one library per lane per wave; 64 suite
+     * copies per wave would dwarf the actual work. @p suite must be
+     * non-null, non-empty, and outlive the library.
+     */
+    AgingLibrary(const std::vector<TestCase> *suite,
+                 AgingLibraryOptions options);
+
+    size_t num_tests() const { return suite().size(); }
+    const std::vector<TestCase> &suite() const
+    {
+        return shared_ ? *shared_ : suite_;
+    }
     const AgingLibraryOptions &options() const { return options_; }
 
     /** Total cycles of one full sequential pass. */
@@ -87,6 +100,24 @@ class AgingLibrary
     /** One full pass over every test; returns the first detection. */
     Detection run_all(Engine &engine);
 
+    /// @name Split run_next for callers that execute tests themselves
+    ///
+    /// The wave driver cannot hand the library an Engine — a lane's
+    /// test executes across many shared batch rounds — so it claims
+    /// the slot here and reports the outcome when the test finishes.
+    /// schedule_next() + record_result() is exactly run_next() with
+    /// the execution lifted out.
+    /// @{
+
+    /** Claim the next scheduler slot: the test index to run, or
+     *  nullopt for a skipped slot. Counts the dispatch. */
+    std::optional<size_t> schedule_next();
+
+    /** Account a test claimed via schedule_next() finishing with
+     *  @p det (throws under the exception policy, like run_next). */
+    Detection record_result(size_t index, Detection det);
+    /// @}
+
     uint64_t runs() const { return runs_; }
     uint64_t detections() const { return detections_; }
 
@@ -98,6 +129,7 @@ class AgingLibrary
 
     std::vector<TestCase> suite_;
     AgingLibraryOptions options_;
+    const std::vector<TestCase> *shared_ = nullptr;
     Scheduler scheduler_;
     uint64_t runs_ = 0;
     uint64_t detections_ = 0;

@@ -93,6 +93,16 @@ class BatchSimulator
     /** Snapshot of all planes (slot-ordered, opaque to callers). */
     std::vector<uint64_t> save_state() const { return planes_; }
 
+    /**
+     * Snapshot into a caller-owned buffer, reusing its capacity. Hot
+     * paths that save/restore every cycle (the wave driver's
+     * speculative output peeks) avoid a per-cycle allocation this way.
+     */
+    void save_state_into(std::vector<uint64_t> &out) const
+    {
+        out.assign(planes_.begin(), planes_.end());
+    }
+
     /** Restore a snapshot; panics unless it matches this netlist. */
     void restore_state(const std::vector<uint64_t> &state);
 

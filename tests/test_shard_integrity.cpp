@@ -10,6 +10,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <cstdint>
@@ -326,6 +327,70 @@ TEST(ShardFleet, KilledShardIsIncompleteUntilResumed)
               std::string::npos);
 
     // Resume only the killed shard; the others are untouched.
+    CampaignConfig resume = base_config();
+    resume.num_shards = kShards;
+    resume.shard_id = 1;
+    resume.journal_path = shard_path(dir, 1);
+    resume.resume = true;
+    Expected<CampaignReport> r =
+        try_run_campaign(e.module, e.pairs, e.suite, resume);
+    ASSERT_TRUE(r.ok()) << r.error().to_string();
+
+    Expected<AggregateResult> after = aggregate_shard_dir(dir);
+    ASSERT_TRUE(after.ok()) << after.error().to_string();
+    EXPECT_EQ(after->report.to_json(false), e.ref.to_json(false));
+    EXPECT_TRUE(after->manifest.ok);
+}
+
+TEST(ShardFleet, SigkillMidWaveThenResumeIsByteIdentical)
+{
+    // The wave path settles (and journals) episodes one by one while
+    // sibling lanes' results are still in memory, so a SIGKILL after
+    // the second record of a 3-job shard lands *mid-wave*: the third
+    // episode has been simulated but never reaches the journal. The
+    // resume must re-run exactly the missing jobs and the fleet
+    // aggregate must still match the single-process report byte for
+    // byte — the wave-composition-independence contract under the
+    // harshest crash there is.
+    const FleetEnv &e = env();
+    std::string dir = fresh_dir("sigkillwave");
+
+    for (uint64_t k = 0; k < kShards; ++k) {
+        CampaignConfig cfg = base_config();
+        cfg.num_shards = kShards;
+        cfg.shard_id = k;
+        cfg.journal_path = shard_path(dir, k);
+        cfg.journal_flush_every = 1;
+        if (k == 1) {
+            // All 3 of shard 1's jobs share one 64-lane wave; the kill
+            // triggers inside its settle loop. A real, uncatchable
+            // SIGKILL needs a sacrificial process.
+            cfg.kill_after_jobs = 2;
+            pid_t pid = fork();
+            ASSERT_GE(pid, 0);
+            if (pid == 0) {
+                (void)try_run_campaign(e.module, e.pairs, e.suite, cfg);
+                _exit(0); // kill hook failed to fire
+            }
+            int status = 0;
+            ASSERT_EQ(waitpid(pid, &status, 0), pid);
+            ASSERT_TRUE(WIFSIGNALED(status));
+            ASSERT_EQ(WTERMSIG(status), SIGKILL);
+            continue;
+        }
+        Expected<CampaignReport> r =
+            try_run_campaign(e.module, e.pairs, e.suite, cfg);
+        ASSERT_TRUE(r.ok()) << r.error().to_string();
+    }
+
+    // The killed shard never wrote a trailer: aggregation refuses.
+    Expected<AggregateResult> before = aggregate_shard_dir(dir);
+    ASSERT_FALSE(before.ok());
+    EXPECT_EQ(before.error().code, ErrorCode::ShardIncomplete);
+    EXPECT_NE(before.error().context.find("shard-1-of-4.journal"),
+              std::string::npos)
+        << before.error().context;
+
     CampaignConfig resume = base_config();
     resume.num_shards = kShards;
     resume.shard_id = 1;
