@@ -50,6 +50,17 @@ ctest --test-dir "$build" --output-on-failure -L mem -j "$jobs"
 # pinned BENCH_*.json.
 ctest --test-dir "$build" --output-on-failure -L bench-smoke -j "$jobs"
 
+# Portfolio determinism gate: the CoverBatch corpus tests assert that
+# suite-level batched cover solving returns byte-identical results
+# (status, frames, induction depth, witness waveforms) at 1, 2, and 8
+# portfolio threads and under target-order permutation, against the
+# per-query oracle. Clause sharing and work partitioning must never
+# leak into verdicts; run the gate focused so a divergence fails
+# readably before the full suite.
+ctest --test-dir "$build" --output-on-failure \
+    -R 'CoverBatch|SatSolver' -j "$jobs"
+echo "ci_sanitize: portfolio determinism gate clean"
+
 # Thread-scaling gate: the campaign engine must actually scale where
 # the hardware can scale. campaign_scaling --smoke adds an 8-thread
 # run whenever the box has >= 8 hardware threads; on smaller runners
@@ -120,7 +131,8 @@ ctest --test-dir "$build" --output-on-failure -j "$jobs" "$@"
 # share a process with ASan). Focused on the code where a missed lock
 # becomes silent corruption — the campaign engine's wave dispatch and
 # group-commit journaling, the work-stealing pool, the sharded
-# aggregator, and the observability counters/rings.
+# aggregator, the observability counters/rings, and the CoverBatch
+# clause-sharing portfolio (worker mailboxes, shared netlist caches).
 tsan="$repo/build-tsan"
 cmake -S "$repo" -B "$tsan" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -128,5 +140,6 @@ cmake -S "$repo" -B "$tsan" \
 cmake --build "$tsan" -j "$jobs" --target vega_tests
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}" \
     ctest --test-dir "$tsan" --output-on-failure \
-    -R 'Campaign|WaveCampaign|ThreadPool|ShardFleet|Obs' -j "$jobs"
-echo "ci_sanitize: ThreadSanitizer campaign/pool pass clean"
+    -R 'Campaign|WaveCampaign|ThreadPool|ShardFleet|Obs|CoverBatch' \
+    -j "$jobs"
+echo "ci_sanitize: ThreadSanitizer campaign/pool/portfolio pass clean"

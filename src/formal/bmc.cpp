@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/logging.h"
+#include "formal/bmc_internal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -22,7 +23,7 @@ bmc_status_name(BmcStatus status)
     return "?";
 }
 
-namespace {
+namespace detail {
 
 /** Record all port buses of @p nl for frames [0, frames) into a Waveform. */
 Waveform
@@ -47,38 +48,6 @@ extract_trace(const Netlist &nl, const Unroller &unroll, int frames)
     }
     return w;
 }
-
-/**
- * One loop-wide wall-clock deadline, shared by every SAT query of a
- * check_cover call: each query is handed only the time remaining, so
- * the whole call — not each query — honours wall_budget_seconds.
- */
-class LoopDeadline
-{
-  public:
-    explicit LoopDeadline(double seconds) : armed_(seconds >= 0.0)
-    {
-        if (armed_)
-            end_ = Clock::now() +
-                   std::chrono::duration_cast<Clock::duration>(
-                       std::chrono::duration<double>(seconds));
-    }
-
-    /** Seconds left for the next query; -1 when no deadline is armed. */
-    double remaining() const
-    {
-        if (!armed_)
-            return -1.0;
-        double left = std::chrono::duration<double>(end_ - Clock::now())
-                          .count();
-        return left > 0.0 ? left : 0.0;
-    }
-
-  private:
-    using Clock = std::chrono::steady_clock;
-    bool armed_;
-    Clock::time_point end_;
-};
 
 /** Count one query outcome into the bmc.covered/unreachable/timeout
  *  counters at whatever point check_cover settles on it. */
@@ -123,6 +92,20 @@ solve_reset_bound(const Netlist &nl, NetId target, const BmcOptions &opts,
     return res;
 }
 
+double
+seconds_since(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace detail
+
+using namespace detail;
+
+namespace {
+
 /**
  * Scratch deepening loop: a fresh Unroller + solver per bound. The
  * historical engine, kept as the semantic reference for the regression
@@ -132,6 +115,7 @@ BmcResult
 check_cover_scratch(const Netlist &nl, NetId target, const BmcOptions &opts)
 {
     VEGA_SPAN("bmc.check_cover");
+    const auto wall0 = std::chrono::steady_clock::now();
     LoopDeadline deadline(opts.wall_budget_seconds);
     BmcResult result;
     result.conflicts = 0;
@@ -148,12 +132,14 @@ check_cover_scratch(const Netlist &nl, NetId target, const BmcOptions &opts)
             if (res == sat::Solver::Result::Sat) {
                 result.status = BmcStatus::Covered;
                 result.frames = k;
+                result.wall_seconds = seconds_since(wall0);
                 count_outcome(result.status);
                 return result;
             }
             if (res == sat::Solver::Result::Unknown) {
                 result.status = BmcStatus::Timeout;
                 result.frames = k;
+                result.wall_seconds = seconds_since(wall0);
                 count_outcome(result.status);
                 return result;
             }
@@ -181,14 +167,30 @@ check_cover_scratch(const Netlist &nl, NetId target, const BmcOptions &opts)
         if (res == sat::Solver::Result::Unsat) {
             result.status = BmcStatus::Unreachable;
             result.proven_by_induction = true;
+            result.wall_seconds = seconds_since(wall0);
             count_outcome(result.status);
             return result;
         }
         if (res == sat::Solver::Result::Unknown) {
             result.status = BmcStatus::Timeout;
+            result.wall_seconds = seconds_since(wall0);
             count_outcome(result.status);
             return result;
         }
+    }
+
+    // Phase 3: the k-induction post-pass, when enabled — deeper step
+    // queries can close proofs the 1-step check cannot.
+    if (int depth = kinduction_prove(nl, target, opts,
+                                     opts.conflict_budget,
+                                     deadline.remaining(),
+                                     result.conflicts)) {
+        result.status = BmcStatus::Unreachable;
+        result.proven_by_induction = true;
+        result.kinduction_depth = depth;
+        result.wall_seconds = seconds_since(wall0);
+        count_outcome(result.status);
+        return result;
     }
 
     // Free-state check is satisfiable but bounded search from reset found
@@ -198,11 +200,56 @@ check_cover_scratch(const Netlist &nl, NetId target, const BmcOptions &opts)
     result.status = BmcStatus::Unreachable;
     result.proven_by_induction = false;
     result.frames = opts.max_frames;
+    result.wall_seconds = seconds_since(wall0);
     count_outcome(result.status);
     return result;
 }
 
 } // namespace
+
+int
+kinduction_prove(const Netlist &nl, NetId target, const BmcOptions &opts,
+                 int64_t conflict_budget, double wall_remaining,
+                 uint64_t &conflicts)
+{
+    int max_depth = std::min(opts.kinduction_frames, opts.max_frames);
+    if (max_depth < 2)
+        return 0;
+    VEGA_SPAN("bmc.kinduction");
+    static obs::Counter &proofs = obs::counter("bmc.kinduction_proofs");
+    LoopDeadline deadline(wall_remaining);
+
+    // Depth-k step query: from a free, shadow-consistent state, the
+    // target stays low for frames 0..k-1 — can it rise at frame k?
+    // UNSAT closes the induction: a first rise at time T >= max_frames
+    // >= k would need this very window to be satisfiable, and phase 1
+    // already refuted every rise before max_frames (the base case).
+    // Depth 1 is skipped: the phase-2 free-state check subsumes it
+    // (its clause target@0 ∨ target@1 is the k=1 window plus the
+    // state itself).
+    for (int k = 2; k <= max_depth; ++k) {
+        Unroller unroll(nl, /*free_initial=*/true, opts.state_equalities);
+        unroll.set_assumes(opts.assumes);
+        unroll.ensure_frames(k + 1);
+        auto &solver = unroll.solver();
+        for (int j = 0; j < k; ++j)
+            solver.add_clause(Lit(unroll.var(j, target), true));
+        solver.add_clause(Lit(unroll.var(k, target), false));
+
+        sat::SolveLimits limits;
+        limits.conflict_budget = conflict_budget;
+        limits.wall_seconds = deadline.remaining();
+        auto res = solver.solve(limits);
+        conflicts += solver.num_conflicts();
+        if (res == sat::Solver::Result::Unsat) {
+            proofs.inc();
+            return k;
+        }
+        if (res == sat::Solver::Result::Unknown)
+            return 0; // starve out: fall back to the bounded verdict
+    }
+    return 0;
+}
 
 CoverSession::CoverSession(const Netlist &nl, NetId target,
                            const BmcOptions &opts)
@@ -229,14 +276,16 @@ CoverSession::run(int64_t conflict_budget, double wall_budget_seconds)
     static obs::Counter &incremental_solves =
         obs::counter("bmc.incremental_solves");
 
+    const auto wall0 = std::chrono::steady_clock::now();
     LoopDeadline deadline(wall_budget_seconds);
     BmcResult result;
     result.conflicts = 0;
     auto settle = [&](const BmcResult &r) {
         settled_ = true;
         settled_result_ = r;
-        // A replayed settled result charges no further conflicts.
+        // A replayed settled result charges no further conflicts/time.
         settled_result_.conflicts = 0;
+        settled_result_.wall_seconds = 0.0;
     };
 
     // Phase 1: deepen on the persistent instance, shortest trace first.
@@ -277,6 +326,7 @@ CoverSession::run(int64_t conflict_budget, double wall_budget_seconds)
                 if (wres == sat::Solver::Result::Unknown) {
                     result.status = BmcStatus::Timeout;
                     result.frames = k;
+                    result.wall_seconds = seconds_since(wall0);
                     count_outcome(result.status);
                     return result; // resumable: retry bound k
                 }
@@ -284,6 +334,7 @@ CoverSession::run(int64_t conflict_budget, double wall_budget_seconds)
                            "bmc: canonical witness vanished at bound ", k);
                 result.status = BmcStatus::Covered;
                 result.frames = k;
+                result.wall_seconds = seconds_since(wall0);
                 count_outcome(result.status);
                 settle(result);
                 return result;
@@ -291,6 +342,7 @@ CoverSession::run(int64_t conflict_budget, double wall_budget_seconds)
             if (res == sat::Solver::Result::Unknown) {
                 result.status = BmcStatus::Timeout;
                 result.frames = k;
+                result.wall_seconds = seconds_since(wall0);
                 count_outcome(result.status);
                 return result; // resumable: retry bound k
             }
@@ -325,20 +377,37 @@ CoverSession::run(int64_t conflict_budget, double wall_budget_seconds)
         if (res == sat::Solver::Result::Unsat) {
             result.status = BmcStatus::Unreachable;
             result.proven_by_induction = true;
+            result.wall_seconds = seconds_since(wall0);
             count_outcome(result.status);
             settle(result);
             return result;
         }
         if (res == sat::Solver::Result::Unknown) {
             result.status = BmcStatus::Timeout;
+            result.wall_seconds = seconds_since(wall0);
             count_outcome(result.status);
             return result; // resumable: re-solve phase 2
         }
     }
 
+    // Phase 3: the k-induction post-pass (identical to the scratch
+    // engine's, so the per-query oracle agrees at any option set).
+    if (int depth = kinduction_prove(nl_, target_, opts_, conflict_budget,
+                                     deadline.remaining(),
+                                     result.conflicts)) {
+        result.status = BmcStatus::Unreachable;
+        result.proven_by_induction = true;
+        result.kinduction_depth = depth;
+        result.wall_seconds = seconds_since(wall0);
+        count_outcome(result.status);
+        settle(result);
+        return result;
+    }
+
     result.status = BmcStatus::Unreachable;
     result.proven_by_induction = false;
     result.frames = opts_.max_frames;
+    result.wall_seconds = seconds_since(wall0);
     count_outcome(result.status);
     settle(result);
     return result;

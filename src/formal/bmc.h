@@ -14,7 +14,7 @@
  *                 bound on these feed-forward pipeline modules.
  *  - Timeout:     the SAT solver exceeded its conflict budget.
  *
- * Two engines implement the deepening loop (selected by
+ * Two engines implement the *per-query* deepening loop (selected by
  * BmcOptions::engine):
  *
  *  - Incremental (default): one long-lived Unroller whose persistent
@@ -27,6 +27,22 @@
  *    both engines return byte-identical waveforms.
  *  - Scratch: a fresh Unroller + solver per bound (the historical
  *    engine, kept as the semantic reference and benchmark baseline).
+ *
+ * check_cover() and CoverSession answer ONE cover target per deepening
+ * loop; they are the semantics oracle. Whole suites of targets on the
+ * same module (every fault config of a lifted pair-batch) go through
+ * formal::CoverBatch (cover_batch.h), which runs one deepening loop
+ * per (module × fault-config) group, resolves every still-open target
+ * at each bound, and returns per-target BmcResults byte-identical to
+ * looping check_cover — at a fraction of the encoding and solving work.
+ *
+ * With BmcOptions::kinduction_frames > 0, a k-induction post-pass
+ * upgrades bound-exhaustion verdicts to real Unreachable proofs: after
+ * phase 1 refutes every bound <= max_frames and the 1-step free-state
+ * check is inconclusive, depth k is proved by the step query "from a
+ * shadow-consistent free state, target low for k frames, can it rise
+ * at frame k?" — UNSAT at any k <= max_frames closes the induction
+ * (phase 1 is the base case). All engines run the identical pass.
  */
 #pragma once
 
@@ -71,6 +87,21 @@ struct BmcOptions
     std::vector<std::pair<NetId, NetId>> state_equalities;
     /** Deepening-loop engine. */
     BmcEngine engine = BmcEngine::Incremental;
+    /**
+     * Max depth of the k-induction post-pass (0 disables it, the
+     * default). Depths 2..min(kinduction_frames, max_frames) are tried
+     * in order once bounded search and the 1-step free-state check are
+     * both inconclusive; the first UNSAT step query turns the bounded
+     * "Unreachable" into a proof (BmcResult::kinduction_depth).
+     */
+    int kinduction_frames = 0;
+    /**
+     * CoverBatch only: worker threads of the portfolio. Targets are
+     * partitioned round-robin across workers, which share learned
+     * clauses after every bound; per-target verdicts are deterministic
+     * regardless of this value (it only moves wall time).
+     */
+    int portfolio_threads = 1;
 };
 
 enum class BmcStatus { Covered, Unreachable, Timeout };
@@ -86,8 +117,23 @@ struct BmcResult
     Waveform trace;
     /** Conflicts spent by this call (this run, for a resumed session). */
     uint64_t conflicts = 0;
-    /** Unreachable only: proven by the induction-style free-state check. */
+    /** Unreachable only: proven by the induction-style free-state check
+     *  (or by the deeper k-induction post-pass; see kinduction_depth). */
     bool proven_by_induction = false;
+    /**
+     * Depth at which the k-induction post-pass closed the proof; 0 when
+     * the pass was disabled, inconclusive, or not needed (the 1-step
+     * free-state check already proved unreachability).
+     */
+    int kinduction_depth = 0;
+    /**
+     * Wall-clock seconds of SAT solving attributed to this target by
+     * this call. Under CoverBatch the loop-wide wall budget is shared
+     * by all targets and this field carries each target's slice, so
+     * summing it over a batch never double-counts the budget the way
+     * per-call accounting did when callers looped check_cover.
+     */
+    double wall_seconds = 0.0;
 };
 
 /**
@@ -98,6 +144,20 @@ struct BmcResult
  */
 BmcResult check_cover(const Netlist &nl, NetId target,
                       const BmcOptions &opts);
+
+/**
+ * The k-induction step queries, standalone: prove `target` can never
+ * rise, given that phase-1 bounded search already refuted every bound
+ * <= opts.max_frames (the base case). Tries depths 2..min(
+ * opts.kinduction_frames, opts.max_frames); returns the first depth
+ * whose step query is UNSAT, or 0 when none is (or a budget ran out).
+ * Shared by both per-query engines and cross-checked against
+ * exhaustive unrolling in the tests; CoverBatch runs the same queries
+ * on its shared free-state instance.
+ */
+int kinduction_prove(const Netlist &nl, NetId target,
+                     const BmcOptions &opts, int64_t conflict_budget,
+                     double wall_remaining, uint64_t &conflicts);
 
 /**
  * A resumable incremental cover query: the state behind the Incremental

@@ -9,12 +9,14 @@ using sat::Var;
 
 void
 encode_combinational(const Netlist &nl, sat::Solver &solver,
-                     FrameVars &frame)
+                     FrameVars &frame, const std::vector<uint8_t> *cell_mask)
 {
     auto &vars = frame.net_var;
     VEGA_CHECK(vars.size() == nl.num_nets(), "frame var map size");
 
     for (CellId c : nl.topo_order()) {
+        if (cell_mask && !(*cell_mask)[c])
+            continue;
         const Cell &cell = nl.cell(c);
         Var o = solver.new_var();
         vars[cell.out] = o;

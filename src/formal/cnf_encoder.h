@@ -28,8 +28,17 @@ struct FrameVars
  * in @p frame (the unroller decides whether they are reset constants,
  * free variables, or aliases of the previous frame); this function adds
  * fresh variables and clauses for every combinational cell output.
+ *
+ * @p cell_mask, when non-null, restricts encoding to cells with a
+ * non-zero mask byte (indexed by CellId); masked-out cells leave their
+ * output's net_var at -1. The caller must pass a *support-closed* mask:
+ * every input net of an encoded cell is a primary input, the output of
+ * another encoded cell, or a DFF output the unroller defined. Cone-of-
+ * influence reduction in the batched cover engine relies on this to
+ * skip logic no open target can observe.
  */
 void encode_combinational(const Netlist &nl, sat::Solver &solver,
-                          FrameVars &frame);
+                          FrameVars &frame,
+                          const std::vector<uint8_t> *cell_mask = nullptr);
 
 } // namespace vega::formal

@@ -59,6 +59,18 @@ class Unroller
      */
     void set_assumes(const std::vector<NetId> &assumes);
 
+    /**
+     * Restrict frames added *after* this call to cells with a non-zero
+     * mask byte (cone-of-influence reduction). The mask must be
+     * support-closed (see encode_combinational) and must contain every
+     * assume net's cone and every net later queries will reference.
+     * Callers may only shrink the mask between frames (the batched
+     * engine drops a retired target's cone); growing it would leave
+     * earlier frames missing logic the new cone depends on. An empty
+     * mask (the default) encodes everything.
+     */
+    void set_cell_mask(std::vector<uint8_t> mask);
+
     /** Append one more frame; returns its index. */
     int add_frame();
 
@@ -80,11 +92,63 @@ class Unroller
     sat::Lit cover_activation(int frame, NetId target);
 
     /**
+     * Activation literal for a *disjunctive* cover clause
+     * `term_0 ∨ term_1 ∨ …` where each term is net\@frame: adds
+     * `¬act ∨ term_0 ∨ …` on first use and returns the cached literal
+     * on repeat calls. The batched engine's per-target form of the
+     * free-state check's `target@0 ∨ target@1` clause.
+     */
+    sat::Lit
+    clause_activation(const std::vector<std::pair<int, NetId>> &terms);
+
+    /**
+     * Activation literal gating a group of frame-0 state equalities:
+     * under the returned literal, every (a, b) pair is constrained
+     * equal at frame 0; with the literal free the group is vacuous.
+     * Lets one free-initial instance carry each batched target's own
+     * shadow-consistency strengthening. Frame 0 must already exist and
+     * the unroller must be free-initial.
+     */
+    sat::Lit equality_activation(
+        const std::vector<std::pair<NetId, NetId>> &pairs);
+
+    /**
      * Permanently disable an activation literal (unit clause `¬act`),
      * satisfying its cover clause. Call after the bound is refuted so
      * the dead clause cannot pollute later propagation.
      */
     void retire(sat::Lit act) { solver_.add_clause(~act); }
+
+    // ---- portfolio clause sharing ------------------------------------
+    //
+    // Learned clauses travel between independent unrollers of the same
+    // netlist as *canonical* literals `2*(frame*num_nets + net) + sign`.
+    // Only clauses whose every variable is a net variable translate
+    // (activation and equality-group literals are private to one
+    // instance and are dropped at export); a clause mentioning a frame
+    // or net the importer has not encoded is skipped. Soundness: a
+    // net-variable clause learned by any worker is implied by the
+    // frame/assume clauses alone — activation variables only ever
+    // weaken them — so every importer's instance already entails it.
+
+    /** Canonical clause form for cross-unroller exchange. */
+    using SharedClause = std::vector<int64_t>;
+
+    /**
+     * Start exporting learned clauses with size <= @p max_size and
+     * LBD <= @p max_lbd for take_shared_clauses().
+     */
+    void enable_clause_sharing(int max_size = 8, uint32_t max_lbd = 4);
+
+    /** Drain exportable learned clauses in canonical form. */
+    std::vector<SharedClause> take_shared_clauses();
+
+    /**
+     * Import canonical clauses from a peer unroller of the same
+     * netlist; returns how many were accepted (mappable onto frames
+     * and nets this instance has encoded).
+     */
+    size_t import_shared_clauses(const std::vector<SharedClause> &clauses);
 
     sat::Solver &solver() { return solver_; }
 
@@ -107,6 +171,7 @@ class Unroller
     bool free_initial_;
     std::vector<std::pair<NetId, NetId>> state_equalities_;
     std::vector<NetId> assumes_;
+    std::vector<uint8_t> cell_mask_; ///< empty = encode all cells
 
     struct CoverAct
     {
@@ -115,6 +180,18 @@ class Unroller
         sat::Lit act;
     };
     std::vector<CoverAct> cover_acts_;
+
+    struct ClauseAct
+    {
+        std::vector<std::pair<int, NetId>> terms;
+        sat::Lit act;
+    };
+    std::vector<ClauseAct> clause_acts_;
+
+    /** Canonical id per solver var (frame*num_nets + net), or -1 for
+     *  private vars (activation literals, equality-group gates). */
+    std::vector<int64_t> var_canon_;
+    void record_frame_origins(int f);
 };
 
 } // namespace vega::formal

@@ -2,7 +2,9 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "formal/cover_batch.h"
 #include "lift/fuzz_lifting.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace vega::lift {
@@ -167,12 +169,168 @@ make_configs(const sta::EndpointPair &pair, bool mitigation)
     return out;
 }
 
-} // namespace
+/** Per-pair Table-4 rollup flags, filled config by config. */
+struct PairFlags
+{
+    bool any_success = false;
+    bool any_timeout = false;
+    bool any_fc = false;
+};
 
+/**
+ * Conversion + validation tail shared by the per-query and batched
+ * paths: lower a Covered trace to a software test case, validate it
+ * against the matching failing netlist, and record the ConfigOutcome.
+ */
+void
+finalize_config(const HwModule &module, size_t pi, const std::string &name,
+                const FailureModelSpec &spec, formal::BmcResult &&bmc,
+                ConfigOutcome &&co, PairResult &pr, PairFlags &flags)
+{
+    co.bmc = bmc.status;
+    co.proven_by_induction = bmc.proven_by_induction;
+    co.frames = bmc.frames;
+    co.conflicts = bmc.conflicts;
+
+    if (bmc.status == formal::BmcStatus::Covered) {
+        ConversionResult conv =
+            build_test_case(module.kind, bmc.trace, int(pi), name);
+        co.converted = conv.ok;
+        co.failure_reason = conv.reason;
+        if (conv.ok) {
+            // Validate against the matching failing netlist: can this
+            // block observe the modeled fault at all?
+            FailingNetlist failing =
+                build_failing_netlist(module.netlist, spec);
+            runtime::Detection det =
+                replay_on_module(conv.test, failing.netlist);
+            co.validated = det != runtime::Detection::None;
+            if (co.validated) {
+                pr.tests.push_back(std::move(conv.test));
+                flags.any_success = true;
+            } else {
+                co.failure_reason =
+                    "no observable output distinguishes the fault";
+                flags.any_fc = true;
+            }
+        } else {
+            flags.any_fc = true;
+        }
+    } else if (bmc.status == formal::BmcStatus::Timeout) {
+        flags.any_timeout = true;
+    }
+    pr.configs.push_back(std::move(co));
+}
+
+/** Fold one finished pair into the Table-4 aggregates. */
+void
+finish_pair(PairResult &&pr, const PairFlags &flags, LiftResult &result)
+{
+    if (flags.any_success)
+        pr.status = PairStatus::Success;
+    else if (flags.any_fc)
+        pr.status = PairStatus::ConversionFailed;
+    else if (flags.any_timeout)
+        pr.status = PairStatus::Timeout;
+    else
+        pr.status = PairStatus::Unreachable;
+
+    switch (pr.status) {
+      case PairStatus::Success: ++result.n_success; break;
+      case PairStatus::Unreachable: ++result.n_unreachable; break;
+      case PairStatus::Timeout: ++result.n_timeout; break;
+      case PairStatus::ConversionFailed:
+        ++result.n_conversion_failed;
+        break;
+    }
+    result.pairs.push_back(std::move(pr));
+}
+
+/**
+ * §6.3 fuzz-first step shared by both paths. Returns true when the
+ * config's verdict is decided without the formal engine (a fuzzer
+ * trace, or the Fuzzing engine's structured giving-up outcome).
+ */
+bool
+fuzz_first(const LiftConfig &config, const ShadowInstrumentation &shadow,
+           ModuleKind kind, size_t pi, formal::BmcResult &bmc,
+           ConfigOutcome &co)
+{
+    if (config.engine == TraceEngine::Formal)
+        return false;
+    FuzzConfig fcfg;
+    fcfg.max_episodes = config.fuzz_episodes;
+    fcfg.seed = 1234 + pi;
+    FuzzResult fz = fuzz_cover(shadow, kind, fcfg);
+    if (fz.found) {
+        bmc.status = formal::BmcStatus::Covered;
+        bmc.trace = std::move(fz.trace);
+        bmc.frames = int(bmc.trace.num_cycles());
+        co.fuzzed = true;
+        co.attempts = 0;
+        return true;
+    }
+    if (config.engine == TraceEngine::Fuzzing) {
+        // Fuzzing alone cannot distinguish "unreachable" from "not
+        // found": report the giving-up outcome.
+        bmc.status = formal::BmcStatus::Timeout;
+        co.attempts = 0;
+        co.exhausted = true;
+        co.error = make_error(ErrorCode::Exhausted,
+                              "fuzzing found no trace in " +
+                                  std::to_string(config.fuzz_episodes) +
+                                  " episodes");
+        return true;
+    }
+    return false;
+}
+
+/** The Timeout-triggered fuzz fallback + Exhausted bookkeeping shared
+ *  by both paths (the last rungs of the degradation ladder). */
+void
+apply_degradation(const LiftConfig &config,
+                  const ShadowInstrumentation &shadow, ModuleKind kind,
+                  size_t pi, int attempts, uint64_t total_conflicts,
+                  formal::BmcResult &bmc, ConfigOutcome &co)
+{
+    if (bmc.status == formal::BmcStatus::Timeout &&
+        config.degrade_to_fuzz) {
+        // Last rung of the ladder: trade proof power for a cheap
+        // chance at a concrete trace.
+        FuzzConfig fcfg;
+        fcfg.max_episodes = config.fuzz_episodes;
+        fcfg.seed = 1234 + pi;
+        FuzzResult fz = fuzz_cover(shadow, kind, fcfg);
+        if (fz.found) {
+            bmc.status = formal::BmcStatus::Covered;
+            bmc.trace = std::move(fz.trace);
+            bmc.frames = int(bmc.trace.num_cycles());
+            co.fuzzed = true;
+            co.degraded_to_fuzz = true;
+        }
+    }
+    if (bmc.status == formal::BmcStatus::Timeout) {
+        co.exhausted = true;
+        co.error = make_error(
+            ErrorCode::Exhausted,
+            "formal engine timed out after " + std::to_string(attempts) +
+                " attempt(s), " + std::to_string(total_conflicts) +
+                " conflicts" +
+                (config.degrade_to_fuzz
+                     ? ", and the fuzz fallback found no trace"
+                     : ""));
+    }
+}
+
+/**
+ * Per-query reference path: one deepening loop (check_cover /
+ * CoverSession) per configuration. Kept verbatim as the semantics
+ * oracle the batched path is pinned against.
+ */
 LiftResult
-run_error_lifting(const HwModule &module,
-                  const std::vector<sta::EndpointPair> &pairs,
-                  const LiftConfig &config)
+run_error_lifting_scalar(const HwModule &module,
+                         const std::vector<sta::EndpointPair> &pairs,
+                         const LiftConfig &config)
 {
     LiftResult result;
     size_t limit = std::min(pairs.size(), config.max_pairs);
@@ -192,7 +350,7 @@ run_error_lifting(const HwModule &module,
             continue;
         }
 
-        bool any_success = false, any_timeout = false, any_fc = false;
+        PairFlags flags;
         for (auto &[name, spec] : make_configs(pair, config.mitigation)) {
             ConfigOutcome co;
             co.spec = spec;
@@ -201,37 +359,8 @@ run_error_lifting(const HwModule &module,
             ShadowInstrumentation shadow =
                 build_shadow_instrumentation(module.netlist, spec);
 
-            // §6.3: optionally explore cheaply with the fuzzer before
-            // (or instead of) the formal engine.
             formal::BmcResult bmc;
-            bool have_trace = false;
-            if (config.engine != TraceEngine::Formal) {
-                FuzzConfig fcfg;
-                fcfg.max_episodes = config.fuzz_episodes;
-                fcfg.seed = 1234 + pi;
-                FuzzResult fz = fuzz_cover(shadow, module.kind, fcfg);
-                if (fz.found) {
-                    bmc.status = formal::BmcStatus::Covered;
-                    bmc.trace = std::move(fz.trace);
-                    bmc.frames = int(bmc.trace.num_cycles());
-                    co.fuzzed = true;
-                    co.attempts = 0;
-                    have_trace = true;
-                } else if (config.engine == TraceEngine::Fuzzing) {
-                    // Fuzzing alone cannot distinguish "unreachable"
-                    // from "not found": report the giving-up outcome.
-                    bmc.status = formal::BmcStatus::Timeout;
-                    co.attempts = 0;
-                    co.exhausted = true;
-                    co.error = make_error(
-                        ErrorCode::Exhausted,
-                        "fuzzing found no trace in " +
-                            std::to_string(config.fuzz_episodes) +
-                            " episodes");
-                    have_trace = true;
-                }
-            }
-            if (!have_trace) {
+            if (!fuzz_first(config, shadow, module.kind, pi, bmc, co)) {
                 formal::BmcOptions opts = config.bmc;
                 opts.assumes = build_assumes(shadow.netlist, module.kind);
                 opts.state_equalities = shadow.state_pairs;
@@ -246,91 +375,188 @@ run_error_lifting(const HwModule &module,
                 bmc = std::move(esc.result);
                 bmc.conflicts = esc.total_conflicts;
                 co.attempts = esc.attempts;
-
-                if (bmc.status == formal::BmcStatus::Timeout &&
-                    config.degrade_to_fuzz) {
-                    // Last rung of the ladder: trade proof power for a
-                    // cheap chance at a concrete trace.
-                    FuzzConfig fcfg;
-                    fcfg.max_episodes = config.fuzz_episodes;
-                    fcfg.seed = 1234 + pi;
-                    FuzzResult fz = fuzz_cover(shadow, module.kind, fcfg);
-                    if (fz.found) {
-                        bmc.status = formal::BmcStatus::Covered;
-                        bmc.trace = std::move(fz.trace);
-                        bmc.frames = int(bmc.trace.num_cycles());
-                        co.fuzzed = true;
-                        co.degraded_to_fuzz = true;
-                    }
-                }
-                if (bmc.status == formal::BmcStatus::Timeout) {
-                    co.exhausted = true;
-                    co.error = make_error(
-                        ErrorCode::Exhausted,
-                        "formal engine timed out after " +
-                            std::to_string(esc.attempts) + " attempt(s), " +
-                            std::to_string(esc.total_conflicts) +
-                            " conflicts" +
-                            (config.degrade_to_fuzz
-                                 ? ", and the fuzz fallback found no trace"
-                                 : ""));
-                }
+                apply_degradation(config, shadow, module.kind, pi,
+                                  esc.attempts, esc.total_conflicts, bmc,
+                                  co);
             }
-            co.bmc = bmc.status;
-            co.proven_by_induction = bmc.proven_by_induction;
-            co.frames = bmc.frames;
-            co.conflicts = bmc.conflicts;
-
-            if (bmc.status == formal::BmcStatus::Covered) {
-                ConversionResult conv = build_test_case(
-                    module.kind, bmc.trace, int(pi), name);
-                co.converted = conv.ok;
-                co.failure_reason = conv.reason;
-                if (conv.ok) {
-                    // Validate against the matching failing netlist: can
-                    // this block observe the modeled fault at all?
-                    FailingNetlist failing =
-                        build_failing_netlist(module.netlist, spec);
-                    runtime::Detection det =
-                        replay_on_module(conv.test, failing.netlist);
-                    co.validated = det != runtime::Detection::None;
-                    if (co.validated) {
-                        pr.tests.push_back(std::move(conv.test));
-                        any_success = true;
-                    } else {
-                        co.failure_reason =
-                            "no observable output distinguishes the fault";
-                        any_fc = true;
-                    }
-                } else {
-                    any_fc = true;
-                }
-            } else if (bmc.status == formal::BmcStatus::Timeout) {
-                any_timeout = true;
-            }
-            pr.configs.push_back(std::move(co));
+            finalize_config(module, pi, name, spec, std::move(bmc),
+                            std::move(co), pr, flags);
         }
-
-        if (any_success)
-            pr.status = PairStatus::Success;
-        else if (any_fc)
-            pr.status = PairStatus::ConversionFailed;
-        else if (any_timeout)
-            pr.status = PairStatus::Timeout;
-        else
-            pr.status = PairStatus::Unreachable;
-
-        switch (pr.status) {
-          case PairStatus::Success: ++result.n_success; break;
-          case PairStatus::Unreachable: ++result.n_unreachable; break;
-          case PairStatus::Timeout: ++result.n_timeout; break;
-          case PairStatus::ConversionFailed:
-            ++result.n_conversion_failed;
-            break;
-        }
-        result.pairs.push_back(std::move(pr));
+        finish_pair(std::move(pr), flags, result);
     }
     return result;
+}
+
+/**
+ * Suite-level path: every fault configuration of a pair-batch becomes
+ * one target of a formal::CoverBatch over a shared shadow bank, so the
+ * module is unrolled once per frame for the whole batch and the
+ * escalation ladder resumes only the starved targets. Witnesses are
+ * re-derived on each config's own shadow instrumentation, keeping
+ * per-config results byte-identical to the scalar path.
+ */
+LiftResult
+run_error_lifting_batched(const HwModule &module,
+                          const std::vector<sta::EndpointPair> &pairs,
+                          const LiftConfig &config)
+{
+    LiftResult result;
+    size_t limit = std::min(pairs.size(), config.max_pairs);
+    size_t stride = std::max<size_t>(1, config.batch_pairs);
+
+    for (size_t chunk = 0; chunk < limit; chunk += stride) {
+        size_t chunk_end = std::min(limit, chunk + stride);
+
+        /** One fault configuration of the chunk. */
+        struct Entry
+        {
+            size_t pi = 0;
+            std::string name;
+            FailureModelSpec spec;
+            ShadowInstrumentation shadow;
+            ConfigOutcome co;
+            formal::BmcResult bmc;
+            bool needs_formal = false;
+            int target = -1; ///< CoverBatch target index
+        };
+        struct PairWork
+        {
+            PairResult pr;
+            PairFlags flags;
+            bool skipped = false;
+            size_t first_entry = 0;
+            size_t n_entries = 0;
+        };
+        std::vector<Entry> entries;
+        std::vector<PairWork> work;
+
+        for (size_t pi = chunk; pi < chunk_end; ++pi) {
+            const sta::EndpointPair &pair = pairs[pi];
+            PairWork pw;
+            pw.pr.pair = pair;
+            if (pair.launch == kInvalidId) {
+                // Primary-input-launched path: the upstream register
+                // lives outside this module; not modeled.
+                pw.skipped = true;
+                work.push_back(std::move(pw));
+                continue;
+            }
+            pw.first_entry = entries.size();
+            for (auto &[name, spec] :
+                 make_configs(pair, config.mitigation)) {
+                Entry e;
+                e.pi = pi;
+                e.name = name;
+                e.spec = spec;
+                e.co.spec = spec;
+                e.co.name = name;
+                e.shadow =
+                    build_shadow_instrumentation(module.netlist, spec);
+                e.needs_formal = !fuzz_first(config, e.shadow, module.kind,
+                                             pi, e.bmc, e.co);
+                entries.push_back(std::move(e));
+            }
+            pw.n_entries = entries.size() - pw.first_entry;
+            work.push_back(std::move(pw));
+        }
+
+        std::vector<size_t> formal_idx;
+        for (size_t i = 0; i < entries.size(); ++i)
+            if (entries[i].needs_formal)
+                formal_idx.push_back(i);
+
+        if (!formal_idx.empty()) {
+            std::vector<FailureModelSpec> specs;
+            specs.reserve(formal_idx.size());
+            for (size_t i : formal_idx)
+                specs.push_back(entries[i].spec);
+            ShadowBank bank = build_shadow_bank(module.netlist, specs);
+
+            formal::BmcOptions opts = config.bmc;
+            opts.assumes = build_assumes(bank.netlist, module.kind);
+            formal::CoverBatch batch(bank.netlist, opts);
+            for (size_t j = 0; j < formal_idx.size(); ++j) {
+                Entry &e = entries[formal_idx[j]];
+                formal::CoverTargetSpec ts;
+                ts.target = bank.cones[j].mismatch;
+                ts.state_equalities = bank.cones[j].state_pairs;
+                ts.witness_netlist = &e.shadow.netlist;
+                ts.witness_target = e.shadow.mismatch;
+                ts.witness_assumes =
+                    build_assumes(e.shadow.netlist, module.kind);
+                e.target = batch.add_target(std::move(ts));
+            }
+
+            // The per-batch escalation ladder: each rung resumes only
+            // the still-starved targets with the budgets grown, frames
+            // and learned clauses intact (cf. check_cover_escalating).
+            static obs::Counter &escalations =
+                obs::counter("bmc.escalations");
+            int max_attempts = std::max(1, config.formal_attempts);
+            int64_t budget = opts.conflict_budget;
+            double wall = opts.wall_budget_seconds;
+            std::vector<uint64_t> total_conflicts(formal_idx.size(), 0);
+            std::vector<int> attempts(formal_idx.size(), 0);
+            for (int attempt = 1;; ++attempt) {
+                batch.run(budget, wall);
+                for (size_t j = 0; j < formal_idx.size(); ++j) {
+                    const Entry &e = entries[formal_idx[j]];
+                    total_conflicts[j] += batch.result(e.target).conflicts;
+                    if (attempts[j] == 0 && batch.settled(e.target))
+                        attempts[j] = attempt;
+                }
+                if (attempt >= max_attempts || batch.all_settled())
+                    break;
+                escalations.inc();
+                budget = int64_t(double(budget) *
+                                 config.formal_budget_growth);
+                if (wall >= 0.0)
+                    wall *= config.formal_budget_growth;
+            }
+            for (size_t j = 0; j < formal_idx.size(); ++j) {
+                Entry &e = entries[formal_idx[j]];
+                e.bmc = batch.result(e.target);
+                e.bmc.conflicts = total_conflicts[j];
+                e.co.attempts =
+                    attempts[j] ? attempts[j] : max_attempts;
+                apply_degradation(config, e.shadow, module.kind, e.pi,
+                                  e.co.attempts, total_conflicts[j],
+                                  e.bmc, e.co);
+            }
+        }
+
+        // Emit results in pair order, configs in make_configs order —
+        // exactly the scalar path's output shape.
+        for (PairWork &pw : work) {
+            if (pw.skipped) {
+                pw.pr.status = PairStatus::Unreachable;
+                result.pairs.push_back(std::move(pw.pr));
+                ++result.n_unreachable;
+                continue;
+            }
+            for (size_t i = pw.first_entry;
+                 i < pw.first_entry + pw.n_entries; ++i) {
+                Entry &e = entries[i];
+                finalize_config(module, e.pi, e.name, e.spec,
+                                std::move(e.bmc), std::move(e.co), pw.pr,
+                                pw.flags);
+            }
+            finish_pair(std::move(pw.pr), pw.flags, result);
+        }
+    }
+    return result;
+}
+
+} // namespace
+
+LiftResult
+run_error_lifting(const HwModule &module,
+                  const std::vector<sta::EndpointPair> &pairs,
+                  const LiftConfig &config)
+{
+    if (config.batch_cover)
+        return run_error_lifting_batched(module, pairs, config);
+    return run_error_lifting_scalar(module, pairs, config);
 }
 
 } // namespace vega::lift

@@ -63,6 +63,20 @@ struct LiftConfig
     /** After the last formal attempt still times out, fall back to the
      *  fuzzer before recording a structured Exhausted outcome. */
     bool degrade_to_fuzz = false;
+
+    /**
+     * Solve all fault configurations of a pair-batch as ONE
+     * formal::CoverBatch suite against a multi-cone shadow bank (the
+     * default): the shared module logic is unrolled once per frame for
+     * the whole batch instead of once per configuration, and each
+     * escalation rung re-runs only the still-starved targets. Per-config
+     * statuses, frames, and traces are byte-identical to looping
+     * check_cover per configuration (batch_cover = false), which stays
+     * available as the semantics oracle.
+     */
+    bool batch_cover = true;
+    /** Endpoint pairs per CoverBatch suite when batch_cover is set. */
+    size_t batch_pairs = 8;
 };
 
 enum class PairStatus { Success, Unreachable, Timeout, ConversionFailed };

@@ -228,17 +228,33 @@ build_fault_bank(const Netlist &nl,
     return out;
 }
 
-ShadowInstrumentation
-build_shadow_instrumentation(const Netlist &nl, const FailureModelSpec &spec)
+namespace {
+
+/** The per-spec product of one shadow-replica construction. */
+struct ShadowCone
+{
+    NetId mismatch = kInvalidId;
+    std::vector<std::pair<NetId, NetId>> state_pairs;
+    std::vector<std::string> shadowed_buses;
+};
+
+/**
+ * Core of both shadow builders: splice spec's fault model into @p snl
+ * (already a copy of @p nl, possibly carrying earlier cones), duplicate
+ * Y's fanout cone under @p suffix, and build the observability-gated
+ * mismatch bit. @p add_shadow_buses registers the "<bus><suffix>"
+ * output buses (the single-spec instrumentation publishes them per
+ * Table 2; the bank keeps only the mismatch bits as outputs).
+ */
+ShadowCone
+build_shadow_cone(Netlist &snl, const Netlist &nl,
+                  const FailureModelSpec &spec, const std::string &suffix,
+                  bool add_shadow_buses)
 {
     VEGA_CHECK(spec.constant != FaultConstant::RandomInput,
                "formal trace generation uses constant C only");
 
-    ShadowInstrumentation out;
-    out.netlist = nl; // deep copy
-    Netlist &snl = out.netlist;
-    snl.set_name(nl.name() + "_shadow");
-
+    ShadowCone out;
     FaultNets fm = build_fault_logic(snl, spec);
 
     // Cells influenced by Y, including Y itself (§3.3.2).
@@ -250,7 +266,7 @@ build_shadow_instrumentation(const Netlist &nl, const FailureModelSpec &spec)
     std::unordered_map<NetId, NetId> shadow_net; // orig out -> shadow out
     for (CellId c : cone) {
         NetId orig = snl.cell(c).out;
-        shadow_net[orig] = snl.new_net(nl.net(orig).name + "_s");
+        shadow_net[orig] = snl.new_net(nl.net(orig).name + suffix);
     }
 
     for (CellId c : cone) {
@@ -266,14 +282,14 @@ build_shadow_instrumentation(const Netlist &nl, const FailureModelSpec &spec)
             ins[0] = fm.faulty_d;
         }
         if (orig.type == CellType::Dff) {
-            CellId s = snl.add_dff(orig.name + "_s", ins[0],
+            CellId s = snl.add_dff(orig.name + suffix, ins[0],
                                    shadow_net.at(orig.out), orig.init,
                                    orig.clock_leaf);
             (void)s;
             out.state_pairs.emplace_back(orig.out,
                                          shadow_net.at(orig.out));
         } else {
-            snl.add_cell(orig.type, orig.name + "_s", ins,
+            snl.add_cell(orig.type, orig.name + suffix, ins,
                          shadow_net.at(orig.out));
         }
     }
@@ -327,7 +343,8 @@ build_shadow_instrumentation(const Netlist &nl, const FailureModelSpec &spec)
             }
         }
         if (any_shadowed) {
-            snl.add_output_bus(bus_name + "_s", shadow_bus);
+            if (add_shadow_buses)
+                snl.add_output_bus(bus_name + suffix, shadow_bus);
             out.shadowed_buses.push_back(bus_name);
         }
     }
@@ -335,9 +352,57 @@ build_shadow_instrumentation(const Netlist &nl, const FailureModelSpec &spec)
                "shadow cone of ", nl.cell(spec.capture).name,
                " reaches no primary output");
     out.mismatch = b.or_n(diffs);
+    return out;
+}
+
+} // namespace
+
+ShadowInstrumentation
+build_shadow_instrumentation(const Netlist &nl, const FailureModelSpec &spec)
+{
+    ShadowInstrumentation out;
+    out.netlist = nl; // deep copy
+    Netlist &snl = out.netlist;
+    snl.set_name(nl.name() + "_shadow");
+
+    ShadowCone cone = build_shadow_cone(snl, nl, spec, "_s",
+                                        /*add_shadow_buses=*/true);
+    out.mismatch = cone.mismatch;
+    out.state_pairs = std::move(cone.state_pairs);
+    out.shadowed_buses = std::move(cone.shadowed_buses);
     snl.add_output_bus("mismatch", {out.mismatch});
 
     snl.validate();
+    return out;
+}
+
+ShadowBank
+build_shadow_bank(const Netlist &nl,
+                  const std::vector<FailureModelSpec> &specs)
+{
+    VEGA_CHECK(!specs.empty(), "shadow bank needs at least one spec");
+    ShadowBank out;
+    out.netlist = nl; // deep copy
+    Netlist &bnl = out.netlist;
+    bnl.set_name(nl.name() + "_shadowbank");
+
+    // Cones are built strictly one after another; build_shadow_cone
+    // restores every original net it touches (the same-flop splice is
+    // reverted after the replica samples it), so cone i+1 reads the
+    // pristine module and the cones stay mutually independent.
+    std::vector<NetId> mismatches;
+    mismatches.reserve(specs.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+        ShadowCone cone =
+            build_shadow_cone(bnl, nl, specs[i],
+                              "_s" + std::to_string(i),
+                              /*add_shadow_buses=*/false);
+        mismatches.push_back(cone.mismatch);
+        out.cones.push_back({cone.mismatch, std::move(cone.state_pairs)});
+    }
+    bnl.add_output_bus("mismatch", mismatches);
+
+    bnl.validate();
     return out;
 }
 

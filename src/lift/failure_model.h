@@ -110,4 +110,34 @@ struct ShadowInstrumentation
 ShadowInstrumentation
 build_shadow_instrumentation(const Netlist &nl, const FailureModelSpec &spec);
 
+/**
+ * One module copy carrying an independent shadow replica per spec —
+ * the suite-level netlist behind batched cover solving. Unlike
+ * build_fault_bank there are NO enable inputs: every spec's fault
+ * logic and duplicated fanout cone (nets suffixed "_s<i>") is always
+ * live, each feeding its own mismatch bit, and the original module
+ * logic is shared untouched. Cone i is gate-for-gate isomorphic to
+ * build_shadow_instrumentation(nl, specs[i]) — same fault structure,
+ * same observability gating, same state pairs — so target i's
+ * bound-k satisfiability equals the single-spec instrumentation's,
+ * which is what lets formal::CoverBatch solve a whole pair-batch on
+ * one unrolled instance and re-derive witnesses per spec.
+ */
+struct ShadowBank
+{
+    Netlist netlist;
+    struct Cone
+    {
+        /** Cover target of this spec (bit i of the "mismatch" bus). */
+        NetId mismatch = kInvalidId;
+        /** (original Q, shadow Q) pairs for this spec's inductive check. */
+        std::vector<std::pair<NetId, NetId>> state_pairs;
+    };
+    /** One entry per spec, input order. */
+    std::vector<Cone> cones;
+};
+
+ShadowBank build_shadow_bank(const Netlist &nl,
+                             const std::vector<FailureModelSpec> &specs);
+
 } // namespace vega::lift

@@ -451,6 +451,182 @@ TEST(SatSolver, AssumptionsCrossCheckScratchUnits)
     }
 }
 
+/** Helper: a random CNF over @p n vars, widths 2-4, loaded into @p s. */
+std::vector<std::vector<Lit>>
+random_cnf(Rng &rng, Solver &s, int n, int m)
+{
+    std::vector<std::vector<Lit>> clauses;
+    for (int i = 0; i < n; ++i)
+        s.new_var();
+    for (int c = 0; c < m; ++c) {
+        std::vector<Lit> clause;
+        int width = 2 + int(rng.below(3));
+        for (int k = 0; k < width; ++k)
+            clause.push_back(Lit(Var(rng.below(n)), rng.chance(0.5)));
+        clauses.push_back(clause);
+        s.add_clause(clause);
+    }
+    return clauses;
+}
+
+/**
+ * Cross-check solve_batch against the reference semantics: each set's
+ * verdict must equal an *independent* solver answering that set alone
+ * (verdicts are semantic; only the spend depends on batching).
+ */
+TEST(SatSolver, SolveBatchMatchesIndependentSolves)
+{
+    Rng rng(909);
+    for (int round = 0; round < 6; ++round) {
+        Solver batch_solver;
+        auto clauses = random_cnf(rng, batch_solver, 40, 150);
+
+        std::vector<std::vector<Lit>> sets;
+        for (int q = 0; q < 10; ++q) {
+            std::vector<Lit> set;
+            for (int k = 0; k < 3; ++k)
+                set.push_back(Lit(Var(rng.below(40)), rng.chance(0.5)));
+            sets.push_back(set);
+        }
+
+        auto outcomes = batch_solver.solve_batch(sets);
+        ASSERT_EQ(outcomes.size(), sets.size());
+
+        for (size_t q = 0; q < sets.size(); ++q) {
+            Solver ref;
+            for (int i = 0; i < 40; ++i)
+                ref.new_var();
+            for (const auto &clause : clauses)
+                ref.add_clause(clause);
+            auto want = ref.solve(sets[q]);
+            EXPECT_EQ(outcomes[q].result, want)
+                << "round " << round << " set " << q;
+            if (outcomes[q].result == Solver::Result::Unsat) {
+                // The failed subset (empty when the instance is unsat
+                // outright) must come from this set.
+                for (Lit l : outcomes[q].failed)
+                    EXPECT_TRUE(std::find(sets[q].begin(), sets[q].end(),
+                                          l) != sets[q].end());
+            }
+        }
+
+        // The most recent Sat set's model stays readable.
+        for (size_t q = sets.size(); q-- > 0;) {
+            if (outcomes[q].result != Solver::Result::Sat)
+                continue;
+            for (Lit l : sets[q])
+                EXPECT_EQ(batch_solver.model_value(l.var()), !l.sign());
+            for (const auto &clause : clauses) {
+                bool sat = false;
+                for (Lit l : clause)
+                    if (batch_solver.model_value(l.var()) != l.sign())
+                        sat = true;
+                EXPECT_TRUE(sat);
+            }
+            break;
+        }
+    }
+}
+
+TEST(SatSolver, SolveBatchSharedBudgetSkipsRemainder)
+{
+    // Hard gated pigeonhole rows: a whole-batch conflict budget small
+    // enough to starve the first set must report the remaining sets
+    // Unknown with zero attributed spend.
+    Solver s;
+    const int P = 9, H = 8;
+    std::vector<std::vector<Var>> x(P, std::vector<Var>(H));
+    for (int p = 0; p < P; ++p)
+        for (int h = 0; h < H; ++h)
+            x[p][h] = s.new_var();
+    Var gate = s.new_var();
+    for (int p = 0; p < P; ++p) {
+        std::vector<Lit> clause{neg(gate)};
+        for (int h = 0; h < H; ++h)
+            clause.push_back(pos(x[p][h]));
+        s.add_clause(clause);
+    }
+    for (int h = 0; h < H; ++h)
+        for (int p1 = 0; p1 < P; ++p1)
+            for (int p2 = p1 + 1; p2 < P; ++p2)
+                s.add_clause(neg(x[p1][h]), neg(x[p2][h]));
+
+    SolveLimits limits;
+    limits.conflict_budget = 40;
+    std::vector<std::vector<Lit>> sets{{pos(gate)}, {pos(gate)},
+                                       {pos(gate)}};
+    auto outcomes = s.solve_batch(sets, limits);
+    ASSERT_EQ(outcomes.size(), 3u);
+    EXPECT_EQ(outcomes[0].result, Solver::Result::Unknown);
+    for (size_t q = 1; q < outcomes.size(); ++q) {
+        EXPECT_EQ(outcomes[q].result, Solver::Result::Unknown);
+        EXPECT_EQ(outcomes[q].conflicts, 0);
+        EXPECT_EQ(outcomes[q].seconds, 0.0);
+    }
+}
+
+/**
+ * Clause export/import cross-check: clauses learned by one solver and
+ * imported into a second solver over the same variable numbering must
+ * not change any verdict — random assumption queries on the importing
+ * solver still match an untouched reference solver.
+ */
+TEST(SatSolver, ClauseExportImportPreservesVerdicts)
+{
+    Rng rng(4242);
+    for (int round = 0; round < 4; ++round) {
+        std::vector<std::vector<Lit>> clauses;
+        Solver exporter;
+        clauses = random_cnf(rng, exporter, 40, 170);
+        exporter.set_export_limits(/*max_size=*/8, /*max_lbd=*/8);
+
+        // Work the exporter so it learns (and exports) clauses.
+        std::vector<std::vector<Lit>> sets;
+        for (int q = 0; q < 12; ++q) {
+            std::vector<Lit> set;
+            for (int k = 0; k < 4; ++k)
+                set.push_back(Lit(Var(rng.below(40)), rng.chance(0.5)));
+            sets.push_back(set);
+        }
+        exporter.solve_batch(sets);
+        auto exported = exporter.take_exported();
+        // Drained: a second take returns nothing new.
+        EXPECT_TRUE(exporter.take_exported().empty());
+
+        Solver importer;
+        for (int i = 0; i < 40; ++i)
+            importer.new_var();
+        for (const auto &clause : clauses)
+            importer.add_clause(clause);
+        for (auto &clause : exported)
+            importer.import_clause(clause);
+        EXPECT_LE(importer.num_imported_clauses(), exported.size());
+
+        for (int q = 0; q < 8; ++q) {
+            std::vector<Lit> set;
+            for (int k = 0; k < 3; ++k)
+                set.push_back(Lit(Var(rng.below(40)), rng.chance(0.5)));
+
+            Solver ref;
+            for (int i = 0; i < 40; ++i)
+                ref.new_var();
+            for (const auto &clause : clauses)
+                ref.add_clause(clause);
+            EXPECT_EQ(importer.solve(set), ref.solve(set))
+                << "round " << round << " query " << q;
+        }
+    }
+}
+
+TEST(SatSolver, ImportDetectsRootUnsat)
+{
+    Solver s;
+    Var a = s.new_var();
+    s.add_clause(pos(a));
+    // Importing the negation contradicts the instance at root level.
+    EXPECT_FALSE(s.import_clause({neg(a)}));
+}
+
 TEST(SatSolver, AdderEquivalenceUnsat)
 {
     // Miter of two structurally different 1-bit full adders: proving
